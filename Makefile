@@ -1,0 +1,48 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench tables fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment table (E1-E8); see EXPERIMENTS.md.
+tables:
+	$(GO) run ./cmd/benchtab
+
+# Refresh the golden snapshot after an intentional cost-model change.
+golden:
+	$(GO) run ./cmd/benchtab > internal/bench/testdata/benchtab.golden
+
+fuzz:
+	$(GO) test -fuzz=FuzzCompile -fuzztime=30s ./internal/ppclang/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/graph/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/robotnav
+	$(GO) run ./examples/netroute
+	$(GO) run ./examples/ppcpaper
+	$(GO) run ./examples/imagedt
+	$(GO) run ./examples/virtualized
+
+clean:
+	$(GO) clean ./...

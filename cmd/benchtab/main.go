@@ -1,0 +1,54 @@
+// Command benchtab regenerates every experiment table of the reproduction
+// (E1-E5 in DESIGN.md) and prints them in the format recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtab           # all experiments
+//	benchtab -only E3  # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppamcp/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: E1..E9")
+	format := flag.String("format", "text", "output format: text|markdown")
+	flag.Parse()
+
+	render := func(t bench.Table) string {
+		if *format == "markdown" {
+			return t.Markdown()
+		}
+		return t.Format()
+	}
+
+	runners := map[string]func() bench.Table{
+		"E1": bench.RunE1,
+		"E2": bench.RunE2,
+		"E3": bench.RunE3,
+		"E4": bench.RunE4,
+		"E5": bench.RunE5,
+		"E6": bench.RunE6,
+		"E7": bench.RunE7,
+		"E8": bench.RunE8,
+		"E9": bench.RunE9,
+	}
+	if *only != "" {
+		r, ok := runners[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want E1..E9)\n", *only)
+			os.Exit(1)
+		}
+		fmt.Println(render(r()))
+		return
+	}
+	for _, t := range bench.RunAll() {
+		fmt.Println(render(t))
+	}
+}

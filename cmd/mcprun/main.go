@@ -1,0 +1,180 @@
+// Command mcprun solves a single-destination minimum cost path problem on
+// a chosen backend (PPA, GCN, hypercube, mesh, Bellman-Ford, Dijkstra) and
+// prints the distance table, an optional witness path, and the abstract
+// machine cost.
+//
+// Examples:
+//
+//	mcprun -gen connected -n 16 -dest 3
+//	mcprun -gen chain -n 10 -backend mesh -path 0
+//	mcprun -graph net.g -dest 5 -backend hypercube -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ppamcp"
+	"ppamcp/internal/cli"
+	"ppamcp/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcprun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcprun", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var w cli.Workload
+	w.Register(fs)
+	dest := fs.Int("dest", 0, "destination vertex")
+	backendName := fs.String("backend", "ppa", "ppa|gcn|hypercube|mesh|bellman-ford|dijkstra")
+	bits := fs.Uint("bits", 0, "machine word width h (0 = auto)")
+	workers := fs.Int("workers", 0, "simulator goroutines (PPA/mesh)")
+	pathFrom := fs.Int("path", -1, "print the witness path from this vertex")
+	verify := fs.Bool("verify", false, "independently certify optimality of the result")
+	quiet := fs.Bool("quiet", false, "print only the summary line")
+	tree := fs.Bool("tree", false, "draw the shortest-path tree instead of the distance table")
+	allPairs := fs.Bool("allpairs", false, "compute the full next-hop routing table (PPA backend)")
+	widest := fs.Bool("widest", false, "solve the widest-path (max-bottleneck) dual instead (PPA backend)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := w.Build()
+	if err != nil {
+		return err
+	}
+	if *allPairs {
+		return runAllPairs(out, g, *bits, *workers)
+	}
+	if *widest {
+		return runWidest(out, g, *dest, *bits, *workers, *pathFrom, *verify)
+	}
+	backend, err := ppamcp.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	res, err := ppamcp.Solve(g, *dest,
+		ppamcp.WithBackend(backend), ppamcp.WithBits(*bits), ppamcp.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		if *tree {
+			fmt.Fprintln(out, viz.RenderTree(&res.Result))
+		} else {
+			fmt.Fprintln(out, viz.RenderDistances(&res.Result))
+		}
+	}
+	fmt.Fprintf(out, "%s  n=%d edges=%d dest=%d iterations=%d",
+		backend, g.N, g.Edges(), *dest, res.Iterations)
+	if res.Bits > 0 {
+		fmt.Fprintf(out, " h=%d", res.Bits)
+	}
+	fmt.Fprintln(out)
+	if backend == ppamcp.Sequential || backend == ppamcp.SequentialDijkstra {
+		fmt.Fprintf(out, "cost: %d edge relaxations\n", res.Relaxations)
+	} else {
+		fmt.Fprintf(out, "cost: %v\n", res.Metrics)
+	}
+
+	if *pathFrom >= 0 {
+		path, ok := res.PathFrom(*pathFrom)
+		if !ok {
+			fmt.Fprintf(out, "path: vertex %d cannot reach %d\n", *pathFrom, *dest)
+		} else {
+			strs := make([]string, len(path))
+			for i, v := range path {
+				strs[i] = fmt.Sprint(v)
+			}
+			fmt.Fprintf(out, "path: %s (cost %d)\n", strings.Join(strs, " -> "), res.Dist[*pathFrom])
+		}
+	}
+	if *verify {
+		if err := ppamcp.Verify(g, res); err != nil {
+			return fmt.Errorf("verification FAILED: %v", err)
+		}
+		fmt.Fprintln(out, "verification: OK (witness paths + no relaxable edge)")
+	}
+	return nil
+}
+
+// runWidest solves and prints the widest-path dual.
+func runWidest(out io.Writer, g *ppamcp.Graph, dest int, bits uint, workers, pathFrom int, verify bool) error {
+	r, metrics, err := ppamcp.SolveWidest(g, dest, ppamcp.WithBits(bits), ppamcp.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "widest paths to %d (capacity = best achievable bottleneck):\n", dest)
+	fmt.Fprintf(out, "%8s %10s %6s\n", "vertex", "capacity", "next")
+	for v := range r.Cap {
+		switch {
+		case v == dest:
+			fmt.Fprintf(out, "%8d %10s %6s\n", v, "unbounded", "-")
+		case r.Cap[v] == 0:
+			fmt.Fprintf(out, "%8d %10s %6s\n", v, "none", "-")
+		default:
+			fmt.Fprintf(out, "%8d %10d %6d\n", v, r.Cap[v], r.Next[v])
+		}
+	}
+	fmt.Fprintf(out, "iterations=%d cost: %v\n", r.Iterations, metrics)
+	if pathFrom >= 0 && pathFrom < len(r.Cap) && r.Cap[pathFrom] != 0 && pathFrom != dest {
+		path := []int{pathFrom}
+		for v := pathFrom; v != dest; v = r.Next[v] {
+			path = append(path, r.Next[v])
+		}
+		strs := make([]string, len(path))
+		for i, v := range path {
+			strs[i] = fmt.Sprint(v)
+		}
+		fmt.Fprintf(out, "path: %s (bottleneck %d)\n", strings.Join(strs, " -> "), r.Cap[pathFrom])
+	}
+	if verify {
+		if err := ppamcp.VerifyWidest(g, r); err != nil {
+			return fmt.Errorf("verification FAILED: %v", err)
+		}
+		fmt.Fprintln(out, "verification: OK (witness bottlenecks + no improving edge)")
+	}
+	return nil
+}
+
+// runAllPairs prints the full next-hop routing table (row = source,
+// column = destination) computed with one PPA solve per destination.
+func runAllPairs(out io.Writer, g *ppamcp.Graph, bits uint, workers int) error {
+	ap, err := ppamcp.SolveAllPairs(g, ppamcp.WithBits(bits), ppamcp.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	n := ap.N
+	fmt.Fprintf(out, "next-hop table for %d vertices ('.' = self, '-' = unreachable):\n     ", n)
+	for dst := 0; dst < n; dst++ {
+		fmt.Fprintf(out, "%4d", dst)
+	}
+	fmt.Fprintln(out)
+	for src := 0; src < n; src++ {
+		fmt.Fprintf(out, "  %2d ", src)
+		for dst := 0; dst < n; dst++ {
+			switch {
+			case src == dst:
+				fmt.Fprintf(out, "%4s", ".")
+			case ap.Next[src*n+dst] < 0:
+				fmt.Fprintf(out, "%4s", "-")
+			default:
+				fmt.Fprintf(out, "%4d", ap.Next[src*n+dst])
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "total cost over %d solves: %v (%d DP rounds)\n",
+		n, ap.Metrics, ap.Iterations)
+	return nil
+}

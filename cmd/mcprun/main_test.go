@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+	}
+	return sb.String()
+}
+
+func TestRunChainAllBackends(t *testing.T) {
+	for _, backend := range []string{"ppa", "gcn", "hypercube", "mesh", "bellman-ford", "dijkstra"} {
+		out := runOK(t, "-gen", "chain", "-n", "5", "-dest", "4", "-backend", backend, "-path", "0", "-verify")
+		if !strings.Contains(out, "path: 0 -> 1 -> 2 -> 3 -> 4") {
+			t.Errorf("%s: missing path line:\n%s", backend, out)
+		}
+		if !strings.Contains(out, "verification: OK") {
+			t.Errorf("%s: missing verification:\n%s", backend, out)
+		}
+	}
+}
+
+func TestRunQuietAndMetrics(t *testing.T) {
+	out := runOK(t, "-gen", "star", "-n", "6", "-dest", "0", "-quiet")
+	if strings.Contains(out, "vertex") {
+		t.Errorf("quiet mode printed the table:\n%s", out)
+	}
+	if !strings.Contains(out, "cost:") {
+		t.Errorf("missing cost line:\n%s", out)
+	}
+}
+
+func TestRunUnreachablePath(t *testing.T) {
+	out := runOK(t, "-gen", "chain", "-n", "4", "-dest", "0", "-path", "3", "-quiet")
+	if !strings.Contains(out, "cannot reach") {
+		t.Errorf("missing unreachable notice:\n%s", out)
+	}
+}
+
+func TestRunSequentialCostLine(t *testing.T) {
+	out := runOK(t, "-gen", "chain", "-n", "4", "-dest", "3", "-backend", "bf", "-quiet")
+	if !strings.Contains(out, "relaxations") {
+		t.Errorf("sequential cost line missing:\n%s", out)
+	}
+}
+
+func TestRunTree(t *testing.T) {
+	out := runOK(t, "-gen", "chain", "-n", "4", "-dest", "3", "-maxw", "1", "-tree")
+	if !strings.Contains(out, "3 (destination)") || !strings.Contains(out, "(cost 3)") {
+		t.Errorf("tree output:\n%s", out)
+	}
+	rev := runOK(t, "-gen", "chain", "-n", "4", "-dest", "0", "-tree")
+	if !strings.Contains(rev, "unreachable: [1 2 3]") {
+		t.Errorf("unreachable list:\n%s", rev)
+	}
+}
+
+func TestRunWidest(t *testing.T) {
+	out := runOK(t, "-gen", "chain", "-n", "4", "-dest", "3", "-widest", "-path", "0", "-verify")
+	for _, want := range []string{"widest paths to 3", "unbounded", "bottleneck", "verification: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Unreachable marker.
+	rev := runOK(t, "-gen", "chain", "-n", "4", "-dest", "0", "-widest")
+	if !strings.Contains(rev, "none") {
+		t.Errorf("missing unreachable marker:\n%s", rev)
+	}
+}
+
+func TestRunAllPairs(t *testing.T) {
+	out := runOK(t, "-gen", "chain", "-n", "4", "-allpairs")
+	if !strings.Contains(out, "next-hop table") || !strings.Contains(out, "total cost over 4 solves") {
+		t.Errorf("allpairs output:\n%s", out)
+	}
+	// On a chain, 3 -> 0 is unreachable and shows as '-'.
+	if !strings.Contains(out, "-") {
+		t.Errorf("unreachable marker missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-backend", "quantum"},
+		{"-gen", "nosuch"},
+		{"-gen", "chain", "-n", "4", "-dest", "9"},
+		{"-graph", "/nonexistent"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

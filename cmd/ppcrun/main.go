@@ -1,0 +1,275 @@
+// Command ppcrun runs a Polymorphic Parallel C program on the PPA
+// simulator. Without -src it runs the paper's minimum_cost_path() listing
+// on the selected workload, binding W and d from the graph, and prints the
+// resulting SOW/PTN rows plus the machine cost.
+//
+// Examples:
+//
+//	ppcrun -gen connected -n 8 -dest 2
+//	ppcrun -show-source
+//	ppcrun -src prog.ppc -entry main -n 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"ppamcp/internal/cli"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+	"ppamcp/internal/ppclang"
+	"ppamcp/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ppcrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppcrun", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var w cli.Workload
+	w.Register(fs)
+	src := fs.String("src", "", "PPC source file (default: the paper's minimum_cost_path listing)")
+	entry := fs.String("entry", "", "entry function (default: minimum_cost_path for the paper program, else main)")
+	dest := fs.Int("dest", 0, "destination vertex bound to the program's 'd' global")
+	bits := fs.Uint("bits", 0, "machine word width h (0 = auto from the graph)")
+	side := fs.Int("side", 0, "machine side for -src programs that take no graph (0 = use -n)")
+	showSource := fs.Bool("show-source", false, "print the paper's PPC source and exit")
+	fig1 := fs.Bool("fig1", false, "render the paper's Figure 1: the switch configurations the MCP algorithm programs")
+	program := fs.String("program", "", "run a shipped demo program: sort|dt (random input from -n/-seed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *showSource {
+		fmt.Fprint(out, ppclang.PaperMCPSource)
+		return nil
+	}
+	if *fig1 {
+		renderFig1(out, w.N, dest)
+		return nil
+	}
+	if *program != "" {
+		return runShipped(out, *program, w.N, w.Seed, *bits)
+	}
+
+	if *src != "" {
+		return runCustom(out, *src, *entry, *side, &w, *bits)
+	}
+	return runPaper(out, &w, *dest, *bits)
+}
+
+// runShipped runs one of the shipped demo programs on generated input.
+func runShipped(out io.Writer, name string, n int, seed int64, bits uint) error {
+	if n < 1 {
+		n = 6
+	}
+	h := bits
+	if h == 0 {
+		h = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := ppa.New(n, h)
+	switch name {
+	case "sort":
+		prog, err := ppclang.Compile(ppclang.SortRowsSource)
+		if err != nil {
+			return err
+		}
+		in, err := ppclang.NewInterp(prog, par.New(m), ppclang.WithOutput(out))
+		if err != nil {
+			return err
+		}
+		data := make([]ppa.Word, n*n)
+		for i := range data {
+			data[i] = ppa.Word(rng.Int63n(100))
+		}
+		if err := in.SetParallelInt("V", data); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "input:\n%s\n", viz.RenderWordGrid(n, data, m.Inf()))
+		if _, err := in.Call("sort_rows"); err != nil {
+			return err
+		}
+		sorted, err := in.GetParallelInt("V")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rows sorted:\n%s\n", viz.RenderWordGrid(n, sorted, m.Inf()))
+	case "dt":
+		prog, err := ppclang.Compile(ppclang.DistanceTransformSource)
+		if err != nil {
+			return err
+		}
+		in, err := ppclang.NewInterp(prog, par.New(m), ppclang.WithOutput(out))
+		if err != nil {
+			return err
+		}
+		fg := make([]bool, n*n)
+		fg[rng.Intn(n*n)] = true
+		for i := range fg {
+			if rng.Float64() < 0.1 {
+				fg[i] = true
+			}
+		}
+		if err := in.SetParallelLogical("FG", fg); err != nil {
+			return err
+		}
+		if _, err := in.Call("distance_transform"); err != nil {
+			return err
+		}
+		dist, err := in.GetParallelInt("DIST")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "city-block distance field (inf = no foreground):\n%s\n",
+			viz.RenderWordGrid(n, dist, m.Inf()))
+	default:
+		return fmt.Errorf("unknown -program %q (want sort or dt)", name)
+	}
+	fmt.Fprintf(out, "machine cost: %v\n", m.Metrics())
+	return nil
+}
+
+// renderFig1 draws the three bus/switch configurations the MCP algorithm
+// programs on an n x n array for destination d — the functional content
+// of the paper's Figure 1.
+func renderFig1(out io.Writer, nFlag int, destFlag *int) {
+	n := nFlag
+	if n < 2 {
+		n = 4
+	}
+	d := 0
+	if destFlag != nil && *destFlag >= 0 && *destFlag < n {
+		d = *destFlag
+	}
+	size := n * n
+	fmt.Fprintf(out, "The three switch configurations of one MCP round (n=%d, d=%d):\n\n", n, d)
+
+	rowD := make([]bool, size)
+	for c := 0; c < n; c++ {
+		rowD[d*n+c] = true
+	}
+	fmt.Fprintf(out, "1) statement 10 — broadcast SOW from row %d down every column:\n%s\n",
+		d, viz.RenderSwitches(n, rowD, ppa.South))
+
+	heads := make([]bool, size)
+	for r := 0; r < n; r++ {
+		heads[r*n+n-1] = true
+	}
+	fmt.Fprintf(out, "2) statements 11-12 — min()/selected_min() clusters: whole rows headed at column %d:\n%s\n",
+		n-1, viz.RenderSwitches(n, heads, ppa.West))
+
+	diag := make([]bool, size)
+	for i := 0; i < n; i++ {
+		diag[i*n+i] = true
+	}
+	fmt.Fprintf(out, "3) statements 16-18 — fold the row minima back through the diagonal:\n%s",
+		viz.RenderSwitches(n, diag, ppa.South))
+}
+
+// runPaper executes the paper's program on a workload graph.
+func runPaper(out io.Writer, w *cli.Workload, dest int, bits uint) error {
+	g, err := w.Build()
+	if err != nil {
+		return err
+	}
+	if dest < 0 || dest >= g.N {
+		return fmt.Errorf("destination %d out of range [0,%d)", dest, g.N)
+	}
+	h := bits
+	if h == 0 {
+		h = g.BitsNeeded()
+	}
+	prog, err := ppclang.Compile(ppclang.PaperMCPSource)
+	if err != nil {
+		return err
+	}
+	m := ppa.New(g.N, h)
+	arr := par.New(m)
+	in, err := ppclang.NewInterp(prog, arr, ppclang.WithOutput(out))
+	if err != nil {
+		return err
+	}
+	n := g.N
+	inf := m.Inf()
+	wm := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				wm[i*n+j] = 0
+			case wt == graph.NoEdge:
+				wm[i*n+j] = inf
+			default:
+				wm[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+	if err := in.SetParallelInt("W", wm); err != nil {
+		return err
+	}
+	if err := in.SetInt("d", int64(dest)); err != nil {
+		return err
+	}
+	if _, err := in.Call("minimum_cost_path"); err != nil {
+		return err
+	}
+	sow, err := in.GetParallelInt("SOW")
+	if err != nil {
+		return err
+	}
+	ptn, err := in.GetParallelInt("PTN")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "paper program on %d-vertex graph, dest=%d, h=%d\n\n", n, dest, h)
+	fmt.Fprintf(out, "SOW (row %d holds the path costs):\n%s\n", dest, viz.RenderWordGrid(n, sow, inf))
+	fmt.Fprintf(out, "PTN (row %d holds the next-vertex pointers):\n%s\n", dest, viz.RenderWordGrid(n, ptn, inf))
+	fmt.Fprintf(out, "machine cost: %v\n", m.Metrics())
+	return nil
+}
+
+// runCustom compiles and runs an arbitrary PPC source file.
+func runCustom(out io.Writer, path, entry string, side int, w *cli.Workload, bits uint) error {
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := ppclang.Compile(string(srcBytes))
+	if err != nil {
+		return err
+	}
+	if err := ppclang.Check(prog); err != nil {
+		return fmt.Errorf("static check failed:\n%w", err)
+	}
+	n := side
+	if n <= 0 {
+		n = w.N
+	}
+	h := bits
+	if h == 0 {
+		h = 16
+	}
+	m := ppa.New(n, h)
+	in, err := ppclang.NewInterp(prog, par.New(m), ppclang.WithOutput(out))
+	if err != nil {
+		return err
+	}
+	if entry == "" {
+		entry = "main"
+	}
+	if _, err := in.Call(entry); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "machine cost: %v\n", m.Metrics())
+	return nil
+}

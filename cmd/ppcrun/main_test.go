@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+	}
+	return sb.String()
+}
+
+func TestShowSource(t *testing.T) {
+	out := runOK(t, "-show-source")
+	if !strings.Contains(out, "minimum_cost_path") || !strings.Contains(out, "selected_min") {
+		t.Errorf("source missing:\n%s", out)
+	}
+}
+
+func TestFig1Rendering(t *testing.T) {
+	out := runOK(t, "-fig1", "-n", "4", "-dest", "1")
+	for _, want := range []string{"statement 10", "min()/selected_min()", "diagonal", "[O]", "South", "West"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Tiny -n falls back to a drawable default.
+	if out := runOK(t, "-fig1", "-n", "1"); !strings.Contains(out, "n=4") {
+		t.Errorf("fallback side missing:\n%s", out)
+	}
+}
+
+func TestRunPaperProgram(t *testing.T) {
+	out := runOK(t, "-gen", "chain", "-n", "4", "-dest", "3", "-maxw", "2")
+	for _, want := range []string{"SOW", "PTN", "machine cost", "paper program on 4-vertex graph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Chain 0->1->2->3 weight 2: SOW row 3 = 6 4 2 0.
+	if !strings.Contains(out, "6   4   2   0") {
+		t.Errorf("SOW row missing:\n%s", out)
+	}
+}
+
+func TestRunCustomSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hello.ppc")
+	src := `
+parallel int V;
+void main() {
+	V = ROW;
+	print(max(V, SOUTH, ROW == 0));
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-src", path, "-side", "3")
+	if !strings.Contains(out, "2 2 2") {
+		t.Errorf("max output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "machine cost") {
+		t.Errorf("cost line missing:\n%s", out)
+	}
+}
+
+func TestRunCustomEntry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.ppc")
+	if err := os.WriteFile(path, []byte("void go_here() { print(7); }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-src", path, "-entry", "go_here", "-n", "2")
+	if !strings.Contains(out, "7") {
+		t.Errorf("entry output missing:\n%s", out)
+	}
+}
+
+func TestRunShippedPrograms(t *testing.T) {
+	sorted := runOK(t, "-program", "sort", "-n", "4", "-seed", "3")
+	if !strings.Contains(sorted, "rows sorted") || !strings.Contains(sorted, "machine cost") {
+		t.Errorf("sort output:\n%s", sorted)
+	}
+	dtOut := runOK(t, "-program", "dt", "-n", "5")
+	if !strings.Contains(dtOut, "distance field") {
+		t.Errorf("dt output:\n%s", dtOut)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-program", "nosuch"}, &sb); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	badSyntax := filepath.Join(dir, "bad.ppc")
+	os.WriteFile(badSyntax, []byte("int x"), 0o644)
+	cases := [][]string{
+		{"-gen", "nosuch"},
+		{"-gen", "chain", "-n", "4", "-dest", "9"},
+		{"-src", "/nonexistent.ppc"},
+		{"-src", badSyntax},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+	// Custom source without a main.
+	noMain := filepath.Join(dir, "nomain.ppc")
+	os.WriteFile(noMain, []byte("void other() { }"), 0o644)
+	var sb strings.Builder
+	if err := run([]string{"-src", noMain, "-n", "2"}, &sb); err == nil {
+		t.Error("missing main accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package ppamcp_test
+
+import (
+	"fmt"
+
+	"ppamcp"
+)
+
+// The five-line tour: build a graph, solve to a destination on the
+// simulated PPA, read a path back.
+func ExampleSolve() {
+	g := ppamcp.NewGraph(4)
+	g.SetEdge(0, 1, 2)
+	g.SetEdge(1, 3, 2)
+	g.SetEdge(0, 3, 9)
+
+	res, err := ppamcp.Solve(g, 3)
+	if err != nil {
+		panic(err)
+	}
+	path, _ := res.PathFrom(0)
+	fmt.Println(res.Dist[0], path, res.Iterations)
+	// Output: 4 [0 1 3] 2
+}
+
+// Backends are interchangeable: same DP, same answers, different cost
+// profiles.
+func ExampleSolve_backends() {
+	g := ppamcp.GenChain(5, 2)
+	for _, b := range []ppamcp.Backend{ppamcp.PPA, ppamcp.Mesh, ppamcp.Hypercube} {
+		res, err := ppamcp.Solve(g, 4, ppamcp.WithBackend(b))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(b, res.Dist[0])
+	}
+	// Output:
+	// ppa 8
+	// mesh 8
+	// hypercube 8
+}
+
+// Verify certifies optimality without trusting any solver.
+func ExampleVerify() {
+	g := ppamcp.GenChain(4, 1)
+	res, _ := ppamcp.Solve(g, 3)
+	fmt.Println(ppamcp.Verify(g, res))
+	// Output: <nil>
+}
+
+// All-pairs routing tables come from n single-destination solves.
+func ExampleSolveAllPairs() {
+	g := ppamcp.NewGraph(3)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 2, 1)
+	g.SetEdge(0, 2, 5)
+
+	ap, err := ppamcp.SolveAllPairs(g)
+	if err != nil {
+		panic(err)
+	}
+	path, _ := ap.Path(0, 2)
+	fmt.Println(ap.Dist[0*3+2], path)
+	// Output: 2 [0 1 2]
+}
+
+// The single-source orientation uses the transpose trick.
+func ExampleSolveFromSource() {
+	g := ppamcp.GenChain(4, 3)
+	res, err := ppamcp.SolveFromSource(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	path, _ := res.PathTo(3)
+	fmt.Println(res.Dist[3], path)
+	// Output: 9 [0 1 2 3]
+}
+
+// Widest paths: the (max, min) dual for capacity routing.
+func ExampleSolveWidest() {
+	g := ppamcp.NewGraph(3)
+	g.SetEdge(0, 2, 2) // narrow direct link
+	g.SetEdge(0, 1, 9)
+	g.SetEdge(1, 2, 8) // wide detour
+
+	r, _, err := ppamcp.SolveWidest(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Cap[0], r.Next[0])
+	// Output: 8 1
+}
+
+// A Session amortizes machine setup across many solves on one graph.
+func ExampleNewSession() {
+	g := ppamcp.GenChain(5, 1)
+	s, err := ppamcp.NewSession(g)
+	if err != nil {
+		panic(err)
+	}
+	for _, dest := range []int{4, 2} {
+		res, err := s.Solve(dest)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(dest, res.Dist[0])
+	}
+	// Output:
+	// 4 4
+	// 2 2
+}
+
+// Min-plus matrix squaring answers all pairs on the shift fabric.
+func ExampleSolveAllPairsSquaring() {
+	g := ppamcp.GenChain(5, 1)
+	sq, err := ppamcp.SolveAllPairsSquaring(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sq.Dist[0*5+4], sq.Squarings)
+	// Output: 4 3
+}

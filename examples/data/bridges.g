@@ -1,0 +1,23 @@
+# A toy river-crossing network: vertices 0-3 on the west bank,
+# 4-7 on the east bank, two bridges (1->5 and 3->6) and local roads.
+n 8
+e 0 1 2
+e 1 0 2
+e 1 2 3
+e 2 1 3
+e 2 3 1
+e 3 2 1
+e 0 3 5
+e 3 0 5
+e 1 5 4
+e 5 1 4
+e 3 6 2
+e 6 3 2
+e 4 5 1
+e 5 4 1
+e 5 6 3
+e 6 5 3
+e 6 7 2
+e 7 6 2
+e 4 7 6
+e 7 4 6

@@ -1,0 +1,3 @@
+module ppamcp
+
+go 1.22

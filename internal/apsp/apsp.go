@@ -1,0 +1,285 @@
+// Package apsp solves the all-pairs minimum cost path problem on the PPA
+// with the *other* classic technique for this machine class: repeated
+// squaring of the weight matrix under the (min, +) semiring, each product
+// computed with Cannon's algorithm on the torus (the wrap-around links the
+// PPA inherits from the Polymorphic Torus are exactly what Cannon needs).
+//
+// This is deliberately beyond the paper, as a measured comparison point:
+// the paper's dynamic program answers one destination in Θ(p·h) bus
+// cycles, so all pairs cost Θ(n·p·h); matrix squaring answers all pairs
+// at once in Θ(n·log p) shift steps (with O(n^2) words of PE state per
+// step instead of one row). Experiment E8 puts the two strategies side by
+// side.
+package apsp
+
+import (
+	"fmt"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// Options tunes Solve.
+type Options struct {
+	// Bits is the machine word width h (0 = auto, graph.BitsNeeded).
+	Bits uint
+	// Workers fans the simulator's ring operations out over goroutines.
+	Workers int
+}
+
+// Result is the all-pairs distance matrix plus cost accounting.
+type Result struct {
+	N int
+	// Dist is row-major: Dist[i*N+j] is the MCP cost i -> j (graph.NoEdge
+	// if unreachable). This method does not produce next-hop pointers;
+	// use core.SolveAllPairs when PTN matrices are needed.
+	Dist []int64
+	// Squarings is the number of min-plus squarings executed, including
+	// the one that detects the fixed point: ceil(log2 p) + 1 for diameter
+	// p >= 2.
+	Squarings int
+	Metrics   ppa.Metrics
+	Bits      uint
+}
+
+// Solve computes all-pairs distances by min-plus matrix squaring.
+func Solve(g *graph.Graph, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	h := opt.Bits
+	if h == 0 {
+		h = g.BitsNeeded()
+	}
+	if h > ppa.MaxBits {
+		return nil, fmt.Errorf("apsp: word width %d exceeds %d bits", h, ppa.MaxBits)
+	}
+	n := g.N
+	inf := ppa.Infinity(h)
+	var mopts []ppa.Option
+	if opt.Workers > 1 {
+		mopts = append(mopts, ppa.WithWorkers(opt.Workers))
+	}
+	m := ppa.New(n, h, mopts...)
+	a := par.New(m)
+
+	w := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				w[i*n+j] = 0
+			case wt == graph.NoEdge:
+				w[i*n+j] = inf
+			case n > 1 && wt > (int64(inf)-1)/int64(n-1):
+				return nil, fmt.Errorf(
+					"apsp: %d-bit words cannot distinguish worst-case path cost (%d * %d) from MAXINT",
+					h, n-1, wt)
+			default:
+				w[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+	dist := a.FromSlice(w)
+
+	// D covers paths of <= 2^t edges after t squarings; stop when D⊗D = D.
+	squarings := 0
+	for {
+		squarings++
+		if squarings > n+2 { // log2(p)+1 <= log2(n)+1 << n+2
+			return nil, fmt.Errorf("apsp: squaring did not reach a fixed point")
+		}
+		next := minPlusProduct(a, dist, dist)
+		changed := next.Ne(dist)
+		dist = next
+		if a.None(changed) {
+			break
+		}
+	}
+
+	res := &Result{
+		N:         n,
+		Dist:      make([]int64, n*n),
+		Squarings: squarings,
+		Metrics:   m.Metrics(),
+		Bits:      h,
+	}
+	for i, v := range dist.Slice() {
+		if v >= inf {
+			res.Dist[i] = graph.NoEdge
+		} else {
+			res.Dist[i] = int64(v)
+		}
+	}
+	return res, nil
+}
+
+// SolveWidest computes the all-pairs widest-path (maximum-bottleneck)
+// matrix by repeated squaring under the (max, min) semiring — the same
+// Cannon machinery as Solve with the two lattice operations swapped.
+// Cap[i*n+j] is the best bottleneck from i to j (0 if unreachable,
+// graph.Unbounded on the diagonal).
+func SolveWidest(g *graph.Graph, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	h := opt.Bits
+	if h == 0 {
+		h = 1
+		for int64(1)<<h-1 <= g.MaxWeight() {
+			h++
+		}
+	}
+	if h > ppa.MaxBits {
+		return nil, fmt.Errorf("apsp: word width %d exceeds %d bits", h, ppa.MaxBits)
+	}
+	n := g.N
+	inf := ppa.Infinity(h)
+	var mopts []ppa.Option
+	if opt.Workers > 1 {
+		mopts = append(mopts, ppa.WithWorkers(opt.Workers))
+	}
+	m := ppa.New(n, h, mopts...)
+	a := par.New(m)
+
+	w := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				w[i*n+j] = inf // unbounded self-capacity
+			case wt == graph.NoEdge:
+				w[i*n+j] = 0
+			case wt >= int64(inf):
+				return nil, fmt.Errorf("apsp: capacity %d indistinguishable from unbounded on a %d-bit machine", wt, h)
+			default:
+				w[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+	cap := a.FromSlice(w)
+	squarings := 0
+	for {
+		squarings++
+		if squarings > n+2 {
+			return nil, fmt.Errorf("apsp: widest squaring did not reach a fixed point")
+		}
+		next := maxMinProduct(a, cap, cap)
+		changed := next.Ne(cap)
+		cap = next
+		if a.None(changed) {
+			break
+		}
+	}
+	res := &Result{
+		N:         n,
+		Dist:      make([]int64, n*n),
+		Squarings: squarings,
+		Metrics:   m.Metrics(),
+		Bits:      h,
+	}
+	for i, v := range cap.Slice() {
+		switch {
+		case i/n == i%n:
+			res.Dist[i] = graph.Unbounded
+		case v >= inf:
+			res.Dist[i] = graph.Unbounded // off-diagonal unbounded cannot occur with finite edges
+		default:
+			res.Dist[i] = int64(v)
+		}
+	}
+	return res, nil
+}
+
+// maxMinProduct is Cannon's algorithm under the (max, min) semiring:
+// C[i][j] = max_k min(A[i][k], B[k][j]). Same cost as minPlusProduct.
+func maxMinProduct(a *par.Array, A, B *par.Var) *par.Var {
+	n := a.N()
+	sa := skewRows(a, A, ppa.West)
+	sb := skewCols(a, B, ppa.North)
+	c := a.Zeros()
+	for k := 0; k < n; k++ {
+		c = c.MaxWith(sa.MinWith(sb))
+		if k+1 < n {
+			sa = a.Shift(sa, ppa.West)
+			sb = a.Shift(sb, ppa.North)
+		}
+	}
+	return c
+}
+
+// TransitiveClosure computes the reachability matrix of g on the PPA
+// (reach[i*n+j] reports whether a directed path i -> j exists; the
+// diagonal is true) by running the min-plus squaring solver on the
+// unit-weight skeleton of g — the Wang & Chen problem the paper cites as
+// reference [6], answered with the machinery already in this package.
+func TransitiveClosure(g *graph.Graph, opt Options) ([]bool, *Result, error) {
+	n := g.N
+	unit := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && g.HasEdge(i, j) {
+				unit.SetEdge(i, j, 1)
+			}
+		}
+	}
+	r, err := Solve(unit, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	reach := make([]bool, n*n)
+	for i := range reach {
+		reach[i] = r.Dist[i] != graph.NoEdge
+	}
+	return reach, r, nil
+}
+
+// skewRows shifts row i of x by i positions in direction d (West for
+// Cannon's A-alignment), using n-1 masked global shifts: at step k every
+// row with index >= k takes one more unit shift, so row i accumulates
+// exactly i steps. Returns a fresh variable.
+func skewRows(a *par.Array, x *par.Var, d ppa.Direction) *par.Var {
+	n := a.N()
+	moving := x.Copy()
+	for k := 1; k < n; k++ {
+		shifted := a.Shift(moving, d)
+		a.Where(a.Row().LtConst(ppa.Word(k)).Not(), func() {
+			moving.Assign(shifted)
+		})
+	}
+	return moving
+}
+
+// skewCols shifts column j of x by j positions in direction d (North for
+// Cannon's B-alignment).
+func skewCols(a *par.Array, x *par.Var, d ppa.Direction) *par.Var {
+	n := a.N()
+	moving := x.Copy()
+	for k := 1; k < n; k++ {
+		shifted := a.Shift(moving, d)
+		a.Where(a.Col().LtConst(ppa.Word(k)).Not(), func() {
+			moving.Assign(shifted)
+		})
+	}
+	return moving
+}
+
+// minPlusProduct computes C[i][j] = min_k (A[i][k] + B[k][j]) with
+// Cannon's algorithm: skew A by rows (West) and B by columns (North),
+// then n rounds of local min-accumulate and unit shifts. Cost: 2(n-1)
+// alignment shifts + 2n rotation shifts + n local add/min steps.
+func minPlusProduct(a *par.Array, A, B *par.Var) *par.Var {
+	n := a.N()
+	sa := skewRows(a, A, ppa.West)
+	sb := skewCols(a, B, ppa.North)
+	c := a.Inf()
+	for k := 0; k < n; k++ {
+		c = c.MinWith(sa.AddSat(sb))
+		if k+1 < n {
+			sa = a.Shift(sa, ppa.West)
+			sb = a.Shift(sb, ppa.North)
+		}
+	}
+	return c
+}

@@ -1,0 +1,284 @@
+package apsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+func TestMinPlusProductAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(9)
+		const h = 12
+		inf := ppa.Infinity(h)
+		m := ppa.New(n, h)
+		a := par.New(m)
+		av := make([]ppa.Word, n*n)
+		bv := make([]ppa.Word, n*n)
+		for i := range av {
+			av[i] = ppa.Word(rng.Int63n(int64(inf) + 1))
+			bv[i] = ppa.Word(rng.Int63n(int64(inf) + 1))
+		}
+		got := minPlusProduct(a, a.FromSlice(av), a.FromSlice(bv)).Slice()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := inf
+				for k := 0; k < n; k++ {
+					if c := ppa.SatAdd(av[i*n+k], bv[k*n+j], h); c < want {
+						want = c
+					}
+				}
+				if got[i*n+j] != want {
+					t.Fatalf("trial %d n=%d: C[%d][%d] = %d, want %d",
+						trial, n, i, j, got[i*n+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(13)
+		g := graph.GenRandom(n, 0.1+rng.Float64()*0.5, 1+int64(rng.Intn(12)), rng.Int63())
+		r, err := Solve(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw := graph.FloydWarshall(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					if r.Dist[i*n+j] != 0 {
+						t.Fatalf("diag (%d,%d) = %d", i, j, r.Dist[i*n+j])
+					}
+					continue
+				}
+				if r.Dist[i*n+j] != fw[i*n+j] {
+					t.Fatalf("trial %d n=%d (%d->%d): squaring %d, FW %d",
+						trial, n, i, j, r.Dist[i*n+j], fw[i*n+j])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveSquaringCount(t *testing.T) {
+	// Chain of 9 vertices: diameter p = 8; squarings cover 2^t edges, so 3
+	// productive squarings (2->4->8... D0 already covers 1 edge, after t
+	// squarings 2^t) reach p=8, and one more detects the fixed point.
+	g := graph.GenChain(9, 1)
+	r, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Squarings != 4 {
+		t.Errorf("Squarings = %d, want 4 (ceil(log2 8) + 1)", r.Squarings)
+	}
+	// Star: diameter 1, D0 is already the answer: 1 detecting squaring.
+	s, err := Solve(graph.GenStar(6, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Squarings != 1 {
+		t.Errorf("star Squarings = %d, want 1", s.Squarings)
+	}
+}
+
+func TestSolveUsesOnlyShiftFabric(t *testing.T) {
+	g := graph.GenRandomConnected(8, 0.3, 9, 1)
+	r, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.BusCycles != 0 || r.Metrics.WiredOrCycles != 0 || r.Metrics.RouterCycles != 0 {
+		t.Errorf("squaring used the bus fabric: %v", r.Metrics)
+	}
+	if r.Metrics.ShiftSteps == 0 || r.Metrics.GlobalOrOps != int64(r.Squarings) {
+		t.Errorf("cost profile wrong: %v (squarings %d)", r.Metrics, r.Squarings)
+	}
+}
+
+func TestSolveShiftModel(t *testing.T) {
+	// Per product: 2(n-1) alignment + 2(n-1) rotation shifts.
+	g := graph.GenChain(6, 1)
+	r, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProduct := int64(4 * (6 - 1))
+	if want := perProduct * int64(r.Squarings); r.Metrics.ShiftSteps != want {
+		t.Errorf("ShiftSteps = %d, want %d (%d squarings)", r.Metrics.ShiftSteps, want, r.Squarings)
+	}
+}
+
+func TestSolveAgreesWithPerDestinationSolves(t *testing.T) {
+	g := graph.GenRandomConnected(10, 0.25, 9, 77)
+	sq, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := core.SolveAllPairs(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j && sq.Dist[i*10+j] != ap.Dist[i*10+j] {
+				t.Fatalf("(%d->%d): squaring %d, per-dest %d",
+					i, j, sq.Dist[i*10+j], ap.Dist[i*10+j])
+			}
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, err := Solve(bad, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	if _, err := Solve(graph.GenChain(4, 1), Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+	if _, err := Solve(graph.GenChain(5, 60), Options{Bits: 7}); err == nil {
+		t.Error("saturating configuration accepted")
+	}
+}
+
+func TestSolveWorkersDeterminism(t *testing.T) {
+	g := graph.GenRandomConnected(9, 0.3, 9, 5)
+	a, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Dist {
+		if a.Dist[i] != b.Dist[i] {
+			t.Fatal("worker pool changed distances")
+		}
+	}
+	if a.Metrics != b.Metrics {
+		t.Error("worker pool changed metrics")
+	}
+}
+
+func TestSolveWidestMatchesHostReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		g := graph.GenRandom(n, 0.15+rng.Float64()*0.5, 1+int64(rng.Intn(30)), rng.Int63())
+		r, err := SolveWidest(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dest := 0; dest < n; dest++ {
+			want, err := graph.BellmanFordWidest(g, dest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if i == dest {
+					if r.Dist[i*n+dest] != graph.Unbounded {
+						t.Fatalf("trial %d: diagonal (%d,%d) = %d", trial, i, dest, r.Dist[i*n+dest])
+					}
+					continue
+				}
+				if r.Dist[i*n+dest] != want.Cap[i] {
+					t.Fatalf("trial %d (%d->%d): squaring %d, reference %d",
+						trial, i, dest, r.Dist[i*n+dest], want.Cap[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveWidestErrors(t *testing.T) {
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, err := SolveWidest(bad, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	heavy := graph.New(2)
+	heavy.SetEdge(0, 1, 255)
+	if _, err := SolveWidest(heavy, Options{Bits: 8}); err == nil {
+		t.Error("MAXINT-valued capacity accepted")
+	}
+	if _, err := SolveWidest(graph.GenChain(3, 1), Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+}
+
+// reachRef computes reachability by DFS.
+func reachRef(g *graph.Graph) []bool {
+	n := g.N
+	out := make([]bool, n*n)
+	for s := 0; s < n; s++ {
+		stack := []int{s}
+		out[s*n+s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := 0; v < n; v++ {
+				if g.HasEdge(u, v) && !out[s*n+v] {
+					out[s*n+v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestTransitiveClosureMatchesDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(11)
+		g := graph.GenRandom(n, 0.05+rng.Float64()*0.4, 1+int64(rng.Intn(50)), rng.Int63())
+		reach, r, err := TransitiveClosure(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reachRef(g)
+		for i := range want {
+			if reach[i] != want[i] {
+				t.Fatalf("trial %d index %d: PPA %v, DFS %v", trial, i, reach[i], want[i])
+			}
+		}
+		if r.Metrics.ShiftSteps == 0 {
+			t.Error("no machine work recorded")
+		}
+	}
+}
+
+func TestTransitiveClosureIgnoresWeights(t *testing.T) {
+	// Huge weights must not affect reachability (the unit skeleton is
+	// solved, so no Bits/saturation concerns arise from the original
+	// weights).
+	g := graph.New(3)
+	g.SetEdge(0, 1, 1<<40)
+	g.SetEdge(1, 2, 1<<40)
+	reach, _, err := TransitiveClosure(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reach[0*3+2] || reach[2*3+0] {
+		t.Errorf("reachability wrong: %v", reach)
+	}
+}
+
+func TestSolveSingleVertex(t *testing.T) {
+	r, err := Solve(graph.New(1), Options{})
+	if err != nil || r.Dist[0] != 0 {
+		t.Errorf("trivial: %v %v", r, err)
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenTables pins the exact output of every experiment table
+// against testdata/benchtab.golden. All workloads are seeded and the
+// simulators are deterministic, so any diff means the cycle accounting
+// (or a workload) changed — which must be a conscious decision:
+// regenerate with
+//
+//	go run ./cmd/benchtab > internal/bench/testdata/benchtab.golden
+//
+// and update EXPERIMENTS.md to match.
+func TestGoldenTables(t *testing.T) {
+	want, err := os.ReadFile("testdata/benchtab.golden")
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var sb strings.Builder
+	for _, tb := range RunAll() {
+		sb.WriteString(tb.Format())
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("experiment tables drifted from golden at line %d:\n got: %q\nwant: %q\n(see comment for regeneration)", i+1, g, w)
+		}
+	}
+	t.Fatal("experiment tables drifted from golden (length mismatch)")
+}

@@ -1,0 +1,93 @@
+// Package cli holds the workload-selection flags shared by the command
+// line tools (cmd/mcprun, cmd/ppcrun): every tool accepts either a graph
+// file or a named generator with its parameters.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppamcp/internal/graph"
+)
+
+// Workload is the parsed graph-selection configuration.
+type Workload struct {
+	File    string
+	Gen     string
+	N       int
+	Density float64
+	MaxW    int64
+	Seed    int64
+	P       int
+	Rows    int
+	Cols    int
+}
+
+// Register installs the workload flags on fs.
+func (w *Workload) Register(fs *flag.FlagSet) {
+	fs.StringVar(&w.File, "graph", "", "graph file (format: 'n <count>' header, 'e <from> <to> <w>' lines)")
+	fs.StringVar(&w.Gen, "gen", "random", "generator when no -graph file: random|connected|chain|ring|star|diameter|grid|complete|smallworld|scalefree")
+	fs.IntVar(&w.N, "n", 8, "vertex count for generators")
+	fs.Float64Var(&w.Density, "density", 0.3, "edge density for random generators")
+	fs.Int64Var(&w.MaxW, "maxw", 9, "maximum edge weight for generators")
+	fs.Int64Var(&w.Seed, "seed", 1, "generator seed")
+	fs.IntVar(&w.P, "p", 0, "exact MCP diameter for -gen diameter (default n-1)")
+	fs.IntVar(&w.Rows, "rows", 0, "grid rows for -gen grid (default sqrt-ish of n)")
+	fs.IntVar(&w.Cols, "cols", 0, "grid cols for -gen grid")
+}
+
+// Build loads or generates the graph.
+func (w *Workload) Build() (*graph.Graph, error) {
+	if w.File != "" {
+		f, err := os.Open(w.File)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Parse(f)
+	}
+	switch w.Gen {
+	case "random":
+		return graph.GenRandom(w.N, w.Density, w.MaxW, w.Seed), nil
+	case "connected":
+		return graph.GenRandomConnected(w.N, w.Density, w.MaxW, w.Seed), nil
+	case "chain":
+		return graph.GenChain(w.N, w.MaxW), nil
+	case "ring":
+		return graph.GenRing(w.N, w.MaxW), nil
+	case "star":
+		return graph.GenStar(w.N, w.MaxW), nil
+	case "complete":
+		return graph.GenComplete(w.N, w.MaxW, w.Seed), nil
+	case "diameter":
+		p := w.P
+		if p <= 0 {
+			p = w.N - 1
+		}
+		return graph.GenDiameter(w.N, p), nil
+	case "smallworld":
+		k := 2
+		if 2*k >= w.N {
+			k = 1
+		}
+		return graph.GenSmallWorld(w.N, k, 0.2, w.MaxW, w.Seed), nil
+	case "scalefree":
+		m := 2
+		if w.N <= m {
+			m = 1
+		}
+		return graph.GenScaleFree(w.N, m, w.MaxW, w.Seed), nil
+	case "grid":
+		rows, cols := w.Rows, w.Cols
+		if rows <= 0 {
+			rows = 4
+		}
+		if cols <= 0 {
+			cols = rows
+		}
+		g, _ := graph.GenGrid(graph.GridSpec{Rows: rows, Cols: cols, MaxW: w.MaxW, Seed: w.Seed})
+		return g, nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", w.Gen)
+}

@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Workload {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var w Workload
+	w.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &w
+}
+
+func TestBuildGenerators(t *testing.T) {
+	cases := []struct {
+		args      []string
+		wantN     int
+		wantEdges int // -1 = don't check
+	}{
+		{[]string{"-gen", "chain", "-n", "5", "-maxw", "2"}, 5, 4},
+		{[]string{"-gen", "ring", "-n", "4"}, 4, 4},
+		{[]string{"-gen", "star", "-n", "6"}, 6, 5},
+		{[]string{"-gen", "complete", "-n", "4"}, 4, 12},
+		{[]string{"-gen", "random", "-n", "7", "-density", "0.5", "-seed", "3"}, 7, -1},
+		{[]string{"-gen", "connected", "-n", "7"}, 7, -1},
+		{[]string{"-gen", "diameter", "-n", "8", "-p", "3"}, 8, -1},
+		{[]string{"-gen", "diameter", "-n", "8"}, 8, -1}, // default p = n-1
+		{[]string{"-gen", "grid", "-rows", "3", "-cols", "4"}, 12, -1},
+		{[]string{"-gen", "grid"}, 16, -1}, // default 4x4
+		{[]string{"-gen", "smallworld", "-n", "12"}, 12, -1},
+		{[]string{"-gen", "smallworld", "-n", "4"}, 4, -1}, // k falls back to 1
+		{[]string{"-gen", "scalefree", "-n", "10"}, 10, -1},
+		{[]string{"-gen", "scalefree", "-n", "2"}, 2, -1}, // m falls back to 1
+	}
+	for _, c := range cases {
+		g, err := parse(t, c.args...).Build()
+		if err != nil {
+			t.Errorf("%v: %v", c.args, err)
+			continue
+		}
+		if g.N != c.wantN {
+			t.Errorf("%v: n = %d, want %d", c.args, g.N, c.wantN)
+		}
+		if c.wantEdges >= 0 && g.Edges() != c.wantEdges {
+			t.Errorf("%v: edges = %d, want %d", c.args, g.Edges(), c.wantEdges)
+		}
+	}
+}
+
+func TestBuildUnknownGenerator(t *testing.T) {
+	if _, err := parse(t, "-gen", "hypergraph").Build(); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestBuildFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("n 3\ne 0 1 5\ne 1 2 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := parse(t, "-graph", path).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.At(0, 1) != 5 || g.At(1, 2) != 7 {
+		t.Errorf("loaded graph wrong: %v", g)
+	}
+}
+
+func TestBuildFromMissingFile(t *testing.T) {
+	if _, err := parse(t, "-graph", "/nonexistent/g.txt").Build(); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildFromMalformedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parse(t, "-graph", path).Build(); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

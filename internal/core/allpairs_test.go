@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppamcp/internal/graph"
+)
+
+func TestSolveAllPairsMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(8)
+		g := graph.GenRandom(n, 0.3, 9, rng.Int63())
+		ap, err := SolveAllPairs(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw := graph.FloydWarshall(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if ap.Dist[i*n+j] != fw[i*n+j] {
+					t.Fatalf("trial %d (%d->%d): AP %d, FW %d",
+						trial, i, j, ap.Dist[i*n+j], fw[i*n+j])
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsPathReconstruction(t *testing.T) {
+	g := graph.GenRandomConnected(8, 0.3, 9, 12)
+	ap, err := SolveAllPairs(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			path, ok := ap.Path(i, j)
+			if !ok {
+				t.Fatalf("path %d->%d missing in connected graph", i, j)
+			}
+			cost, err := graph.PathCost(g, path)
+			if i == j {
+				if cost != 0 || len(path) != 1 {
+					t.Fatalf("self path wrong: %v", path)
+				}
+				continue
+			}
+			if err != nil || cost != ap.Dist[i*8+j] {
+				t.Fatalf("path %d->%d: cost %d err %v, want %d", i, j, cost, err, ap.Dist[i*8+j])
+			}
+		}
+	}
+	if _, ok := ap.Path(-1, 3); ok {
+		t.Error("out-of-range Path accepted")
+	}
+	if ap.Metrics.CommCycles() == 0 || ap.Iterations == 0 {
+		t.Error("no cost accumulated")
+	}
+}
+
+func TestAllPairsUnreachablePath(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	ap, err := SolveAllPairs(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ap.Path(3, 0); ok {
+		t.Error("backwards path exists on a chain")
+	}
+	if path, ok := ap.Path(0, 3); !ok || len(path) != 4 {
+		t.Errorf("forward chain path: %v %v", path, ok)
+	}
+}
+
+func TestAllPairsPropagatesErrors(t *testing.T) {
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, err := SolveAllPairs(bad, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestSolveFromSourceMatchesReversedBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(10)
+		g := graph.GenRandom(n, 0.35, 9, rng.Int63())
+		src := rng.Intn(n)
+		res, err := SolveFromSource(g, src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: Bellman-Ford on the transpose gives dist from src.
+		bf, err := graph.BellmanFord(g.Transpose(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if res.Dist[j] != bf.Dist[j] {
+				t.Fatalf("trial %d vertex %d: %d vs %d", trial, j, res.Dist[j], bf.Dist[j])
+			}
+			path, ok := res.PathTo(j)
+			if res.Dist[j] == graph.NoEdge {
+				if ok {
+					t.Fatalf("trial %d: path to unreachable %d", trial, j)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("trial %d: no path to reachable %d", trial, j)
+			}
+			if path[0] != src || path[len(path)-1] != j {
+				t.Fatalf("trial %d: path endpoints %v", trial, path)
+			}
+			cost, err := graph.PathCost(g, path)
+			if err != nil || cost != res.Dist[j] {
+				t.Fatalf("trial %d: witness path to %d costs %d (%v), want %d",
+					trial, j, cost, err, res.Dist[j])
+			}
+		}
+	}
+}
+
+func TestSolveFromSourceErrors(t *testing.T) {
+	g := graph.GenChain(3, 1)
+	if _, err := SolveFromSource(g, 5, Options{}); err == nil {
+		t.Error("bad source accepted")
+	}
+	r, err := SolveFromSource(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.PathTo(-2); ok {
+		t.Error("out-of-range PathTo accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// TestFaultInjectionStudy sweeps a stuck switch box over every PE of the
+// array (both polarities) and runs the MCP on the damaged machine. The
+// safety property: no silently-wrong answer survives — every run either
+//
+//  1. still produces the correct result (the fault was not load-bearing:
+//     e.g. stuck-open at a position that was Open anyway), or
+//  2. fails to converge (returns an error), or
+//  3. produces a corrupted result that graph.CheckResult REJECTS.
+//
+// The test also records that a healthy machine never trips any of those,
+// and that a meaningful fraction of faults do corrupt (the fault model is
+// not a no-op).
+func TestFaultInjectionStudy(t *testing.T) {
+	const n = 6
+	g := graph.GenRandomConnected(n, 0.35, 9, 13)
+	dest := 2
+	truth, err := graph.BellmanFord(g, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.BitsNeeded()
+
+	healthy, corruptedCaught, stillCorrect, diverged := 0, 0, 0, 0
+	for pe := 0; pe < n*n; pe++ {
+		for _, kind := range []ppa.FaultKind{ppa.StuckShort, ppa.StuckOpen} {
+			m := ppa.New(n, h)
+			m.InjectFault(pe, kind)
+			// A damaged controller loop may never see "no change": cap it.
+			res, err := SolveOn(m, g, dest, Options{MaxIterations: 3 * n})
+			switch {
+			case err != nil:
+				diverged++
+			case reflect.DeepEqual(res.Dist, truth.Dist):
+				stillCorrect++
+			default:
+				// Wrong distances MUST be rejected by the certifier.
+				if cerr := graph.CheckResult(g, &res.Result); cerr == nil {
+					t.Fatalf("fault %v at PE %d produced wrong distances that passed verification:\ngot  %v\ntrue %v",
+						kind, pe, res.Dist, truth.Dist)
+				}
+				corruptedCaught++
+			}
+		}
+	}
+	// Sanity on the study itself.
+	m := ppa.New(n, h)
+	res, err := SolveOn(m, g, dest, Options{})
+	if err != nil || !reflect.DeepEqual(res.Dist, truth.Dist) {
+		t.Fatalf("healthy machine wrong: %v %v", res, err)
+	}
+	healthy++
+	if corruptedCaught+diverged == 0 {
+		t.Error("no fault ever disturbed the computation; the fault model is a no-op")
+	}
+	if stillCorrect == 0 {
+		t.Error("every fault corrupted; expected some non-load-bearing positions")
+	}
+	t.Logf("fault sweep over %d injections: %d still correct, %d corrupted (all caught), %d diverged",
+		2*n*n, stillCorrect, corruptedCaught, diverged)
+}
+
+// TestSolveOnValidation covers the fabric-mismatch errors.
+func TestSolveOnValidation(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	if _, err := SolveOn(ppa.New(5, 8), g, 0, Options{}); err == nil {
+		t.Error("fabric/graph size mismatch accepted")
+	}
+	if _, err := SolveOn(ppa.New(4, 2), graph.GenChain(4, 1), 0, Options{}); err == nil {
+		t.Error("2-bit fabric accepted for 4 vertices (indices need 2 bits, costs need more)")
+	}
+	if _, err := SolveOn(ppa.New(4, 8), g, 9, Options{}); err == nil {
+		t.Error("bad dest accepted")
+	}
+	bad := graph.New(4)
+	bad.W[1] = -1
+	if _, err := SolveOn(ppa.New(4, 8), bad, 0, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+// TestObserverInstructionPattern pins the exact bus-transaction sequence
+// of one DP round, as seen by a machine observer: stmt-10 broadcast, two
+// bit-serial minima, two diagonal broadcasts, one global-OR.
+func TestObserverInstructionPattern(t *testing.T) {
+	g := graph.GenStar(5, 2) // converges in exactly 1 round
+	h := g.BitsNeeded()
+	m := ppa.New(5, h)
+	var ops []ppa.OpKind
+	m.SetObserver(func(e ppa.Event) { ops = append(ops, e.Op) })
+	if _, err := SolveOn(m, g, 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var want []ppa.OpKind
+	// Corrected init: two broadcasts.
+	want = append(want, ppa.OpBroadcast, ppa.OpBroadcast)
+	// One round: stmt-10 broadcast; min = h wired-OR + 2 broadcasts;
+	// selected_min likewise; two diagonal broadcasts; global-OR.
+	want = append(want, ppa.OpBroadcast)
+	for r := 0; r < 2; r++ {
+		for j := uint(0); j < h; j++ {
+			want = append(want, ppa.OpWiredOr)
+		}
+		want = append(want, ppa.OpBroadcast, ppa.OpBroadcast)
+	}
+	want = append(want, ppa.OpBroadcast, ppa.OpBroadcast, ppa.OpGlobalOr)
+	if !reflect.DeepEqual(ops, want) {
+		t.Errorf("op sequence:\ngot  %v\nwant %v", ops, want)
+	}
+}
+
+// TestFaultSweepRandomGraphs broadens the study across random workloads
+// with random fault sites.
+func TestFaultSweepRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(8)
+		g := graph.GenRandom(n, 0.4, 9, rng.Int63())
+		dest := rng.Intn(n)
+		truth, err := graph.BellmanFord(g, dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := ppa.New(n, g.BitsNeeded())
+		m.InjectFault(rng.Intn(n*n), ppa.FaultKind(rng.Intn(2)))
+		res, err := SolveOn(m, g, dest, Options{MaxIterations: 3 * n})
+		if err != nil {
+			continue // divergence is an acceptable fault outcome
+		}
+		if reflect.DeepEqual(res.Dist, truth.Dist) {
+			continue
+		}
+		if cerr := graph.CheckResult(g, &res.Result); cerr == nil {
+			t.Fatalf("trial %d: corrupted result passed verification", trial)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/graph"
+)
+
+// TestOptionMatrix runs the same problem through the cross product of
+// solver options — workers x bus model x physical side — and requires
+// identical Dist/Next/Iterations everywhere. This is the glue test that
+// keeps every variant semantically interchangeable.
+func TestOptionMatrix(t *testing.T) {
+	g := graph.GenRandomConnected(12, 0.3, 9, 33)
+	const dest = 5
+	base := mustSolve(t, g, dest, Options{})
+	for _, workers := range []int{1, 4} {
+		for _, switchOnly := range []bool{false, true} {
+			for _, phys := range []int{0, 6, 3} {
+				opt := Options{
+					Bits:          base.Bits,
+					Workers:       workers,
+					SwitchOnlyBus: switchOnly,
+					PhysicalSide:  phys,
+				}
+				r := mustSolve(t, g, dest, opt)
+				if !reflect.DeepEqual(r.Dist, base.Dist) ||
+					!reflect.DeepEqual(r.Next, base.Next) ||
+					r.Iterations != base.Iterations {
+					t.Fatalf("option combination %+v diverged", opt)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveLargeArray is the scale smoke test: a 128-vertex problem on a
+// 16384-PE simulated machine, still exact against Bellman-Ford.
+func TestSolveLargeArray(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-array stress test skipped with -short")
+	}
+	const n = 128
+	g := graph.GenRandomConnected(n, 0.05, 9, 128)
+	r := mustSolve(t, g, 17, Options{Workers: 4})
+	bf, err := graph.BellmanFord(g, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Dist, bf.Dist) || !reflect.DeepEqual(r.Next, bf.Next) {
+		t.Fatal("large-array solve diverged from Bellman-Ford")
+	}
+	if err := graph.CheckResult(g, &r.Result); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveWidestAndMCPShareIterationStructure: both DPs converge in the
+// same kind of round count (max path length of their respective optima),
+// measured rather than assumed.
+func TestSolveWidestAndMCPShareIterationStructure(t *testing.T) {
+	g := graph.GenChain(9, 3) // both problems need the full diameter
+	mcp := mustSolve(t, g, 8, Options{})
+	widest, _, err := SolveWidest(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcp.Iterations != widest.Iterations {
+		t.Errorf("chain iterations: MCP %d, widest %d (both should equal the diameter)",
+			mcp.Iterations, widest.Iterations)
+	}
+}

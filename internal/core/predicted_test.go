@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"ppamcp/internal/graph"
+)
+
+func TestPredictedCostDelegatesToModel(t *testing.T) {
+	for _, h := range []uint{4, 16, 32} {
+		for _, iters := range []int{1, 5, 31} {
+			for _, paperInit := range []bool{false, true} {
+				a := PredictedCost(99, h, iters, paperInit) // n is unused by the model
+				b := PredictedCostModel(h, iters, paperInit, false)
+				if a != b {
+					t.Errorf("h=%d iters=%d: PredictedCost %v != model %v", h, iters, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPredictedCostModelSwitchOnly(t *testing.T) {
+	// Switch-only: zero wired-OR; bus per iteration = two minima at 2h+2
+	// each plus the statement-10 broadcast and two diagonal broadcasts.
+	m := PredictedCostModel(8, 3, false, true)
+	if m.WiredOrCycles != 0 {
+		t.Errorf("switch-only model has wired-OR cycles: %v", m)
+	}
+	wantBus := int64(3)*(2*(2*8+2)+3) + 2
+	if m.BusCycles != wantBus {
+		t.Errorf("bus = %d, want %d", m.BusCycles, wantBus)
+	}
+	if m.GlobalOrOps != 3 {
+		t.Errorf("globalOR = %d, want 3", m.GlobalOrOps)
+	}
+}
+
+// TestPredictedCostModelMatchesMeasuredSwitchOnly closes the loop between
+// the analytical model and the simulator for the switch-only bus.
+func TestPredictedCostModelMatchesMeasuredSwitchOnly(t *testing.T) {
+	g := graph.GenDiameter(12, 5)
+	r := mustSolve(t, g, 0, Options{Bits: 10, SwitchOnlyBus: true})
+	want := PredictedCostModel(10, r.Iterations, false, true)
+	got := r.Metrics
+	if got.BusCycles != want.BusCycles || got.WiredOrCycles != want.WiredOrCycles ||
+		got.GlobalOrOps != want.GlobalOrOps {
+		t.Errorf("measured %v, model %v", got, want)
+	}
+}

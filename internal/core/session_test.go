@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// TestSessionMatchesOneShotSolves: a session reused across destinations
+// produces exactly what fresh per-destination solves produce, including
+// per-solve metric deltas.
+func TestSessionMatchesOneShotSolves(t *testing.T) {
+	g := graph.GenRandomConnected(10, 0.3, 9, 61)
+	s, err := NewSession(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dest := 0; dest < g.N; dest++ {
+		fromSession, err := s.Solve(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot := mustSolve(t, g, dest, Options{Bits: fromSession.Bits})
+		if !reflect.DeepEqual(fromSession.Dist, oneShot.Dist) ||
+			!reflect.DeepEqual(fromSession.Next, oneShot.Next) ||
+			fromSession.Iterations != oneShot.Iterations {
+			t.Fatalf("dest %d: session solve diverged", dest)
+		}
+		// Comm-cycle deltas are identical (instruction counts differ by
+		// the amortized setup).
+		sm, om := fromSession.Metrics, oneShot.Metrics
+		if sm.BusCycles != om.BusCycles || sm.WiredOrCycles != om.WiredOrCycles ||
+			sm.GlobalOrOps != om.GlobalOrOps {
+			t.Fatalf("dest %d: comm metrics differ: session %v vs one-shot %v", dest, sm, om)
+		}
+	}
+	// The session fabric accumulated all solves.
+	if s.Fabric().Metrics().BusCycles == 0 {
+		t.Error("session fabric recorded nothing")
+	}
+}
+
+func TestSessionSolveValidation(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	s, err := NewSession(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(-1); err == nil {
+		t.Error("negative dest accepted")
+	}
+	if _, err := s.Solve(4); err == nil {
+		t.Error("out-of-range dest accepted")
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, err := NewSession(bad, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	if _, err := NewSession(graph.GenChain(4, 1), Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+	if _, err := NewSession(graph.GenChain(10, 1), Options{Bits: 3}); err == nil {
+		t.Error("3-bit machine accepted for 10 vertices")
+	}
+	if _, err := NewSession(graph.GenChain(6, 1), Options{PhysicalSide: 4}); err == nil {
+		t.Error("non-divisor physical side accepted")
+	}
+	if _, err := NewSessionOn(ppa.New(5, 8), graph.GenChain(4, 1), Options{}); err == nil {
+		t.Error("fabric size mismatch accepted")
+	}
+	if _, err := NewSessionOn(ppa.New(4, 8), bad.Clone(), Options{}); err == nil {
+		t.Error("invalid graph accepted by NewSessionOn")
+	}
+}
+
+// TestSessionWithFaultInjectionBetweenSolves: the Fabric accessor lets a
+// caller damage the machine mid-session; subsequent solves feel it.
+func TestSessionWithFaultInjectionBetweenSolves(t *testing.T) {
+	g := graph.GenRandomConnected(6, 0.35, 9, 13)
+	s, err := NewSession(g, Options{MaxIterations: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := s.Solve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Fabric().(*ppa.Machine)
+	if !ok {
+		t.Fatal("expected a direct machine")
+	}
+	m.InjectFault(7, ppa.StuckOpen)
+	damaged, err := s.Solve(2)
+	if err == nil && reflect.DeepEqual(damaged.Dist, healthy.Dist) {
+		// The fault may be non-load-bearing; at minimum the run completed.
+		t.Log("fault at PE 7 was not load-bearing for dest 2")
+	}
+	m.ClearFaults()
+	recovered, err := s.Solve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recovered.Dist, healthy.Dist) {
+		t.Error("clearing faults did not restore correct behaviour")
+	}
+}

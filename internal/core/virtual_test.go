@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/graph"
+)
+
+// TestVirtualSolveMatchesDirect: block-mapped execution changes nothing
+// about the answers — Dist, Next and Iterations are identical for every
+// block factor.
+func TestVirtualSolveMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 12; trial++ {
+		n := []int{4, 6, 8, 12}[rng.Intn(4)]
+		g := graph.GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(12)), rng.Int63())
+		dest := rng.Intn(n)
+		direct := mustSolve(t, g, dest, Options{})
+		for phys := 1; phys <= n; phys++ {
+			if n%phys != 0 {
+				continue
+			}
+			v := mustSolve(t, g, dest, Options{PhysicalSide: phys, Bits: direct.Bits})
+			if !reflect.DeepEqual(direct.Dist, v.Dist) ||
+				!reflect.DeepEqual(direct.Next, v.Next) ||
+				direct.Iterations != v.Iterations {
+				t.Fatalf("trial %d n=%d phys=%d: virtual solve diverged", trial, n, phys)
+			}
+		}
+	}
+}
+
+// TestVirtualSolveCostScalesWithK: the virtualization ablation — the
+// physical bus-cycle count scales by exactly k = n/m relative to the
+// direct run (wired-OR likewise; the extra 2k shifts per logical wired-OR
+// show up in ShiftSteps).
+func TestVirtualSolveCostScalesWithK(t *testing.T) {
+	g := graph.GenRandomConnected(16, 0.3, 9, 4)
+	direct := mustSolve(t, g, 3, Options{})
+	for _, phys := range []int{8, 4, 2} {
+		k := 16 / phys
+		v := mustSolve(t, g, 3, Options{PhysicalSide: phys, Bits: direct.Bits})
+		if v.Metrics.BusCycles != int64(k)*direct.Metrics.BusCycles {
+			t.Errorf("phys=%d: bus cycles %d, want %d x %d",
+				phys, v.Metrics.BusCycles, k, direct.Metrics.BusCycles)
+		}
+		if v.Metrics.WiredOrCycles != int64(k)*direct.Metrics.WiredOrCycles {
+			t.Errorf("phys=%d: wired-OR cycles %d, want %d x %d",
+				phys, v.Metrics.WiredOrCycles, k, direct.Metrics.WiredOrCycles)
+		}
+		if v.Metrics.ShiftSteps != 2*v.Metrics.WiredOrCycles {
+			t.Errorf("phys=%d: shift steps %d, want 2 x wired-OR %d",
+				phys, v.Metrics.ShiftSteps, v.Metrics.WiredOrCycles)
+		}
+	}
+}
+
+func TestVirtualSolveRejectsBadSide(t *testing.T) {
+	g := graph.GenChain(6, 1)
+	if _, err := Solve(g, 5, Options{PhysicalSide: 4}); err == nil {
+		t.Error("non-divisor physical side accepted")
+	}
+}
+
+func TestVirtualSolveFullSideIsDirect(t *testing.T) {
+	g := graph.GenChain(5, 2)
+	direct := mustSolve(t, g, 4, Options{})
+	same := mustSolve(t, g, 4, Options{PhysicalSide: 5})
+	if direct.Metrics != same.Metrics {
+		t.Errorf("PhysicalSide == n changed metrics: %v vs %v", direct.Metrics, same.Metrics)
+	}
+	bigger := mustSolve(t, g, 4, Options{PhysicalSide: 9})
+	if direct.Metrics != bigger.Metrics {
+		t.Error("PhysicalSide > n should fall back to direct execution")
+	}
+}

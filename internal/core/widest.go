@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// SolveWidest runs the widest-path (maximum-bottleneck) dynamic program
+// on the PPA — the (max, min) semiring dual of the paper's MCP, and a
+// demonstration that the machine's primitive set (broadcast, bit-serial
+// Max/SelectedMin, global-OR) covers the whole path-problem family:
+//
+//	CAP[i] = max over paths i->dest of (min edge weight on the path)
+//
+// The structure mirrors Solve statement for statement: broadcast row d
+// down the columns, combine with W by lanewise *minimum* (the bottleneck
+// of extending a path by one edge), reduce each row with the bit-serial
+// *maximum*, pick the smallest achieving column for the pointer, fold
+// through the diagonal, stop when the global-OR sees no change. Results
+// match graph.BellmanFordWidest element for element.
+//
+// On the machine, MAXINT plays "unbounded" (the destination's own
+// capacity) and 0 plays "no path"; finite edge capacities must therefore
+// be < MAXINT, and like all the DP's on this machine it assumes
+// capacities >= 1.
+func SolveWidest(g *graph.Graph, dest int, opt Options) (*graph.WidestResult, ppa.Metrics, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, ppa.Metrics{}, fmt.Errorf("core: destination %d out of range [0,%d)", dest, g.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, ppa.Metrics{}, err
+	}
+	h := opt.Bits
+	if h == 0 {
+		// Capacities never exceed the largest edge weight; indices must
+		// also fit.
+		h = 1
+		for int64(1)<<h-1 <= g.MaxWeight() || int64(1)<<h-1 <= int64(g.N-1) {
+			h++
+		}
+	}
+	if h > ppa.MaxBits {
+		return nil, ppa.Metrics{}, fmt.Errorf("core: word width %d exceeds %d bits", h, ppa.MaxBits)
+	}
+	n := g.N
+	inf := ppa.Infinity(h)
+	if int64(n-1) > int64(inf) {
+		return nil, ppa.Metrics{}, fmt.Errorf("core: %d-bit words cannot hold vertex indices up to %d", h, n-1)
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n + 1
+	}
+
+	var mopts []ppa.Option
+	if opt.Workers > 1 {
+		mopts = append(mopts, ppa.WithWorkers(opt.Workers))
+	}
+	m := ppa.New(n, h, mopts...)
+	a := par.New(m)
+
+	// Load: missing edges carry no capacity (0); the diagonal carries
+	// unbounded capacity (MAXINT) so the j == i term of the row maximum
+	// reproduces the previous round's value, keeping the DP monotone.
+	w := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				w[i*n+j] = inf
+			case wt == graph.NoEdge:
+				w[i*n+j] = 0
+			case wt >= int64(inf):
+				return nil, ppa.Metrics{}, fmt.Errorf(
+					"core: capacity %d indistinguishable from unbounded on a %d-bit machine; raise Options.Bits", wt, h)
+			default:
+				w[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+
+	row, col := a.Row(), a.Col()
+	rowIsD := row.EqConst(ppa.Word(dest))
+	colIsD := col.EqConst(ppa.Word(dest))
+	diag := row.Eq(col)
+	rowHead := col.EqConst(ppa.Word(n - 1))
+	notD := rowIsD.Not()
+
+	W := a.FromSlice(w)
+	CAP := a.Zeros()
+	PTN := a.Zeros()
+	// MaxCAP's row-d lanes are never written (the updates are masked to
+	// ROW != d), so initializing it to MAXINT keeps CAP[d][d] pinned at
+	// "unbounded" through the diagonal fold — the dual of MCP's
+	// zero-initialized MIN_SOW.
+	MaxCAP := a.Inf()
+	OldCAP := a.Zeros()
+
+	// Init: CAP[d][j] = w_jd (capacity of the 1-edge path), CAP[d][d] =
+	// unbounded. Same corrected column-to-row move as Solve.
+	acrossRows := a.Broadcast(W, ppa.East, colIsD)
+	ontoRowD := a.Broadcast(acrossRows, ppa.South, diag)
+	a.Where(rowIsD, func() {
+		CAP.Assign(ontoRowD)
+		PTN.AssignConst(ppa.Word(dest))
+	})
+	a.Where(rowIsD.And(colIsD), func() {
+		CAP.AssignConst(inf)
+	})
+
+	iterations := 0
+	for {
+		iterations++
+		if iterations > maxIter {
+			return nil, ppa.Metrics{}, fmt.Errorf("core: widest-path DP did not converge within %d rounds", maxIter)
+		}
+
+		// (i, j) <- min(w_ij, CAP[j][d]): the bottleneck of the extended
+		// path.
+		cand := a.Broadcast(CAP, ppa.South, rowIsD).MinWith(W)
+		a.Where(notD, func() {
+			CAP.Assign(cand)
+		})
+
+		rowMax := a.Max(CAP, ppa.West, rowHead)
+		a.Where(notD, func() {
+			MaxCAP.Assign(rowMax)
+		})
+
+		sel := rowMax.Eq(CAP)
+		argMax := a.SelectedMin(col, ppa.West, rowHead, sel)
+		a.Where(notD, func() {
+			PTN.Assign(argMax)
+		})
+
+		newRow := a.Broadcast(MaxCAP, ppa.South, diag)
+		newPTN := a.Broadcast(PTN, ppa.South, diag)
+		a.Where(rowIsD, func() {
+			OldCAP.Assign(CAP)
+			CAP.Assign(newRow)
+			a.Where(CAP.Ne(OldCAP), func() {
+				PTN.Assign(newPTN)
+			})
+		})
+
+		if a.None(rowIsD.And(CAP.Ne(OldCAP))) {
+			break
+		}
+	}
+
+	res := &graph.WidestResult{
+		Dest:       dest,
+		Cap:        make([]int64, n),
+		Next:       make([]int, n),
+		Iterations: iterations,
+	}
+	for i := 0; i < n; i++ {
+		c := CAP.At(dest, i)
+		switch {
+		case i == dest:
+			res.Cap[i] = graph.Unbounded
+			res.Next[i] = -1
+		case c == 0:
+			res.Cap[i] = 0
+			res.Next[i] = -1
+		default:
+			res.Cap[i] = int64(c)
+			res.Next[i] = int(PTN.At(dest, i))
+		}
+	}
+	return res, m.Metrics(), nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/graph"
+)
+
+func TestSolveWidestChain(t *testing.T) {
+	g := graph.New(4)
+	g.SetEdge(0, 1, 3)
+	g.SetEdge(1, 2, 7)
+	g.SetEdge(2, 3, 5)
+	r, metrics, err := SolveWidest(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{3, 5, 5, graph.Unbounded}; !reflect.DeepEqual(r.Cap, want) {
+		t.Errorf("Cap = %v, want %v", r.Cap, want)
+	}
+	if r.Next[0] != 1 || r.Next[3] != -1 {
+		t.Errorf("Next = %v", r.Next)
+	}
+	if metrics.CommCycles() == 0 {
+		t.Error("no machine cost recorded")
+	}
+	if err := graph.CheckWidestResult(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveWidestMatchesReferenceExactly: Cap, Next AND Iterations agree
+// with the host-side synchronous DP on random graphs.
+func TestSolveWidestMatchesReferenceExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(12)
+		g := graph.GenRandom(n, 0.15+rng.Float64()*0.5, 1+int64(rng.Intn(25)), rng.Int63())
+		dest := rng.Intn(n)
+		want, err := graph.BellmanFordWidest(g, dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := SolveWidest(g, dest, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Cap, want.Cap) ||
+			!reflect.DeepEqual(got.Next, want.Next) ||
+			got.Iterations != want.Iterations {
+			t.Fatalf("trial %d (n=%d dest=%d): widest diverged\nppa:  %v %v (%d)\nhost: %v %v (%d)",
+				trial, n, dest, got.Cap, got.Next, got.Iterations,
+				want.Cap, want.Next, want.Iterations)
+		}
+		if err := graph.CheckWidestResult(g, got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveWidestPrefersWiderDetour(t *testing.T) {
+	g := graph.New(3)
+	g.SetEdge(0, 2, 2)
+	g.SetEdge(0, 1, 9)
+	g.SetEdge(1, 2, 8)
+	r, _, err := SolveWidest(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap[0] != 8 || r.Next[0] != 1 {
+		t.Errorf("Cap[0]=%d Next[0]=%d, want 8 via 1", r.Cap[0], r.Next[0])
+	}
+}
+
+func TestSolveWidestUnreachableAndSingle(t *testing.T) {
+	g := graph.GenChain(4, 5)
+	r, _, err := SolveWidest(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap[2] != 0 || r.Next[2] != -1 {
+		t.Errorf("unreachable: %v %v", r.Cap, r.Next)
+	}
+	one, _, err := SolveWidest(graph.New(1), 0, Options{})
+	if err != nil || one.Cap[0] != graph.Unbounded {
+		t.Errorf("single vertex: %v %v", one, err)
+	}
+}
+
+func TestSolveWidestErrors(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	if _, _, err := SolveWidest(g, 9, Options{}); err == nil {
+		t.Error("bad dest accepted")
+	}
+	if _, _, err := SolveWidest(g, 0, Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+	// Capacity equal to MAXINT would be indistinguishable from unbounded.
+	heavy := graph.New(2)
+	heavy.SetEdge(0, 1, 255)
+	if _, _, err := SolveWidest(heavy, 1, Options{Bits: 8}); err == nil {
+		t.Error("MAXINT-valued capacity accepted")
+	}
+	if _, _, err := SolveWidest(graph.GenChain(10, 1), 0, Options{Bits: 3}); err == nil {
+		t.Error("3-bit machine accepted 10 vertices")
+	}
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, _, err := SolveWidest(bad, 0, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	if _, _, err := SolveWidest(g, 3, Options{MaxIterations: 1}); err == nil {
+		t.Error("MaxIterations guard did not trip")
+	}
+}
+
+func TestSolveWidestAutoBits(t *testing.T) {
+	g := graph.GenRandomConnected(9, 0.3, 100, 4)
+	r, _, err := SolveWidest(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := graph.BellmanFordWidest(g, 3)
+	if !reflect.DeepEqual(r.Cap, want.Cap) {
+		t.Error("auto-bits widest solve diverged")
+	}
+}

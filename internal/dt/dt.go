@@ -1,0 +1,165 @@
+// Package dt implements the city-block distance transform on the PPA —
+// the image-processing companion workload of the paper's research line
+// (the PPC communication primitives are introduced there as the ones
+// "used to implement the EDT algorithm"). Each pixel of a binary image
+// obtains its L1 distance to the nearest foreground pixel by iterative
+// four-neighbour relaxation with shift operations, terminating through
+// the global-OR line — a second, shift-dominated algorithm over the same
+// machine and programming layer as the MCP solver.
+package dt
+
+import (
+	"fmt"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// Options tunes CityBlock.
+type Options struct {
+	// Bits is the word width (0 = smallest that represents the maximum
+	// possible distance 2(n-1)).
+	Bits uint
+	// Workers fans the simulator's ring operations out over goroutines.
+	Workers int
+}
+
+// Result is the computed distance field plus cost accounting.
+type Result struct {
+	// N is the image side.
+	N int
+	// Dist is row-major; pixels that cannot reach any foreground pixel
+	// (i.e. an image with no foreground at all) hold Inf.
+	Dist []int64
+	// Inf is the MAXINT sentinel used.
+	Inf int64
+	// Rounds is the number of relaxation rounds (the maximum distance,
+	// plus the detecting round).
+	Rounds  int
+	Metrics ppa.Metrics
+	Bits    uint
+}
+
+// bitsFor returns the smallest h whose MAXINT exceeds the largest
+// possible city-block distance on an n x n image.
+func bitsFor(n int) uint {
+	bound := int64(2*(n-1)) + 1
+	h := uint(1)
+	for int64(1)<<h-1 <= bound {
+		h++
+	}
+	return h
+}
+
+// CityBlock computes the L1 distance transform of the n x n binary image
+// foreground (true = foreground pixel, distance 0). Image edges do not
+// wrap: the torus shifts are masked at the boundary. The four direction
+// sweeps within one round run sequentially and therefore chain
+// (Gauss-Seidel), so convergence typically takes far fewer rounds than
+// the maximum distance.
+func CityBlock(n int, foreground []bool, opt Options) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dt: image side %d < 1", n)
+	}
+	if len(foreground) != n*n {
+		return nil, fmt.Errorf("dt: image has %d pixels, want %d", len(foreground), n*n)
+	}
+	h := opt.Bits
+	if h == 0 {
+		h = bitsFor(n)
+	}
+	if h > ppa.MaxBits {
+		return nil, fmt.Errorf("dt: word width %d exceeds %d bits", h, ppa.MaxBits)
+	}
+	inf := ppa.Infinity(h)
+	if int64(2*(n-1)) >= int64(inf) {
+		return nil, fmt.Errorf("dt: %d-bit words cannot hold distances up to %d", h, 2*(n-1))
+	}
+
+	var mopts []ppa.Option
+	if opt.Workers > 1 {
+		mopts = append(mopts, ppa.WithWorkers(opt.Workers))
+	}
+	m := ppa.New(n, h, mopts...)
+	a := par.New(m)
+
+	dist := a.Inf()
+	a.Where(a.FromBools(foreground), func() {
+		dist.AssignConst(0)
+	})
+
+	// Wrap guards: the lane that receives a wrapped value for each shift
+	// direction. Shifting East delivers col n-1's values to col 0, etc.
+	row, col := a.Row(), a.Col()
+	wrapGuard := map[ppa.Direction]*par.Bool{
+		ppa.East:  col.EqConst(0),
+		ppa.West:  col.EqConst(ppa.Word(n - 1)),
+		ppa.South: row.EqConst(0),
+		ppa.North: row.EqConst(ppa.Word(n - 1)),
+	}
+	dirs := []ppa.Direction{ppa.East, ppa.West, ppa.South, ppa.North}
+
+	rounds := 0
+	old := a.Zeros()
+	for {
+		rounds++
+		if rounds > 2*n {
+			return nil, fmt.Errorf("dt: did not converge within %d rounds", 2*n)
+		}
+		old.Assign(dist)
+		for _, d := range dirs {
+			cand := a.Shift(dist, d).AddSatConst(1)
+			a.Where(wrapGuard[d], func() {
+				cand.AssignConst(inf)
+			})
+			dist.Assign(dist.MinWith(cand))
+		}
+		if a.None(dist.Ne(old)) {
+			break
+		}
+	}
+
+	res := &Result{
+		N:       n,
+		Dist:    make([]int64, n*n),
+		Inf:     int64(inf),
+		Rounds:  rounds,
+		Metrics: m.Metrics(),
+		Bits:    h,
+	}
+	for i, w := range dist.Slice() {
+		res.Dist[i] = int64(w)
+	}
+	return res, nil
+}
+
+// ReferenceCityBlock is the host-side multi-source BFS the PPA result is
+// validated against.
+func ReferenceCityBlock(n int, foreground []bool, inf int64) []int64 {
+	dist := make([]int64, n*n)
+	queue := make([]int, 0, n*n)
+	for i := range dist {
+		if foreground[i] {
+			dist[i] = 0
+			queue = append(queue, i)
+		} else {
+			dist[i] = inf
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		r, c := p/n, p%n
+		for _, d := range [][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+			nr, nc := r+d[0], c+d[1]
+			if nr < 0 || nr >= n || nc < 0 || nc >= n {
+				continue
+			}
+			q := nr*n + nc
+			if dist[q] > dist[p]+1 {
+				dist[q] = dist[p] + 1
+				queue = append(queue, q)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,167 @@
+package dt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCityBlockSinglePoint(t *testing.T) {
+	const n = 5
+	fg := make([]bool, n*n)
+	fg[2*n+2] = true // center
+	r, err := CityBlock(n, fg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < n; row++ {
+		for c := 0; c < n; c++ {
+			want := int64(abs(row-2) + abs(c-2))
+			if r.Dist[row*n+c] != want {
+				t.Errorf("dist[%d,%d] = %d, want %d", row, c, r.Dist[row*n+c], want)
+			}
+		}
+	}
+	// The four direction sweeps within a round chain (Gauss-Seidel), so
+	// distance-4 information arrives in 2 productive rounds + 1 detecting.
+	if r.Rounds < 2 || r.Rounds > 5 {
+		t.Errorf("Rounds = %d, want within [2,5]", r.Rounds)
+	}
+	if r.Metrics.ShiftSteps == 0 || r.Metrics.BusCycles != 0 {
+		t.Errorf("unexpected cost profile: %v", r.Metrics)
+	}
+}
+
+func TestCityBlockNoWrapAround(t *testing.T) {
+	// A single point in the corner: the opposite corner must be at
+	// distance 2(n-1), not 0 — shifts must not leak around the torus.
+	const n = 6
+	fg := make([]bool, n*n)
+	fg[0] = true
+	r, err := CityBlock(n, fg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Dist[n*n-1], int64(2*(n-1)); got != want {
+		t.Errorf("far corner = %d, want %d (torus wrap leaked?)", got, want)
+	}
+	if r.Dist[n-1] != int64(n-1) {
+		t.Errorf("top-right corner = %d, want %d", r.Dist[n-1], n-1)
+	}
+}
+
+func TestCityBlockMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		fg := make([]bool, n*n)
+		any := false
+		for i := range fg {
+			fg[i] = rng.Float64() < 0.15
+			any = any || fg[i]
+		}
+		if !any {
+			fg[rng.Intn(n*n)] = true
+		}
+		r, err := CityBlock(n, fg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceCityBlock(n, fg, r.Inf)
+		for i := range want {
+			if r.Dist[i] != want[i] {
+				t.Fatalf("trial %d n=%d pixel %d: %d, want %d", trial, n, i, r.Dist[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCityBlockEmptyImage(t *testing.T) {
+	const n = 4
+	r, err := CityBlock(n, make([]bool, n*n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range r.Dist {
+		if d != r.Inf {
+			t.Errorf("pixel %d = %d, want Inf on empty image", i, d)
+		}
+	}
+	if r.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", r.Rounds)
+	}
+}
+
+func TestCityBlockAllForeground(t *testing.T) {
+	const n = 3
+	fg := make([]bool, n*n)
+	for i := range fg {
+		fg[i] = true
+	}
+	r, err := CityBlock(n, fg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range r.Dist {
+		if d != 0 {
+			t.Errorf("pixel %d = %d, want 0", i, d)
+		}
+	}
+}
+
+func TestCityBlockErrors(t *testing.T) {
+	if _, err := CityBlock(0, nil, Options{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := CityBlock(3, make([]bool, 4), Options{}); err == nil {
+		t.Error("wrong image size accepted")
+	}
+	if _, err := CityBlock(3, make([]bool, 9), Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+	if _, err := CityBlock(16, make([]bool, 256), Options{Bits: 4}); err == nil {
+		t.Error("too-narrow Bits accepted (max distance 30 needs > 4 bits)")
+	}
+}
+
+func TestCityBlockWorkersDeterminism(t *testing.T) {
+	const n = 9
+	rng := rand.New(rand.NewSource(2))
+	fg := make([]bool, n*n)
+	for i := range fg {
+		fg[i] = rng.Float64() < 0.1
+	}
+	fg[0] = true
+	a, err := CityBlock(n, fg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CityBlock(n, fg, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Dist {
+		if a.Dist[i] != b.Dist[i] {
+			t.Fatal("worker pool changed distances")
+		}
+	}
+	if a.Metrics != b.Metrics {
+		t.Error("worker pool changed metrics")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	// n=5: max distance 8, need 2^h-1 > 9 -> h=4.
+	if got := bitsFor(5); got != 4 {
+		t.Errorf("bitsFor(5) = %d, want 4", got)
+	}
+	if got := bitsFor(1); got < 1 {
+		t.Errorf("bitsFor(1) = %d", got)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

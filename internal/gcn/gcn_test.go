@@ -1,0 +1,275 @@
+package gcn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+func TestBroadcastBidirectionalNearest(t *testing.T) {
+	m := New(5, 8)
+	src := make([]ppa.Word, 25)
+	open := make([]bool, 25)
+	dst := make([]ppa.Word, 25)
+	// Row 0: gates open at cols 1 and 4 with values 11 and 44.
+	open[1], src[1] = true, 11
+	open[4], src[4] = true, 44
+	m.Broadcast(Rows, open, src, dst)
+	// Nearest gate: col0->1(d1), col1->itself, col2->1(d1 vs d2),
+	// col3->4(d1 vs d2), col4->itself. Ties go to the lower position.
+	want := []ppa.Word{11, 11, 11, 44, 44}
+	for c := 0; c < 5; c++ {
+		if dst[c] != want[c] {
+			t.Errorf("col %d = %d, want %d", c, dst[c], want[c])
+		}
+	}
+	// Other rows float: dst untouched (zero).
+	for p := 5; p < 25; p++ {
+		if dst[p] != 0 {
+			t.Errorf("floating lane %d = %d", p, dst[p])
+		}
+	}
+	if m.Metrics().BusCycles != 1 {
+		t.Errorf("BusCycles = %d, want 1", m.Metrics().BusCycles)
+	}
+}
+
+func TestBroadcastTieGoesLow(t *testing.T) {
+	m := New(3, 8)
+	src := []ppa.Word{7, 0, 9, 0, 0, 0, 0, 0, 0}
+	open := []bool{true, false, true, false, false, false, false, false, false}
+	dst := make([]ppa.Word, 9)
+	m.Broadcast(Rows, open, src, dst)
+	// Col 1 is equidistant from gates 0 and 2: the lower position wins.
+	if dst[1] != 7 {
+		t.Errorf("tie resolved to %d, want 7", dst[1])
+	}
+}
+
+func TestBroadcastColumnsAndAliasing(t *testing.T) {
+	m := New(3, 8)
+	v := make([]ppa.Word, 9)
+	open := make([]bool, 9)
+	// Column 2: gate open at row 1 (flat 5), value 55.
+	open[5], v[5] = true, 55
+	m.Broadcast(Cols, open, v, v)
+	if v[2] != 55 || v[5] != 55 || v[8] != 55 {
+		t.Errorf("column broadcast: %v", v)
+	}
+	if v[0] != 0 || v[4] != 0 {
+		t.Error("floating columns modified")
+	}
+}
+
+func TestWiredOrSegments(t *testing.T) {
+	m := New(6, 8)
+	open := make([]bool, 36)
+	drive := make([]bool, 36)
+	dst := make([]bool, 36)
+	// Row 0: gates at cols 2 and 4 -> segments {0,1}, {2,3}, {4,5}.
+	open[2], open[4] = true, true
+	drive[3] = true // only segment {2,3} drives
+	m.WiredOr(Rows, open, drive, dst)
+	want := []bool{false, false, true, true, false, false}
+	for c := 0; c < 6; c++ {
+		if dst[c] != want[c] {
+			t.Errorf("col %d = %v, want %v", c, dst[c], want[c])
+		}
+	}
+}
+
+func TestWiredOrHeadlessWholeLine(t *testing.T) {
+	m := New(4, 8)
+	open := make([]bool, 16) // no gates: each row is one segment
+	drive := make([]bool, 16)
+	dst := make([]bool, 16)
+	drive[6] = true // row 1
+	m.WiredOr(Rows, open, drive, dst)
+	for p := 0; p < 16; p++ {
+		if dst[p] != (p/4 == 1) {
+			t.Errorf("lane %d = %v", p, dst[p])
+		}
+	}
+}
+
+func TestMinWholeLine(t *testing.T) {
+	m := New(4, 8)
+	src := []ppa.Word{
+		9, 3, 7, 5,
+		255, 255, 255, 255,
+		4, 4, 9, 6,
+		1, 0, 2, 3,
+	}
+	all := make([]bool, 16)
+	for i := range all {
+		all[i] = true
+	}
+	got := m.Min(Rows, src, all)
+	want := []ppa.Word{3, 255, 4, 0}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if got[r*4+c] != want[r] {
+				t.Errorf("min[%d,%d] = %d, want %d", r, c, got[r*4+c], want[r])
+			}
+		}
+	}
+	// h wired-OR cycles + 1 delivery broadcast.
+	if mt := m.Metrics(); mt.WiredOrCycles != 8 || mt.BusCycles != 1 {
+		t.Errorf("metrics = %v, want 8 wired-OR + 1 bus", mt)
+	}
+}
+
+func TestMinSelectedSubset(t *testing.T) {
+	m := New(3, 8)
+	src := []ppa.Word{
+		5, 1, 9,
+		7, 2, 3,
+		8, 8, 8,
+	}
+	sel := []bool{
+		true, false, true, // min over {5, 9} = 5
+		false, false, true, // min over {3} = 3
+		false, false, false, // empty: floats, src returned
+	}
+	got := m.Min(Rows, src, sel)
+	if got[0] != 5 || got[1] != 5 || got[2] != 5 {
+		t.Errorf("row 0: %v", got[:3])
+	}
+	if got[3] != 3 || got[5] != 3 {
+		t.Errorf("row 1: %v", got[3:6])
+	}
+	if got[6] != 8 || got[7] != 8 || got[8] != 8 {
+		t.Errorf("row 2 (empty sel): %v", got[6:9])
+	}
+}
+
+func TestMinRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		h := uint(4 + rng.Intn(8))
+		m := New(n, h)
+		src := make([]ppa.Word, n*n)
+		all := make([]bool, n*n)
+		for i := range src {
+			src[i] = ppa.Word(rng.Int63n(int64(ppa.Infinity(h)) + 1))
+			all[i] = true
+		}
+		got := m.Min(Rows, src, all)
+		for r := 0; r < n; r++ {
+			want := src[r*n]
+			for c := 1; c < n; c++ {
+				if src[r*n+c] < want {
+					want = src[r*n+c]
+				}
+			}
+			for c := 0; c < n; c++ {
+				if got[r*n+c] != want {
+					t.Fatalf("trial %d row %d: got %d, want %d", trial, r, got[r*n+c], want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 8) },
+		func() { New(3, 0) },
+		func() { New(3, 63) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad New args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+	m := New(4, 10)
+	if m.N() != 4 || m.Bits() != 10 || m.Inf() != 1023 {
+		t.Error("accessors wrong")
+	}
+	if Rows.String() != "Rows" || Cols.String() != "Cols" {
+		t.Error("Axis.String wrong")
+	}
+}
+
+func TestSolveMCPMatchesPPAExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(13)
+		g := graph.GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(15)), rng.Int63())
+		dest := rng.Intn(n)
+		want, err := core.Solve(g, dest, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveMCP(g, dest, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Dist, got.Dist) ||
+			!reflect.DeepEqual(want.Next, got.Next) ||
+			want.Iterations != got.Iterations {
+			t.Fatalf("trial %d (n=%d dest=%d): GCN diverged\nppa: %v %v (%d)\ngcn: %v %v (%d)",
+				trial, n, dest, want.Dist, want.Next, want.Iterations,
+				got.Dist, got.Next, got.Iterations)
+		}
+		if err := graph.CheckResult(g, &got.Result); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveMCPMetricsMatchModel(t *testing.T) {
+	for _, n := range []int{2, 5, 9} {
+		g := graph.GenRandomConnected(n, 0.4, 7, int64(n))
+		r, err := SolveMCP(g, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PredictedCost(r.Bits, r.Iterations)
+		got := r.Metrics
+		if got.BusCycles != want.BusCycles || got.WiredOrCycles != want.WiredOrCycles ||
+			got.GlobalOrOps != want.GlobalOrOps {
+			t.Errorf("n=%d: metrics %v, model %v", n, got, want)
+		}
+		if got.ShiftSteps != 0 || got.RouterCycles != 0 {
+			t.Errorf("n=%d: GCN used foreign fabric: %v", n, got)
+		}
+	}
+}
+
+func TestSolveMCPSingleVertexAndErrors(t *testing.T) {
+	r, err := SolveMCP(graph.New(1), 0, Options{})
+	if err != nil || r.Dist[0] != 0 {
+		t.Errorf("trivial solve: %v %v", r, err)
+	}
+	g := graph.GenChain(4, 1)
+	if _, err := SolveMCP(g, 7, Options{}); err == nil {
+		t.Error("bad dest accepted")
+	}
+	if _, err := SolveMCP(g, 0, Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+	if _, err := SolveMCP(graph.GenChain(10, 1), 0, Options{Bits: 3}); err == nil {
+		t.Error("3-bit machine accepted 10 vertices")
+	}
+	if _, err := SolveMCP(graph.GenChain(5, 60), 4, Options{Bits: 7}); err == nil {
+		t.Error("saturating configuration accepted")
+	}
+	if _, err := SolveMCP(g, 3, Options{MaxIterations: 1}); err == nil {
+		t.Error("MaxIterations guard did not trip")
+	}
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, err := SolveMCP(bad, 0, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package gcn models the paper's second comparator: the Gated Connection
+// Network of Shu and Nash, an n x n array whose row and column lines carry
+// gated buses designed specifically for dynamic programming.
+//
+// The model differs from the PPA in two architecturally relevant ways:
+//
+//   - lines, not rings: GCN buses do not wrap around, but a gate-opened
+//     node drives its line in *both* directions, so a single source still
+//     reaches the whole line in one cycle (the PPA needs the torus wrap
+//     for that);
+//   - headless wired-OR: an un-gated line is a single segment, so a
+//     whole-line OR needs no gate configuration at all.
+//
+// Both machines share the unit-cost bus transaction assumption, which is
+// why the paper's complexity-parity claim holds: MCP costs Θ(p·h) cycles
+// here too, with slightly smaller constants (experiment E3).
+package gcn
+
+import (
+	"fmt"
+
+	"ppamcp/internal/ppa"
+)
+
+// Axis selects which lines a bus operation uses.
+type Axis uint8
+
+const (
+	// Rows runs one bus per row.
+	Rows Axis = iota
+	// Cols runs one bus per column.
+	Cols
+)
+
+func (a Axis) String() string {
+	if a == Rows {
+		return "Rows"
+	}
+	return "Cols"
+}
+
+// Machine is an n x n gated connection network.
+type Machine struct {
+	n       int
+	h       uint
+	metrics ppa.Metrics
+}
+
+// New returns an n x n machine with h-bit words.
+func New(n int, h uint) *Machine {
+	if n < 1 {
+		panic(fmt.Sprintf("gcn: machine side %d < 1", n))
+	}
+	if h == 0 || h > ppa.MaxBits {
+		panic(fmt.Sprintf("gcn: word width %d out of range [1,%d]", h, ppa.MaxBits))
+	}
+	return &Machine{n: n, h: h}
+}
+
+// N returns the array side.
+func (m *Machine) N() int { return m.n }
+
+// Bits returns the word width h.
+func (m *Machine) Bits() uint { return m.h }
+
+// Inf returns the machine MAXINT.
+func (m *Machine) Inf() ppa.Word { return ppa.Infinity(m.h) }
+
+// Metrics returns the accumulated cost counters.
+func (m *Machine) Metrics() ppa.Metrics { return m.metrics }
+
+// ResetMetrics zeroes the counters.
+func (m *Machine) ResetMetrics() { m.metrics = ppa.Metrics{} }
+
+// CountPE charges ops local ALU operations.
+func (m *Machine) CountPE(ops int64) { m.metrics.PEOps += ops }
+
+// CountInstr charges one SIMD instruction.
+func (m *Machine) CountInstr() { m.metrics.Instructions++ }
+
+func (m *Machine) checkLen(name string, got int) {
+	if got != m.n*m.n {
+		panic(fmt.Sprintf("gcn: %s has length %d, want %d", name, got, m.n*m.n))
+	}
+}
+
+// line returns the flat index of position k on line i of the axis.
+func (m *Machine) line(a Axis, i, k int) int {
+	if a == Rows {
+		return i*m.n + k
+	}
+	return k*m.n + i
+}
+
+// Broadcast performs one gated-bus transaction: on each line, every PE
+// receives the src value of the *nearest* gate-opened PE (gates drive both
+// directions; distance ties resolve toward the lower line position, and a
+// PE whose own gate is open hears itself). PEs on a line with no open gate
+// keep their dst value (floating bus). dst may alias src.
+// Cost: one bus cycle.
+func (m *Machine) Broadcast(a Axis, open []bool, src, dst []ppa.Word) {
+	m.checkLen("open", len(open))
+	m.checkLen("src", len(src))
+	m.checkLen("dst", len(dst))
+	m.metrics.BusCycles++
+	n := m.n
+	nearest := make([]int, n) // reused per line: index of chosen driver
+	for i := 0; i < n; i++ {
+		// For each position, find the nearest open gate on the line.
+		last := -1 // nearest open at or before k
+		for k := 0; k < n; k++ {
+			if open[m.line(a, i, k)] {
+				last = k
+			}
+			nearest[k] = last
+		}
+		next := -1 // nearest open at or after k
+		for k := n - 1; k >= 0; k-- {
+			if open[m.line(a, i, k)] {
+				next = k
+			}
+			prev := nearest[k]
+			switch {
+			case prev == -1:
+				nearest[k] = next
+			case next == -1:
+				// keep prev
+			case next-k < k-prev:
+				nearest[k] = next
+			default:
+				// ties (and closer prev) resolve toward the lower position
+			}
+		}
+		// Snapshot drivers before writing (dst may alias src).
+		vals := make([]ppa.Word, n)
+		for k := 0; k < n; k++ {
+			if nearest[k] >= 0 {
+				vals[k] = src[m.line(a, i, nearest[k])]
+			}
+		}
+		for k := 0; k < n; k++ {
+			if nearest[k] >= 0 {
+				dst[m.line(a, i, k)] = vals[k]
+			}
+		}
+	}
+}
+
+// WiredOr performs one 1-bit wired-OR transaction: each line is cut into
+// segments by open gates (an open gate starts a new segment; the prefix
+// before the first gate is its own headless segment; a line with no open
+// gates is one whole segment). Every PE drives drive onto its segment and
+// reads back the segment OR. dst may alias drive. Cost: one wired-OR
+// cycle.
+func (m *Machine) WiredOr(a Axis, open, drive, dst []bool) {
+	m.checkLen("open", len(open))
+	m.checkLen("drive", len(drive))
+	m.checkLen("dst", len(dst))
+	m.metrics.WiredOrCycles++
+	n := m.n
+	for i := 0; i < n; i++ {
+		start := 0
+		for start < n {
+			end := start + 1
+			for end < n && !open[m.line(a, i, end)] {
+				end++
+			}
+			or := false
+			for k := start; k < end; k++ {
+				or = or || drive[m.line(a, i, k)]
+			}
+			for k := start; k < end; k++ {
+				dst[m.line(a, i, k)] = or
+			}
+			start = end
+		}
+	}
+}
+
+// GlobalOr evaluates the controller's global-OR line.
+func (m *Machine) GlobalOr(pred []bool) bool {
+	m.checkLen("pred", len(pred))
+	m.metrics.GlobalOrOps++
+	for _, p := range pred {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
+// Min computes, on every line of the axis treated as a single whole-line
+// segment (no gates), the minimum of src over the PEs where sel is true,
+// and delivers it to every PE of the line. Lines whose selected subset is
+// empty float and return the unchanged src values. It uses the same
+// bit-serial scan as the PPA's min()/selected_min(): h wired-OR
+// cycles to isolate the minima, then one gated broadcast from the
+// surviving PEs (all of which hold the minimum, so the bidirectional
+// nearest-driver rule is exact). Cost: h wired-OR cycles + 1 bus cycle.
+func (m *Machine) Min(a Axis, src []ppa.Word, sel []bool) []ppa.Word {
+	m.checkLen("src", len(src))
+	m.checkLen("sel", len(sel))
+	size := m.n * m.n
+	enable := append([]bool(nil), sel...)
+	noGates := make([]bool, size)
+	drive := make([]bool, size)
+	seenZero := make([]bool, size)
+	for j := int(m.h) - 1; j >= 0; j-- {
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := 0; p < size; p++ {
+			drive[p] = enable[p] && !ppa.Bit(src[p], uint(j))
+		}
+		m.WiredOr(a, noGates, drive, seenZero)
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := 0; p < size; p++ {
+			if seenZero[p] && ppa.Bit(src[p], uint(j)) {
+				enable[p] = false
+			}
+		}
+	}
+	out := append([]ppa.Word(nil), src...)
+	m.Broadcast(a, enable, src, out)
+	return out
+}

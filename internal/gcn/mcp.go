@@ -1,0 +1,226 @@
+package gcn
+
+import (
+	"fmt"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// Options tunes SolveMCP.
+type Options struct {
+	// Bits is the machine word width h (0 = auto, graph.BitsNeeded).
+	Bits uint
+	// MaxIterations bounds the DP loop (0 = n+1).
+	MaxIterations int
+}
+
+// Result is the GCN solution plus its cycle accounting.
+type Result struct {
+	graph.Result
+	Metrics ppa.Metrics
+	Bits    uint
+}
+
+// SolveMCP runs the paper's dynamic program on the Gated Connection
+// Network. Dist, Next and Iterations agree exactly with core.Solve; the
+// cost is Θ(p·h) wired-OR cycles like the PPA's, with smaller broadcast
+// constants (GCN's bidirectional gated lines deliver a min in one cycle
+// where the PPA's unidirectional rings need a reverse broadcast first).
+func SolveMCP(g *graph.Graph, dest int, opt Options) (*Result, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("gcn: destination %d out of range [0,%d)", dest, g.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	h := opt.Bits
+	if h == 0 {
+		h = g.BitsNeeded()
+	}
+	if h > ppa.MaxBits {
+		return nil, fmt.Errorf("gcn: word width %d exceeds %d bits", h, ppa.MaxBits)
+	}
+	n := g.N
+	inf := ppa.Infinity(h)
+	if int64(n-1) > int64(inf) {
+		return nil, fmt.Errorf("gcn: %d-bit words cannot hold vertex indices up to %d", h, n-1)
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n + 1
+	}
+
+	m := New(n, h)
+	size := n * n
+	w, err := loadWeights(g, h)
+	if err != nil {
+		return nil, err
+	}
+
+	rowIsD := make([]bool, size)
+	colIsD := make([]bool, size)
+	diag := make([]bool, size)
+	notD := make([]bool, size)
+	colIndex := make([]ppa.Word, size)
+	allTrue := make([]bool, size)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := i*n + j
+			rowIsD[p] = i == dest
+			colIsD[p] = j == dest
+			diag[p] = i == j
+			notD[p] = i != dest
+			colIndex[p] = ppa.Word(j)
+			allTrue[p] = true
+		}
+	}
+
+	sow := make([]ppa.Word, size)
+	ptn := make([]ppa.Word, size)
+	minSOW := make([]ppa.Word, size) // zero-init keeps SOW[d][d] pinned at 0
+	oldSOW := make([]ppa.Word, size)
+	changed := make([]bool, size)
+
+	assignWhere := func(dst, src []ppa.Word, mask []bool) {
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := range dst {
+			if mask[p] {
+				dst[p] = src[p]
+			}
+		}
+	}
+
+	// Initialization: SOW[d][j] = w_jd via two gated broadcasts
+	// (column d across the rows, then the diagonal down the columns).
+	acrossRows := append([]ppa.Word(nil), w...)
+	m.Broadcast(Rows, colIsD, w, acrossRows)
+	ontoRowD := append([]ppa.Word(nil), acrossRows...)
+	m.Broadcast(Cols, diag, acrossRows, ontoRowD)
+	assignWhere(sow, ontoRowD, rowIsD)
+	m.CountInstr()
+	m.CountPE(int64(size))
+	for p := range ptn {
+		if rowIsD[p] {
+			ptn[p] = ppa.Word(dest)
+		}
+	}
+	sow[dest*n+dest] = 0
+
+	scratch := make([]ppa.Word, size)
+	iterations := 0
+	for {
+		iterations++
+		if iterations > maxIter {
+			return nil, fmt.Errorf("gcn: DP did not converge within %d rounds", maxIter)
+		}
+
+		// Column broadcast of row d, then local add of W.
+		copy(scratch, sow)
+		m.Broadcast(Cols, rowIsD, sow, scratch)
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := range scratch {
+			scratch[p] = ppa.SatAdd(scratch[p], w[p], h)
+		}
+		assignWhere(sow, scratch, notD)
+
+		// Whole-row min, then arg-min over the achieving PEs.
+		rowMin := m.Min(Rows, sow, allTrue)
+		assignWhere(minSOW, rowMin, notD)
+		m.CountInstr()
+		m.CountPE(int64(size))
+		sel := make([]bool, size)
+		for p := range sel {
+			sel[p] = rowMin[p] == sow[p]
+		}
+		argMin := m.Min(Rows, colIndex, sel)
+		assignWhere(ptn, argMin, notD)
+
+		// Fold the per-row results back into row d via the diagonal.
+		newRow := append([]ppa.Word(nil), minSOW...)
+		m.Broadcast(Cols, diag, minSOW, newRow)
+		newPTN := append([]ppa.Word(nil), ptn...)
+		m.Broadcast(Cols, diag, ptn, newPTN)
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := range changed {
+			changed[p] = false
+			if rowIsD[p] {
+				oldSOW[p] = sow[p]
+				sow[p] = newRow[p]
+				if sow[p] != oldSOW[p] {
+					changed[p] = true
+					ptn[p] = newPTN[p]
+				}
+			}
+		}
+		if !m.GlobalOr(changed) {
+			break
+		}
+	}
+
+	res := &Result{
+		Result: graph.Result{
+			Dest:       dest,
+			Dist:       make([]int64, n),
+			Next:       make([]int, n),
+			Iterations: iterations,
+		},
+		Metrics: m.Metrics(),
+		Bits:    h,
+	}
+	for i := 0; i < n; i++ {
+		s := sow[dest*n+i]
+		switch {
+		case i == dest:
+			res.Dist[i] = 0
+			res.Next[i] = -1
+		case s == inf:
+			res.Dist[i] = graph.NoEdge
+			res.Next[i] = -1
+		default:
+			res.Dist[i] = int64(s)
+			res.Next[i] = int(ptn[dest*n+i])
+		}
+	}
+	return res, nil
+}
+
+// loadWeights mirrors core's conversion (NoEdge -> MAXINT, zero diagonal,
+// saturation guard).
+func loadWeights(g *graph.Graph, h uint) ([]ppa.Word, error) {
+	n := g.N
+	inf := ppa.Infinity(h)
+	w := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				w[i*n+j] = 0
+			case wt == graph.NoEdge:
+				w[i*n+j] = inf
+			case n > 1 && wt > (int64(inf)-1)/int64(n-1):
+				return nil, fmt.Errorf(
+					"gcn: %d-bit words cannot distinguish worst-case path cost (%d * %d) from MAXINT",
+					h, n-1, wt)
+			default:
+				w[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+	return w, nil
+}
+
+// PredictedCost is the analytical comm-cycle model of one SolveMCP run:
+// initialization costs 2 bus cycles; each round costs 2h wired-OR cycles
+// (two bit-serial minima), 5 bus cycles (column broadcast, two min
+// deliveries, two diagonal broadcasts) and one global-OR.
+func PredictedCost(h uint, iters int) ppa.Metrics {
+	return ppa.Metrics{
+		BusCycles:     int64(iters)*5 + 2,
+		WiredOrCycles: int64(iters) * 2 * int64(h),
+		GlobalOrOps:   int64(iters),
+	}
+}

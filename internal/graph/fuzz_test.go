@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the graph reader never panics, and that everything it
+// accepts survives a Format/Parse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"n 3\ne 0 1 5\ne 1 2 7\n",
+		"n 1\n",
+		"# comment\n\nn 2\ne 0 1 3\n",
+		"e 0 1 2\n",
+		"n 0\n",
+		"n 2\ne 0 5 1\n",
+		"n -1\n",
+		"n 2\ne 0 1 -2\n",
+		"garbage",
+		"n 2\ne 0 1 9223372036854775807\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.Format(&buf); err != nil {
+			t.Fatalf("Format failed on parsed graph: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N != g.N || !reflect.DeepEqual(back.W, g.W) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

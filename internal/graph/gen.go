@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenRandom returns an n-vertex directed graph in which each ordered pair
+// (i, j), i != j, carries an edge with probability density and a weight
+// uniform in [1, maxW]. Deterministic in seed.
+func GenRandom(n int, density float64, maxW int64, seed int64) *Graph {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("graph: density %v outside [0,1]", density))
+	}
+	if maxW < 1 {
+		panic(fmt.Sprintf("graph: maxW %d < 1", maxW))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				g.SetEdge(i, j, 1+rng.Int63n(maxW))
+			}
+		}
+	}
+	return g
+}
+
+// GenRandomConnected is GenRandom plus a random Hamiltonian cycle of
+// weight-maxW edges, guaranteeing every vertex can reach every other (so
+// no distance is infinite). Deterministic in seed.
+func GenRandomConnected(n int, density float64, maxW int64, seed int64) *Graph {
+	g := GenRandom(n, density, maxW, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	perm := rng.Perm(n)
+	for k := 0; k < n; k++ {
+		u, v := perm[k], perm[(k+1)%n]
+		if !g.HasEdge(u, v) {
+			g.SetEdge(u, v, maxW)
+		}
+	}
+	return g
+}
+
+// GenComplete returns the complete directed graph with weights uniform in
+// [1, maxW].
+func GenComplete(n int, maxW int64, seed int64) *Graph {
+	return GenRandom(n, 1.0, maxW, seed)
+}
+
+// GenChain returns the directed path 0 -> 1 -> ... -> n-1 with unit-ish
+// weight w on every edge. The MCP from vertex 0 to destination n-1 has
+// exactly n-1 edges: the worst-case iteration count of the DP.
+func GenChain(n int, w int64) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.SetEdge(i, i+1, w)
+	}
+	return g
+}
+
+// GenDiameter returns an n-vertex graph whose maximum MCP length to
+// destination 0 is exactly p edges (1 <= p <= n-1): vertices p, p-1, ..., 1
+// form a unit-weight chain into 0, and every remaining vertex has a direct
+// unit-weight edge to 0. It is the E2 workload: the DP on it runs exactly
+// p productive iterations.
+func GenDiameter(n, p int) *Graph {
+	if p < 1 || p > n-1 {
+		panic(fmt.Sprintf("graph: diameter p=%d outside [1,%d]", p, n-1))
+	}
+	g := New(n)
+	for v := p; v >= 1; v-- {
+		g.SetEdge(v, v-1, 1)
+	}
+	for v := p + 1; v < n; v++ {
+		g.SetEdge(v, 0, 1)
+	}
+	return g
+}
+
+// GenRing returns the directed cycle 0 -> 1 -> ... -> n-1 -> 0 with weight
+// w on every edge.
+func GenRing(n int, w int64) *Graph {
+	g := GenChain(n, w)
+	if n > 1 {
+		g.SetEdge(n-1, 0, w)
+	}
+	return g
+}
+
+// GenStar returns a graph in which every vertex has a direct edge of
+// weight w to the hub (vertex 0). All MCPs to the hub are single edges.
+func GenStar(n int, w int64) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.SetEdge(v, 0, w)
+	}
+	return g
+}
+
+// GridSpec describes a 4-connected grid world for GenGrid.
+type GridSpec struct {
+	Rows, Cols int
+	// MaxW is the maximum traversal cost of a cell (weights are uniform in
+	// [1, MaxW]).
+	MaxW int64
+	// Obstacle is the probability that a cell is impassable (no edges in
+	// or out). The destination and start corners are never blocked.
+	Obstacle float64
+	Seed     int64
+}
+
+// GenGrid builds the robot-navigation workload: vertex r*Cols+c is the
+// cell (r, c); moving into a cell costs that cell's weight; obstacles have
+// no edges. Undirected in structure (edges both ways, possibly different
+// costs). Returns the graph and the obstacle mask.
+func GenGrid(spec GridSpec) (*Graph, []bool) {
+	if spec.Rows < 1 || spec.Cols < 1 {
+		panic("graph: empty grid")
+	}
+	if spec.MaxW < 1 {
+		spec.MaxW = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Rows * spec.Cols
+	cost := make([]int64, n)
+	blocked := make([]bool, n)
+	for i := range cost {
+		cost[i] = 1 + rng.Int63n(spec.MaxW)
+		blocked[i] = rng.Float64() < spec.Obstacle
+	}
+	blocked[0] = false
+	blocked[n-1] = false
+	g := New(n)
+	at := func(r, c int) int { return r*spec.Cols + c }
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			u := at(r, c)
+			if blocked[u] {
+				continue
+			}
+			for _, d := range [][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr < 0 || nr >= spec.Rows || nc < 0 || nc >= spec.Cols {
+					continue
+				}
+				v := at(nr, nc)
+				if !blocked[v] {
+					g.SetEdge(u, v, cost[v])
+				}
+			}
+		}
+	}
+	return g, blocked
+}
+
+// GenLayeredDAG returns a DAG of `layers` layers with `width` vertices per
+// layer plus a single sink (the destination, vertex n-1). Every vertex in
+// layer k has edges to a random non-empty subset of layer k+1 (the last
+// layer connects to the sink), with weights uniform in [1, maxW]. All MCPs
+// to the sink have exactly layers edges... from layer 0. Deterministic in
+// seed.
+func GenLayeredDAG(layers, width int, maxW int64, seed int64) *Graph {
+	if layers < 1 || width < 1 {
+		panic("graph: GenLayeredDAG needs layers >= 1 and width >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := layers*width + 1
+	sink := n - 1
+	g := New(n)
+	vertex := func(layer, i int) int { return layer*width + i }
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			u := vertex(l, i)
+			if l == layers-1 {
+				g.SetEdge(u, sink, 1+rng.Int63n(maxW))
+				continue
+			}
+			connected := false
+			for j := 0; j < width; j++ {
+				if rng.Float64() < 0.5 {
+					g.SetEdge(u, vertex(l+1, j), 1+rng.Int63n(maxW))
+					connected = true
+				}
+			}
+			if !connected {
+				g.SetEdge(u, vertex(l+1, rng.Intn(width)), 1+rng.Int63n(maxW))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenSmallWorld returns a Watts-Strogatz small-world network: a ring
+// lattice in which every vertex connects to its k nearest neighbours on
+// each side, with each lattice edge rewired to a random endpoint with
+// probability beta. Edges are symmetric with weights uniform in
+// [1, maxW]; the routing-table workloads of the netroute example are of
+// this shape. Deterministic in seed.
+func GenSmallWorld(n, k int, beta float64, maxW int64, seed int64) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: small world needs n >= 3, got %d", n))
+	}
+	if k < 1 || 2*k >= n {
+		panic(fmt.Sprintf("graph: small world needs 1 <= k < n/2, got k=%d n=%d", k, n))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("graph: rewire probability %v outside [0,1]", beta))
+	}
+	if maxW < 1 {
+		panic(fmt.Sprintf("graph: maxW %d < 1", maxW))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	addBoth := func(u, v int) {
+		w := 1 + rng.Int63n(maxW)
+		g.SetEdge(u, v, w)
+		g.SetEdge(v, u, w)
+	}
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k; d++ {
+			v := (u + d) % n
+			if rng.Float64() < beta {
+				// Rewire to a random non-self, non-duplicate endpoint.
+				for tries := 0; tries < 4*n; tries++ {
+					cand := rng.Intn(n)
+					if cand != u && !g.HasEdge(u, cand) {
+						v = cand
+						break
+					}
+				}
+			}
+			if !g.HasEdge(u, v) {
+				addBoth(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// GenScaleFree returns a Barabási-Albert preferential-attachment network:
+// vertices join one at a time, each attaching m symmetric edges to
+// existing vertices with probability proportional to their current
+// degree. Weights are uniform in [1, maxW]. Deterministic in seed.
+func GenScaleFree(n, m int, maxW int64, seed int64) *Graph {
+	if m < 1 || n < m+1 {
+		panic(fmt.Sprintf("graph: scale free needs 1 <= m < n, got m=%d n=%d", m, n))
+	}
+	if maxW < 1 {
+		panic(fmt.Sprintf("graph: maxW %d < 1", maxW))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// endpoints lists every edge endpoint once per incidence: sampling a
+	// uniform element is preferential attachment.
+	endpoints := make([]int, 0, 2*m*n)
+	addBoth := func(u, v int) {
+		w := 1 + rng.Int63n(maxW)
+		g.SetEdge(u, v, w)
+		g.SetEdge(v, u, w)
+		endpoints = append(endpoints, u, v)
+	}
+	// Seed clique over the first m+1 vertices.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			addBoth(u, v)
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		attached := 0
+		for tries := 0; attached < m && tries < 100*m; tries++ {
+			v := endpoints[rng.Intn(len(endpoints))]
+			if v != u && !g.HasEdge(u, v) {
+				addBoth(u, v)
+				attached++
+			}
+		}
+		// Degenerate fallback (tiny graphs): attach to the lowest-index
+		// vertices not yet connected.
+		for v := 0; attached < m && v < n; v++ {
+			if v != u && !g.HasEdge(u, v) {
+				addBoth(u, v)
+				attached++
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenSmallWorldStructure(t *testing.T) {
+	g := GenSmallWorld(20, 2, 0.1, 9, 7)
+	if !g.Symmetric() {
+		t.Error("small world not symmetric")
+	}
+	// With beta = 0 the ring lattice is exact: every vertex has degree 2k.
+	lattice := GenSmallWorld(12, 2, 0, 5, 1)
+	for u := 0; u < 12; u++ {
+		deg := 0
+		for v := 0; v < 12; v++ {
+			if lattice.HasEdge(u, v) {
+				deg++
+			}
+		}
+		if deg != 4 {
+			t.Errorf("lattice degree(%d) = %d, want 4", u, deg)
+		}
+	}
+	// Connected: everything reaches vertex 0.
+	bf, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range bf.Dist {
+		if d == NoEdge {
+			t.Errorf("small-world vertex %d unreachable", i)
+		}
+	}
+}
+
+func TestGenSmallWorldDeterministic(t *testing.T) {
+	a := GenSmallWorld(15, 2, 0.3, 9, 4)
+	b := GenSmallWorld(15, 2, 0.3, 9, 4)
+	if !reflect.DeepEqual(a.W, b.W) {
+		t.Error("not deterministic in seed")
+	}
+	c := GenSmallWorld(15, 2, 0.3, 9, 5)
+	if reflect.DeepEqual(a.W, c.W) {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestGenSmallWorldPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { GenSmallWorld(2, 1, 0.1, 5, 1) },
+		func() { GenSmallWorld(6, 3, 0.1, 5, 1) },
+		func() { GenSmallWorld(6, 0, 0.1, 5, 1) },
+		func() { GenSmallWorld(6, 2, 1.5, 5, 1) },
+		func() { GenSmallWorld(6, 2, 0.1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad small-world args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGenScaleFreeStructure(t *testing.T) {
+	const n, m = 30, 2
+	g := GenScaleFree(n, m, 9, 11)
+	if !g.Symmetric() {
+		t.Error("scale free not symmetric")
+	}
+	// Every late vertex attached at least m edges; the hubs exist.
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg := 0
+		for v := 0; v < n; v++ {
+			if g.HasEdge(u, v) {
+				deg++
+			}
+		}
+		if u > m && deg < m {
+			t.Errorf("vertex %d degree %d < m", u, deg)
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	// Preferential attachment concentrates degree: the biggest hub should
+	// clearly exceed the minimum attachment degree.
+	if maxDeg < 2*m {
+		t.Errorf("max degree %d suspiciously flat", maxDeg)
+	}
+	// Connected by construction.
+	bf, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range bf.Dist {
+		if d == NoEdge {
+			t.Errorf("scale-free vertex %d unreachable", i)
+		}
+	}
+}
+
+func TestGenScaleFreeDeterministicAndPanics(t *testing.T) {
+	a := GenScaleFree(20, 2, 9, 3)
+	b := GenScaleFree(20, 2, 9, 3)
+	if !reflect.DeepEqual(a.W, b.W) {
+		t.Error("not deterministic in seed")
+	}
+	for _, f := range []func(){
+		func() { GenScaleFree(3, 3, 5, 1) },
+		func() { GenScaleFree(5, 0, 5, 1) },
+		func() { GenScaleFree(5, 2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad scale-free args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNetworkGeneratorsSolveCorrectly(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"smallworld": GenSmallWorld(14, 2, 0.2, 9, 9),
+		"scalefree":  GenScaleFree(14, 2, 9, 9),
+	} {
+		bf, err := BellmanFord(g, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := CheckResult(g, bf); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// failingWriter errors after a byte budget, to drive Format's error paths.
+type failingWriter struct{ budget int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errors.New("disk full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestFormatPropagatesWriteErrors(t *testing.T) {
+	g := GenComplete(16, 9, 1) // enough output to overflow small budgets
+	for _, budget := range []int{0, 3, 40} {
+		if err := g.Format(&failingWriter{budget: budget}); err == nil {
+			t.Errorf("budget %d: Format succeeded on a failing writer", budget)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Result is the output of a single-destination MCP computation: for every
+// vertex i, Dist[i] is the cost of a minimum cost path from i to Dest
+// (NoEdge if unreachable) and Next[i] is the vertex following i on such a
+// path (-1 for Dest itself and for unreachable vertices). It is the
+// host-side mirror of the paper's SOW and PTN rows.
+type Result struct {
+	Dest int
+	Dist []int64
+	Next []int
+	// Iterations is the number of DP rounds executed (Bellman-Ford and the
+	// parallel backends; 0 for Dijkstra/Floyd-Warshall). With the paper's
+	// do-while termination rule it equals the maximum MCP length p for
+	// p >= 1 (p-1 productive rounds plus the round that detects no change).
+	Iterations int
+	// Relaxations counts sequential edge relaxations (work, for the
+	// sequential-vs-parallel comparison).
+	Relaxations int64
+}
+
+// PathFrom follows Next from v to Dest, returning the vertex sequence
+// (inclusive of both endpoints). ok is false if v cannot reach Dest.
+func (r *Result) PathFrom(v int) (path []int, ok bool) {
+	if v < 0 || v >= len(r.Dist) {
+		return nil, false
+	}
+	if v == r.Dest {
+		return []int{v}, true
+	}
+	if r.Dist[v] == NoEdge {
+		return nil, false
+	}
+	path = []int{v}
+	for steps := 0; v != r.Dest; steps++ {
+		if steps > len(r.Dist) {
+			return nil, false // malformed Next would cycle forever
+		}
+		v = r.Next[v]
+		if v < 0 || v >= len(r.Dist) {
+			return nil, false
+		}
+		path = append(path, v)
+	}
+	return path, true
+}
+
+// addNoEdge adds two costs, treating NoEdge as +infinity.
+func addNoEdge(a, b int64) int64 {
+	if a == NoEdge || b == NoEdge {
+		return NoEdge
+	}
+	return a + b
+}
+
+// BellmanFord computes single-destination MCP with the synchronous
+// (Jacobi) dynamic program the paper parallelizes: round k extends every
+// candidate path by one edge, and the loop stops when a round changes
+// nothing. Ties select the smallest next-vertex index and a round that
+// does not improve a vertex leaves its Next pointer untouched — exactly
+// the PTN update rule of the paper, so Dist *and* Next match the PPA
+// backend element for element.
+func BellmanFord(g *Graph, dest int) (*Result, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("graph: destination %d out of range [0,%d)", dest, g.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N
+	r := &Result{Dest: dest, Dist: make([]int64, n), Next: make([]int, n)}
+	for i := 0; i < n; i++ {
+		r.Dist[i] = g.At(i, dest) // 1-edge paths (statements 4-7)
+		if r.Dist[i] != NoEdge {
+			r.Next[i] = dest
+		} else {
+			r.Next[i] = -1
+		}
+	}
+	r.Dist[dest] = 0
+	r.Next[dest] = -1
+
+	newDist := make([]int64, n)
+	for {
+		r.Iterations++
+		changed := false
+		copy(newDist, r.Dist)
+		for i := 0; i < n; i++ {
+			if i == dest {
+				continue
+			}
+			best, arg := r.Dist[i], -1
+			for j := 0; j < n; j++ {
+				cand := addNoEdge(g.At(i, j), r.Dist[j])
+				r.Relaxations++
+				if cand < best {
+					best, arg = cand, j
+				}
+			}
+			if arg >= 0 {
+				newDist[i] = best
+				r.Next[i] = arg
+				changed = true
+			}
+		}
+		copy(r.Dist, newDist)
+		if !changed {
+			break
+		}
+		if r.Iterations > n+1 {
+			return nil, fmt.Errorf("graph: Bellman-Ford did not converge in %d rounds (negative cycle?)", n+1)
+		}
+	}
+	return r, nil
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	v    int
+	dist int64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// Dijkstra computes single-destination MCP by running Dijkstra's algorithm
+// over reversed edges from dest. It is the fast sequential baseline
+// (O(n^2 log n) on the dense matrix); Next tie-breaking may differ from
+// BellmanFord, but distances are always identical.
+func Dijkstra(g *Graph, dest int) (*Result, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("graph: destination %d out of range [0,%d)", dest, g.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N
+	r := &Result{Dest: dest, Dist: make([]int64, n), Next: make([]int, n)}
+	for i := range r.Dist {
+		r.Dist[i] = NoEdge
+		r.Next[i] = -1
+	}
+	r.Dist[dest] = 0
+	done := make([]bool, n)
+	q := &pq{{dest, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		// Relax reversed edges: predecessors i with edge i -> it.v.
+		for i := 0; i < n; i++ {
+			w := g.At(i, it.v)
+			if w == NoEdge || done[i] {
+				continue
+			}
+			r.Relaxations++
+			if cand := addNoEdge(w, it.dist); cand < r.Dist[i] {
+				r.Dist[i] = cand
+				r.Next[i] = it.v
+				heap.Push(q, pqItem{i, cand})
+			}
+		}
+	}
+	return r, nil
+}
+
+// FloydWarshall returns the full all-pairs distance matrix (row-major:
+// dist[i*n+j] is the MCP cost from i to j, NoEdge if unreachable). Used to
+// cross-validate the single-destination backends.
+func FloydWarshall(g *Graph) []int64 {
+	n := g.N
+	dist := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				dist[i*n+j] = 0
+			default:
+				dist[i*n+j] = g.At(i, j)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := dist[i*n+k]
+			if dik == NoEdge {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if cand := addNoEdge(dik, dist[k*n+j]); cand < dist[i*n+j] {
+					dist[i*n+j] = cand
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// MaxPathLength returns p, the maximum number of edges on any minimum cost
+// path to dest over all vertices that can reach it, computed by a BFS-like
+// DP on the optimal-subpath graph. This is the p of the paper's O(p·h)
+// bound. Vertices with several optimal paths count the shortest edge
+// count among them.
+func MaxPathLength(g *Graph, dest int) (int, error) {
+	bf, err := BellmanFord(g, dest)
+	if err != nil {
+		return 0, err
+	}
+	n := g.N
+	// hops[i] = minimum edge count over optimal paths from i to dest.
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[dest] = 0
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i == dest || bf.Dist[i] == NoEdge {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if hops[j] < 0 || g.At(i, j) == NoEdge {
+					continue
+				}
+				if addNoEdge(g.At(i, j), bf.Dist[j]) == bf.Dist[i] {
+					if cand := hops[j] + 1; hops[i] < 0 || cand < hops[i] {
+						hops[i] = cand
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	p := 0
+	for _, h := range hops {
+		if h > p {
+			p = h
+		}
+	}
+	return p, nil
+}

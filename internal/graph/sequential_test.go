@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBellmanFordChain(t *testing.T) {
+	g := GenChain(5, 2) // 0->1->2->3->4, weight 2
+	r, err := BellmanFord(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{8, 6, 4, 2, 0}; !reflect.DeepEqual(r.Dist, want) {
+		t.Errorf("Dist = %v, want %v", r.Dist, want)
+	}
+	if want := []int{1, 2, 3, 4, -1}; !reflect.DeepEqual(r.Next, want) {
+		t.Errorf("Next = %v, want %v", r.Next, want)
+	}
+	// Max path length p = 4: 3 productive rounds + 1 detecting round.
+	if r.Iterations != 4 {
+		t.Errorf("Iterations = %d, want 4", r.Iterations)
+	}
+	if err := CheckResult(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBellmanFordUnreachable(t *testing.T) {
+	g := GenChain(4, 1) // nothing reaches vertex 0
+	r, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[0] != 0 || r.Dist[1] != NoEdge || r.Next[1] != -1 {
+		t.Errorf("unreachable handling wrong: %v %v", r.Dist, r.Next)
+	}
+	if err := CheckResult(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBellmanFordSingleVertex(t *testing.T) {
+	r, err := BellmanFord(New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[0] != 0 || r.Next[0] != -1 || r.Iterations != 1 {
+		t.Errorf("trivial graph: %+v", r)
+	}
+}
+
+func TestBellmanFordBadDest(t *testing.T) {
+	if _, err := BellmanFord(New(3), 5); err == nil {
+		t.Error("out-of-range dest accepted")
+	}
+	if _, err := BellmanFord(New(3), -1); err == nil {
+		t.Error("negative dest accepted")
+	}
+}
+
+func TestBellmanFordKeepsNextOnTies(t *testing.T) {
+	// Two equal-cost routes 0->1->3 and 0->2->3; plus direct 0->3 of the
+	// same total cost discovered first. PTN rule: the pointer set in an
+	// earlier round survives rounds that do not strictly improve the cost.
+	g := New(4)
+	g.SetEdge(0, 3, 4)
+	g.SetEdge(0, 1, 2)
+	g.SetEdge(1, 3, 2)
+	g.SetEdge(0, 2, 2)
+	g.SetEdge(2, 3, 2)
+	r, err := BellmanFord(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[0] != 4 {
+		t.Fatalf("Dist[0] = %d, want 4", r.Dist[0])
+	}
+	if r.Next[0] != 3 {
+		t.Errorf("Next[0] = %d, want the initial direct pointer 3", r.Next[0])
+	}
+}
+
+func TestBellmanFordSmallestIndexTieBreak(t *testing.T) {
+	// 0 has two strictly-improving equal-cost choices in the same round:
+	// via 1 and via 2. The smaller index must win (selected_min(COL, ...)).
+	g := New(4)
+	g.SetEdge(0, 2, 5)
+	g.SetEdge(0, 1, 5)
+	g.SetEdge(1, 3, 5)
+	g.SetEdge(2, 3, 5)
+	r, err := BellmanFord(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[0] != 10 || r.Next[0] != 1 {
+		t.Errorf("Dist[0]=%d Next[0]=%d, want 10 and 1", r.Dist[0], r.Next[0])
+	}
+}
+
+func TestDijkstraMatchesBellmanFordRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(14)
+		g := GenRandom(n, 0.3+rng.Float64()*0.5, 1+int64(rng.Intn(30)), rng.Int63())
+		d := rng.Intn(n)
+		bf, err := BellmanFord(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dj, err := Dijkstra(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameDistances(bf, dj) {
+			t.Fatalf("trial %d: BF %v != Dijkstra %v", trial, bf.Dist, dj.Dist)
+		}
+		if err := CheckResult(g, bf); err != nil {
+			t.Fatalf("trial %d BF: %v", trial, err)
+		}
+		if err := CheckResult(g, dj); err != nil {
+			t.Fatalf("trial %d Dijkstra: %v", trial, err)
+		}
+	}
+}
+
+func TestFloydWarshallCrossValidates(t *testing.T) {
+	g := GenRandomConnected(9, 0.25, 12, 77)
+	fw := FloydWarshall(g)
+	for d := 0; d < g.N; d++ {
+		bf, err := BellmanFord(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.N; i++ {
+			if fw[i*g.N+d] != bf.Dist[i] {
+				t.Errorf("dest %d vertex %d: FW %d, BF %d", d, i, fw[i*g.N+d], bf.Dist[i])
+			}
+		}
+	}
+}
+
+func TestFloydWarshallDisconnected(t *testing.T) {
+	g := New(3)
+	g.SetEdge(0, 1, 2)
+	fw := FloydWarshall(g)
+	if fw[0*3+1] != 2 || fw[1*3+0] != NoEdge || fw[2*3+2] != 0 {
+		t.Errorf("FW = %v", fw)
+	}
+}
+
+func TestDijkstraBadDest(t *testing.T) {
+	if _, err := Dijkstra(New(2), 2); err == nil {
+		t.Error("bad dest accepted")
+	}
+}
+
+func TestPathFrom(t *testing.T) {
+	g := GenChain(4, 1)
+	r, _ := BellmanFord(g, 3)
+	path, ok := r.PathFrom(0)
+	if !ok || !reflect.DeepEqual(path, []int{0, 1, 2, 3}) {
+		t.Errorf("PathFrom(0) = %v, %v", path, ok)
+	}
+	if p, ok := r.PathFrom(3); !ok || !reflect.DeepEqual(p, []int{3}) {
+		t.Error("PathFrom(dest) wrong")
+	}
+	if _, ok := r.PathFrom(-1); ok {
+		t.Error("PathFrom(-1) succeeded")
+	}
+	if _, ok := r.PathFrom(9); ok {
+		t.Error("PathFrom(out of range) succeeded")
+	}
+	rev, _ := BellmanFord(g, 0)
+	if _, ok := rev.PathFrom(2); ok {
+		t.Error("PathFrom(unreachable) succeeded")
+	}
+}
+
+func TestPathFromDetectsCycle(t *testing.T) {
+	r := &Result{Dest: 2, Dist: []int64{1, 1, 0}, Next: []int{1, 0, -1}}
+	if _, ok := r.PathFrom(0); ok {
+		t.Error("cyclic Next chain not detected")
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	g := GenChain(4, 3)
+	if c, err := PathCost(g, []int{0, 1, 2}); err != nil || c != 6 {
+		t.Errorf("PathCost = %d, %v", c, err)
+	}
+	if _, err := PathCost(g, []int{2, 0}); err == nil {
+		t.Error("missing edge accepted")
+	}
+	if _, err := PathCost(g, nil); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := PathCost(g, []int{0, 9}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if c, err := PathCost(g, []int{2}); err != nil || c != 0 {
+		t.Error("single-vertex path should cost 0")
+	}
+}
+
+func TestCheckResultCatchesLies(t *testing.T) {
+	g := GenChain(3, 1)
+	r, _ := BellmanFord(g, 2)
+
+	tooBig := &Result{Dest: 2, Dist: append([]int64(nil), r.Dist...), Next: append([]int(nil), r.Next...)}
+	tooBig.Dist[0] = 5 // claims a worse-than-optimal distance
+	if err := CheckResult(g, tooBig); err == nil {
+		t.Error("suboptimal distance accepted")
+	}
+
+	tooSmall := &Result{Dest: 2, Dist: append([]int64(nil), r.Dist...), Next: append([]int(nil), r.Next...)}
+	tooSmall.Dist[0] = 1 // claims an impossible distance
+	if err := CheckResult(g, tooSmall); err == nil {
+		t.Error("impossible distance accepted")
+	}
+
+	badNext := &Result{Dest: 2, Dist: append([]int64(nil), r.Dist...), Next: append([]int(nil), r.Next...)}
+	badNext.Next[0] = 0 // self-loop pointer
+	if err := CheckResult(g, badNext); err == nil {
+		t.Error("cyclic Next accepted")
+	}
+
+	badDest := &Result{Dest: 9, Dist: r.Dist, Next: r.Next}
+	if err := CheckResult(g, badDest); err == nil {
+		t.Error("bad dest accepted")
+	}
+
+	short := &Result{Dest: 2, Dist: r.Dist[:2], Next: r.Next}
+	if err := CheckResult(g, short); err == nil {
+		t.Error("short result accepted")
+	}
+
+	badUnreach := &Result{Dest: 0, Dist: []int64{0, NoEdge, NoEdge}, Next: []int{-1, 2, -1}}
+	if err := CheckResult(g, badUnreach); err == nil {
+		t.Error("unreachable vertex with Next pointer accepted")
+	}
+}
+
+func TestSameDistances(t *testing.T) {
+	a := &Result{Dest: 0, Dist: []int64{0, 1}}
+	b := &Result{Dest: 0, Dist: []int64{0, 1}}
+	c := &Result{Dest: 0, Dist: []int64{0, 2}}
+	d := &Result{Dest: 1, Dist: []int64{0, 1}}
+	if !SameDistances(a, b) || SameDistances(a, c) || SameDistances(a, d) {
+		t.Error("SameDistances wrong")
+	}
+}
+
+func TestMaxPathLength(t *testing.T) {
+	if p, _ := MaxPathLength(GenChain(6, 1), 5); p != 5 {
+		t.Errorf("chain p = %d, want 5", p)
+	}
+	if p, _ := MaxPathLength(GenStar(6, 1), 0); p != 1 {
+		t.Errorf("star p = %d, want 1", p)
+	}
+	// Equal-cost long and short routes: p counts the shortest witness.
+	g := New(3)
+	g.SetEdge(0, 2, 2)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 2, 1)
+	if p, _ := MaxPathLength(g, 2); p != 1 {
+		t.Errorf("two-route p = %d, want 1", p)
+	}
+	if _, err := MaxPathLength(g, 9); err == nil {
+		t.Error("bad dest accepted")
+	}
+}
+
+func TestBellmanFordIterationsEqualsP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		g := GenRandomConnected(n, 0.2, 9, rng.Int63())
+		d := rng.Intn(n)
+		r, err := BellmanFord(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := MaxPathLength(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p
+		if want < 1 {
+			want = 1
+		}
+		if r.Iterations != want {
+			t.Errorf("trial %d: Iterations = %d, p = %d", trial, r.Iterations, p)
+		}
+	}
+}

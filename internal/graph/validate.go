@@ -1,0 +1,92 @@
+package graph
+
+import "fmt"
+
+// PathCost returns the total weight of the vertex sequence path in g, or
+// an error if any consecutive pair is not an edge.
+func PathCost(g *Graph, path []int) (int64, error) {
+	if len(path) == 0 {
+		return 0, fmt.Errorf("graph: empty path")
+	}
+	var cost int64
+	for k := 0; k+1 < len(path); k++ {
+		u, v := path[k], path[k+1]
+		if u < 0 || u >= g.N || v < 0 || v >= g.N {
+			return 0, fmt.Errorf("graph: path vertex out of range at position %d", k)
+		}
+		w := g.At(u, v)
+		if w == NoEdge {
+			return 0, fmt.Errorf("graph: path uses missing edge %d->%d", u, v)
+		}
+		cost += w
+	}
+	return cost, nil
+}
+
+// CheckResult verifies that r is a correct and optimal single-destination
+// MCP solution for g:
+//
+//  1. consistency — every finite Dist[i] is witnessed by the path obtained
+//     by following Next from i, whose cost equals Dist[i];
+//  2. optimality — no edge can relax any distance
+//     (Dist[i] <= w(i,j) + Dist[j] for every edge i->j);
+//  3. unreachability — Dist[i] == NoEdge implies no edge from i reaches a
+//     vertex with finite distance.
+//
+// This certifies optimality without trusting any solver: conditions 1+2
+// are the classic shortest-path LP complementary-slackness pair.
+func CheckResult(g *Graph, r *Result) error {
+	n := g.N
+	if len(r.Dist) != n || len(r.Next) != n {
+		return fmt.Errorf("graph: result size mismatch")
+	}
+	if r.Dest < 0 || r.Dest >= n {
+		return fmt.Errorf("graph: bad destination %d", r.Dest)
+	}
+	if r.Dist[r.Dest] != 0 {
+		return fmt.Errorf("graph: Dist[dest] = %d, want 0", r.Dist[r.Dest])
+	}
+	for i := 0; i < n; i++ {
+		if i == r.Dest {
+			continue
+		}
+		switch {
+		case r.Dist[i] == NoEdge:
+			if r.Next[i] != -1 {
+				return fmt.Errorf("graph: vertex %d unreachable but Next = %d", i, r.Next[i])
+			}
+		default:
+			path, ok := r.PathFrom(i)
+			if !ok {
+				return fmt.Errorf("graph: vertex %d has Dist %d but Next chain does not reach dest", i, r.Dist[i])
+			}
+			cost, err := PathCost(g, path)
+			if err != nil {
+				return fmt.Errorf("graph: vertex %d: %v", i, err)
+			}
+			if cost != r.Dist[i] {
+				return fmt.Errorf("graph: vertex %d: witness path costs %d, Dist says %d", i, cost, r.Dist[i])
+			}
+		}
+		for j := 0; j < n; j++ {
+			if cand := addNoEdge(g.At(i, j), r.Dist[j]); cand < r.Dist[i] {
+				return fmt.Errorf("graph: edge %d->%d relaxes Dist[%d] from %d to %d (not optimal)",
+					i, j, i, r.Dist[i], cand)
+			}
+		}
+	}
+	return nil
+}
+
+// SameDistances reports whether two results agree on every distance.
+func SameDistances(a, b *Result) bool {
+	if len(a.Dist) != len(b.Dist) || a.Dest != b.Dest {
+		return false
+	}
+	for i := range a.Dist {
+		if a.Dist[i] != b.Dist[i] {
+			return false
+		}
+	}
+	return true
+}

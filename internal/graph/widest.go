@@ -1,0 +1,150 @@
+package graph
+
+import "fmt"
+
+// This file provides the host-side reference for the widest-path
+// (maximum-bottleneck) problem, the (max, min) semiring dual of minimum
+// cost paths: the capacity of a path is its smallest edge weight, and
+// Cap[i] is the largest capacity over all paths from i to the
+// destination. It mirrors BellmanFord's structure (synchronous rounds,
+// strict-improvement pointer updates, smallest-index tie-breaks) so the
+// PPA widest-path solver can be compared element for element.
+
+// WidestResult is the outcome of a single-destination widest-path
+// computation. Cap[dest] is Unbounded (the empty path has no bottleneck);
+// unreachable vertices have capacity 0.
+type WidestResult struct {
+	Dest int
+	Cap  []int64
+	Next []int
+	// Iterations counts DP rounds (as in Result).
+	Iterations int
+}
+
+// Unbounded is the host-side "infinite capacity" sentinel (the
+// destination's own capacity).
+const Unbounded = int64(-1)
+
+// minCap combines an edge weight with a downstream capacity: the
+// bottleneck of taking the edge then the path.
+func minCap(edge int64, cap int64) int64 {
+	if edge == NoEdge {
+		return 0 // missing edge carries no capacity
+	}
+	if cap == Unbounded {
+		return edge
+	}
+	if edge < cap {
+		return edge
+	}
+	return cap
+}
+
+// BellmanFordWidest computes single-destination widest paths with the
+// synchronous dynamic program (round k admits paths of <= k+1 edges).
+func BellmanFordWidest(g *Graph, dest int) (*WidestResult, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("graph: destination %d out of range [0,%d)", dest, g.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N
+	r := &WidestResult{Dest: dest, Cap: make([]int64, n), Next: make([]int, n)}
+	for i := 0; i < n; i++ {
+		r.Cap[i] = minCap(g.At(i, dest), Unbounded)
+		if r.Cap[i] > 0 {
+			r.Next[i] = dest
+		} else {
+			r.Next[i] = -1
+		}
+	}
+	r.Cap[dest] = Unbounded
+	r.Next[dest] = -1
+
+	newCap := make([]int64, n)
+	for {
+		r.Iterations++
+		changed := false
+		copy(newCap, r.Cap)
+		for i := 0; i < n; i++ {
+			if i == dest {
+				continue
+			}
+			best, arg := r.Cap[i], -1
+			for j := 0; j < n; j++ {
+				if cand := minCap(g.At(i, j), r.Cap[j]); cand > best {
+					best, arg = cand, j
+				}
+			}
+			if arg >= 0 {
+				newCap[i] = best
+				r.Next[i] = arg
+				changed = true
+			}
+		}
+		copy(r.Cap, newCap)
+		if !changed {
+			break
+		}
+		if r.Iterations > n+1 {
+			return nil, fmt.Errorf("graph: widest-path DP did not converge in %d rounds", n+1)
+		}
+	}
+	return r, nil
+}
+
+// CheckWidestResult certifies a widest-path solution without trusting the
+// solver: every finite capacity is witnessed by the Next chain (whose
+// bottleneck equals the claimed capacity), and no single edge can improve
+// any capacity (Cap[i] >= min(w(i,j), Cap[j]) for every edge).
+func CheckWidestResult(g *Graph, r *WidestResult) error {
+	n := g.N
+	if len(r.Cap) != n || len(r.Next) != n {
+		return fmt.Errorf("graph: widest result size mismatch")
+	}
+	if r.Dest < 0 || r.Dest >= n {
+		return fmt.Errorf("graph: bad destination %d", r.Dest)
+	}
+	if r.Cap[r.Dest] != Unbounded {
+		return fmt.Errorf("graph: Cap[dest] = %d, want Unbounded", r.Cap[r.Dest])
+	}
+	for i := 0; i < n; i++ {
+		if i == r.Dest {
+			continue
+		}
+		switch {
+		case r.Cap[i] == 0:
+			if r.Next[i] != -1 {
+				return fmt.Errorf("graph: vertex %d has no path but Next = %d", i, r.Next[i])
+			}
+		case r.Cap[i] < 0:
+			return fmt.Errorf("graph: vertex %d has invalid capacity %d", i, r.Cap[i])
+		default:
+			// Walk the witness path, tracking its bottleneck.
+			bottleneck := Unbounded
+			v := i
+			for steps := 0; v != r.Dest; steps++ {
+				if steps > n {
+					return fmt.Errorf("graph: vertex %d: Next chain cycles", i)
+				}
+				nxt := r.Next[v]
+				if nxt < 0 || nxt >= n || g.At(v, nxt) == NoEdge {
+					return fmt.Errorf("graph: vertex %d: broken witness at %d -> %d", i, v, nxt)
+				}
+				bottleneck = minCap(g.At(v, nxt), bottleneck)
+				v = nxt
+			}
+			if bottleneck != r.Cap[i] {
+				return fmt.Errorf("graph: vertex %d: witness bottleneck %d, Cap says %d", i, bottleneck, r.Cap[i])
+			}
+		}
+		for j := 0; j < n; j++ {
+			if cand := minCap(g.At(i, j), r.Cap[j]); cand > r.Cap[i] {
+				return fmt.Errorf("graph: edge %d->%d improves Cap[%d] from %d to %d (not optimal)",
+					i, j, i, r.Cap[i], cand)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBellmanFordWidestChain(t *testing.T) {
+	// 0 -3-> 1 -7-> 2 -5-> 3: bottleneck from 0 is 3, from 1 is 5.
+	g := New(4)
+	g.SetEdge(0, 1, 3)
+	g.SetEdge(1, 2, 7)
+	g.SetEdge(2, 3, 5)
+	r, err := BellmanFordWidest(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap[0] != 3 || r.Cap[1] != 5 || r.Cap[2] != 5 || r.Cap[3] != Unbounded {
+		t.Errorf("Cap = %v", r.Cap)
+	}
+	if r.Next[0] != 1 || r.Next[3] != -1 {
+		t.Errorf("Next = %v", r.Next)
+	}
+	if err := CheckWidestResult(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBellmanFordWidestPrefersWiderDetour(t *testing.T) {
+	// Direct 0->2 capacity 2; detour 0->1->2 capacity min(9, 8) = 8.
+	g := New(3)
+	g.SetEdge(0, 2, 2)
+	g.SetEdge(0, 1, 9)
+	g.SetEdge(1, 2, 8)
+	r, err := BellmanFordWidest(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap[0] != 8 || r.Next[0] != 1 {
+		t.Errorf("Cap[0]=%d Next[0]=%d, want 8 via 1", r.Cap[0], r.Next[0])
+	}
+	if err := CheckWidestResult(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBellmanFordWidestUnreachable(t *testing.T) {
+	g := GenChain(4, 5)
+	r, err := BellmanFordWidest(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap[1] != 0 || r.Next[1] != -1 {
+		t.Errorf("unreachable: %v %v", r.Cap, r.Next)
+	}
+	if err := CheckWidestResult(g, r); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBellmanFordWidestErrors(t *testing.T) {
+	if _, err := BellmanFordWidest(New(3), 4); err == nil {
+		t.Error("bad dest accepted")
+	}
+	bad := New(2)
+	bad.W[1] = -1
+	if _, err := BellmanFordWidest(bad, 0); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+// widestFloyd is an independent all-pairs reference (Floyd-Warshall under
+// the (max, min) semiring).
+func widestFloyd(g *Graph) []int64 {
+	n := g.N
+	cap := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				cap[i*n+j] = Unbounded
+			case g.At(i, j) != NoEdge:
+				cap[i*n+j] = g.At(i, j)
+			}
+		}
+	}
+	min2 := func(a, b int64) int64 {
+		if a == Unbounded {
+			return b
+		}
+		if b == Unbounded {
+			return a
+		}
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				through := min2(cap[i*n+k], cap[k*n+j])
+				cap[i*n+j] = max2Finite(cap[i*n+j], through)
+			}
+		}
+	}
+	return cap
+}
+
+func max2Finite(a, b int64) int64 {
+	if a == Unbounded || b == Unbounded {
+		return Unbounded
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBellmanFordWidestAgainstFloyd(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(10)
+		g := GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(30)), rng.Int63())
+		fw := widestFloyd(g)
+		dest := rng.Intn(n)
+		r, err := BellmanFordWidest(g, dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if i == dest {
+				continue
+			}
+			if r.Cap[i] != fw[i*n+dest] {
+				t.Fatalf("trial %d (%d->%d): BF %d, Floyd %d", trial, i, dest, r.Cap[i], fw[i*n+dest])
+			}
+		}
+		if err := CheckWidestResult(g, r); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckWidestResultCatchesLies(t *testing.T) {
+	g := New(3)
+	g.SetEdge(0, 1, 4)
+	g.SetEdge(1, 2, 6)
+	r, _ := BellmanFordWidest(g, 2)
+
+	tamper := func(f func(x *WidestResult)) *WidestResult {
+		cp := &WidestResult{Dest: r.Dest,
+			Cap:  append([]int64(nil), r.Cap...),
+			Next: append([]int(nil), r.Next...)}
+		f(cp)
+		return cp
+	}
+	if err := CheckWidestResult(g, tamper(func(x *WidestResult) { x.Cap[0] = 9 })); err == nil {
+		t.Error("inflated capacity accepted")
+	}
+	if err := CheckWidestResult(g, tamper(func(x *WidestResult) { x.Cap[0] = 1 })); err == nil {
+		t.Error("deflated capacity accepted")
+	}
+	if err := CheckWidestResult(g, tamper(func(x *WidestResult) { x.Next[0] = 0 })); err == nil {
+		t.Error("cyclic Next accepted")
+	}
+	if err := CheckWidestResult(g, tamper(func(x *WidestResult) { x.Cap[2] = 5 })); err == nil {
+		t.Error("finite dest capacity accepted")
+	}
+	if err := CheckWidestResult(g, tamper(func(x *WidestResult) { x.Cap[0] = -7 })); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := CheckWidestResult(g, &WidestResult{Dest: 9, Cap: r.Cap, Next: r.Next}); err == nil {
+		t.Error("bad dest accepted")
+	}
+	if err := CheckWidestResult(g, &WidestResult{Dest: 2, Cap: r.Cap[:1], Next: r.Next}); err == nil {
+		t.Error("short result accepted")
+	}
+}

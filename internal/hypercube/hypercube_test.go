@@ -1,0 +1,298 @@
+package hypercube
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+func TestExchange(t *testing.T) {
+	m := New(2)
+	src := []ppa.Word{10, 11, 12, 13}
+	dst := make([]ppa.Word, 4)
+	m.Exchange(0, src, dst)
+	if want := []ppa.Word{11, 10, 13, 12}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("dim 0: %v, want %v", dst, want)
+	}
+	if want := []ppa.Word{10, 11, 12, 13}; !reflect.DeepEqual(src, want) {
+		t.Errorf("src mutated: %v", src)
+	}
+	m.Exchange(1, src, dst)
+	if want := []ppa.Word{12, 13, 10, 11}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("dim 1: %v, want %v", dst, want)
+	}
+	// In-place exchange.
+	m.Exchange(0, src, src)
+	if want := []ppa.Word{11, 10, 13, 12}; !reflect.DeepEqual(src, want) {
+		t.Errorf("aliased: %v, want %v", src, want)
+	}
+	if m.Metrics().RouterCycles != 3 {
+		t.Errorf("RouterCycles = %d, want 3", m.Metrics().RouterCycles)
+	}
+}
+
+func TestExchangeInvolutive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(4)
+	v := make([]ppa.Word, m.Size())
+	for i := range v {
+		v[i] = ppa.Word(rng.Intn(1000))
+	}
+	orig := append([]ppa.Word(nil), v...)
+	for d := uint(0); d < 4; d++ {
+		m.Exchange(d, v, v)
+		m.Exchange(d, v, v)
+	}
+	if !reflect.DeepEqual(v, orig) {
+		t.Error("double exchange is not the identity")
+	}
+}
+
+func TestExchangeBadDimPanics(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad dimension did not panic")
+		}
+	}()
+	m.Exchange(2, make([]ppa.Word, 4), make([]ppa.Word, 4))
+}
+
+func TestReduceMinAllReduce(t *testing.T) {
+	m := New(3)
+	v := []ppa.Word{7, 3, 9, 5, 8, 2, 6, 4}
+	m.ReduceMin([]uint{0, 1, 2}, v)
+	for i, x := range v {
+		if x != 2 {
+			t.Errorf("v[%d] = %d, want 2", i, x)
+		}
+	}
+	if m.Metrics().RouterCycles != 3 {
+		t.Errorf("RouterCycles = %d, want 3", m.Metrics().RouterCycles)
+	}
+}
+
+func TestReduceMinSubcubes(t *testing.T) {
+	m := New(3)
+	v := []ppa.Word{7, 3, 9, 5, 8, 2, 6, 4}
+	// Reduce only over dim 0: pairs (0,1), (2,3), (4,5), (6,7).
+	m.ReduceMin([]uint{0}, v)
+	if want := []ppa.Word{3, 3, 5, 5, 2, 2, 4, 4}; !reflect.DeepEqual(v, want) {
+		t.Errorf("v = %v, want %v", v, want)
+	}
+}
+
+func TestReduceMinPairTieBreak(t *testing.T) {
+	m := New(2)
+	key := []ppa.Word{5, 5, 9, 5}
+	pay := []ppa.Word{3, 1, 0, 2}
+	m.ReduceMinPair([]uint{0, 1}, key, pay)
+	for i := range key {
+		if key[i] != 5 || pay[i] != 1 {
+			t.Errorf("lane %d: (%d,%d), want (5,1)", i, key[i], pay[i])
+		}
+	}
+}
+
+func TestBroadcastFrom(t *testing.T) {
+	m := New(2)
+	v := []ppa.Word{10, 11, 12, 13}
+	m.BroadcastFrom([]uint{0, 1}, 2, v, 1<<16-1)
+	for i, x := range v {
+		if x != 12 {
+			t.Errorf("v[%d] = %d, want 12", i, x)
+		}
+	}
+}
+
+func TestBroadcastMaskedPerSubcube(t *testing.T) {
+	m := New(2)
+	// Subcubes over dim 1: {0,2} and {1,3}. Sources: 2 and 1.
+	v := []ppa.Word{10, 11, 12, 13}
+	mask := []bool{false, true, true, false}
+	m.BroadcastMasked([]uint{1}, mask, v, 1<<16-1)
+	if want := []ppa.Word{12, 11, 12, 11}; !reflect.DeepEqual(v, want) {
+		t.Errorf("v = %v, want %v", v, want)
+	}
+}
+
+func TestGlobalOr(t *testing.T) {
+	m := New(1)
+	if m.GlobalOr([]bool{false, false}) || !m.GlobalOr([]bool{false, true}) {
+		t.Error("GlobalOr wrong")
+	}
+	if m.Metrics().GlobalOrOps != 2 {
+		t.Error("GlobalOrOps not counted")
+	}
+	m.ResetMetrics()
+	if m.Metrics() != (ppa.Metrics{}) {
+		t.Error("ResetMetrics failed")
+	}
+}
+
+func TestPadToPow2(t *testing.T) {
+	cases := []struct {
+		n, np int
+		log   uint
+	}{{1, 1, 0}, {2, 2, 1}, {3, 4, 2}, {4, 4, 2}, {5, 8, 3}, {9, 16, 4}}
+	for _, c := range cases {
+		np, lg := padToPow2(c.n)
+		if np != c.np || lg != c.log {
+			t.Errorf("padToPow2(%d) = %d,%d, want %d,%d", c.n, np, lg, c.np, c.log)
+		}
+	}
+}
+
+func TestSolveMCPChain(t *testing.T) {
+	g := graph.GenChain(6, 2)
+	r, err := SolveMCP(g, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{10, 8, 6, 4, 2, 0}; !reflect.DeepEqual(r.Dist, want) {
+		t.Errorf("Dist = %v, want %v", r.Dist, want)
+	}
+	if r.PaddedN != 8 {
+		t.Errorf("PaddedN = %d, want 8", r.PaddedN)
+	}
+	if err := graph.CheckResult(g, &r.Result); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveMCPMatchesPPAExactly: the hypercube runs the same DP with the
+// same tie-breaking, so Dist, Next and Iterations agree with core.Solve.
+func TestSolveMCPMatchesPPAExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(13)
+		g := graph.GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(15)), rng.Int63())
+		dest := rng.Intn(n)
+		want, err := core.Solve(g, dest, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveMCP(g, dest, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Dist, got.Dist) ||
+			!reflect.DeepEqual(want.Next, got.Next) ||
+			want.Iterations != got.Iterations {
+			t.Fatalf("trial %d (n=%d dest=%d): hypercube diverged\nppa: %v %v (%d)\ncube: %v %v (%d)",
+				trial, n, dest, want.Dist, want.Next, want.Iterations,
+				got.Dist, got.Next, got.Iterations)
+		}
+	}
+}
+
+func TestSolveMCPRouterCyclesMatchModel(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 13} {
+		g := graph.GenRandomConnected(n, 0.4, 7, int64(n))
+		r, err := SolveMCP(g, n-1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, logNp := padToPow2(n)
+		if r.PaddedN != np {
+			t.Errorf("n=%d: PaddedN = %d, want %d", n, r.PaddedN, np)
+		}
+		want := PredictedRouterCycles(logNp, r.Iterations)
+		if r.Metrics.RouterCycles != want {
+			t.Errorf("n=%d: RouterCycles = %d, model %d (iters=%d)",
+				n, r.Metrics.RouterCycles, want, r.Iterations)
+		}
+		if r.Metrics.BusCycles != 0 || r.Metrics.ShiftSteps != 0 || r.Metrics.WiredOrCycles != 0 {
+			t.Errorf("n=%d: hypercube used non-router fabric: %v", n, r.Metrics)
+		}
+	}
+}
+
+// TestBitSerialRouterScalesExactlyByH: same answers, router cycles
+// multiplied by the word width — the CM-1 fidelity knob.
+func TestBitSerialRouterScalesExactlyByH(t *testing.T) {
+	g := graph.GenRandomConnected(9, 0.3, 9, 8)
+	word, err := SolveMCP(g, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := SolveMCP(g, 4, Options{Bits: word.Bits, BitSerialRouter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(word.Dist, bit.Dist) || !reflect.DeepEqual(word.Next, bit.Next) {
+		t.Fatal("bit-serial router changed the answers")
+	}
+	if bit.Metrics.RouterCycles != int64(word.Bits)*word.Metrics.RouterCycles {
+		t.Errorf("bit-serial cycles %d, want %d x %d",
+			bit.Metrics.RouterCycles, word.Bits, word.Metrics.RouterCycles)
+	}
+}
+
+func TestWithWordCostFloor(t *testing.T) {
+	m := New(1, WithWordCost(0)) // clamps to 1
+	m.Exchange(0, make([]ppa.Word, 2), make([]ppa.Word, 2))
+	if m.Metrics().RouterCycles != 1 {
+		t.Errorf("RouterCycles = %d, want clamped 1", m.Metrics().RouterCycles)
+	}
+}
+
+func TestSolveMCPSingleVertex(t *testing.T) {
+	r, err := SolveMCP(graph.New(1), 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[0] != 0 || r.Next[0] != -1 || r.PaddedN != 1 {
+		t.Errorf("trivial: %+v", r)
+	}
+}
+
+func TestSolveMCPUnreachableAndPadding(t *testing.T) {
+	// n=3 pads to 4; the padded vertex must not leak into results.
+	g := graph.New(3)
+	g.SetEdge(0, 2, 4)
+	r, err := SolveMCP(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[0] != 4 || r.Dist[1] != graph.NoEdge || len(r.Dist) != 3 {
+		t.Errorf("padding leak: %v", r.Dist)
+	}
+}
+
+func TestSolveMCPErrors(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	if _, err := SolveMCP(g, 4, Options{}); err == nil {
+		t.Error("bad dest accepted")
+	}
+	if _, err := SolveMCP(g, 0, Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+	if _, err := SolveMCP(graph.GenChain(10, 1), 0, Options{Bits: 3}); err == nil {
+		t.Error("3-bit machine accepted 10 vertices (padded to 16)")
+	}
+	if _, err := SolveMCP(graph.GenChain(5, 60), 4, Options{Bits: 7}); err == nil {
+		t.Error("saturating configuration accepted")
+	}
+	if _, err := SolveMCP(g, 3, Options{MaxIterations: 1}); err == nil {
+		t.Error("MaxIterations guard did not trip")
+	}
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, err := SolveMCP(bad, 0, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestNewPanicsOnHugeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(31) did not panic")
+		}
+	}()
+	New(31)
+}

@@ -1,0 +1,198 @@
+// Package hypercube models the comparator the paper names first: the
+// Connection Machine's hypercube interconnection network (Hillis [4]),
+// as a SIMD machine of 2^q processors in which one dimension-exchange —
+// every PE swapping a word with its neighbour across one hypercube
+// dimension — costs one router cycle.
+//
+// Subcube reductions and broadcasts built from dimension exchanges cost
+// O(log n) router cycles, which is the complexity class the paper claims
+// parity with: MCP runs in Θ(p · log n) router cycles here versus
+// Θ(p · h) bus cycles on the PPA. EXPERIMENTS.md discusses the
+// unlike-units caveat (word-wide router cycle vs bit-wide wired-OR cycle),
+// which applies equally to the paper's own parity claim.
+package hypercube
+
+import (
+	"fmt"
+
+	"ppamcp/internal/ppa"
+)
+
+// Machine is a SIMD hypercube of 2^q processing elements.
+type Machine struct {
+	q        uint
+	size     int
+	wordCost int64
+	metrics  ppa.Metrics
+}
+
+// MachineOption configures a Machine.
+type MachineOption func(*Machine)
+
+// WithWordCost sets how many router cycles one dimension exchange of a
+// word costs. The default (1) models a word-wide router; pass the word
+// width h to model the CM-1's bit-serial links, where moving an h-bit
+// word costs h cycles — the conservative reading of the paper's parity
+// claim (see EXPERIMENTS.md, E3 caveats).
+func WithWordCost(c int64) MachineOption {
+	return func(m *Machine) {
+		if c < 1 {
+			c = 1
+		}
+		m.wordCost = c
+	}
+}
+
+// New returns a hypercube with 2^q PEs. q may be 0 (a single PE).
+func New(q uint, opts ...MachineOption) *Machine {
+	if q > 30 {
+		panic(fmt.Sprintf("hypercube: dimension %d unreasonably large", q))
+	}
+	m := &Machine{q: q, size: 1 << q, wordCost: 1}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Dims returns q, the number of hypercube dimensions.
+func (m *Machine) Dims() uint { return m.q }
+
+// Size returns the number of PEs, 2^q.
+func (m *Machine) Size() int { return m.size }
+
+// Metrics returns the accumulated cost counters.
+func (m *Machine) Metrics() ppa.Metrics { return m.metrics }
+
+// ResetMetrics zeroes the counters.
+func (m *Machine) ResetMetrics() { m.metrics = ppa.Metrics{} }
+
+// CountPE charges ops local ALU operations.
+func (m *Machine) CountPE(ops int64) { m.metrics.PEOps += ops }
+
+// CountInstr charges one SIMD instruction.
+func (m *Machine) CountInstr() { m.metrics.Instructions++ }
+
+func (m *Machine) checkLen(name string, got int) {
+	if got != m.size {
+		panic(fmt.Sprintf("hypercube: %s has length %d, want %d", name, got, m.size))
+	}
+}
+
+func (m *Machine) checkDim(dim uint) {
+	if dim >= m.q {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range [0,%d)", dim, m.q))
+	}
+}
+
+// Exchange performs one dimension exchange: dst[i] = src[i ^ (1<<dim)].
+// dst may alias src. Cost: one router cycle.
+func (m *Machine) Exchange(dim uint, src, dst []ppa.Word) {
+	m.checkDim(dim)
+	m.checkLen("src", len(src))
+	m.checkLen("dst", len(dst))
+	m.metrics.RouterCycles += m.wordCost
+	bit := 1 << dim
+	for i := 0; i < m.size; i += 2 * bit {
+		for j := i; j < i+bit; j++ {
+			src[j], src[j+bit] = src[j+bit], src[j]
+		}
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+		// Restore src (Exchange is logically pure on src when not aliased).
+		for i := 0; i < m.size; i += 2 * bit {
+			for j := i; j < i+bit; j++ {
+				src[j], src[j+bit] = src[j+bit], src[j]
+			}
+		}
+	}
+}
+
+// GlobalOr evaluates the controller's global-OR line over pred.
+func (m *Machine) GlobalOr(pred []bool) bool {
+	m.checkLen("pred", len(pred))
+	m.metrics.GlobalOrOps++
+	for _, p := range pred {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
+// ReduceMin performs an all-reduce minimum over the subcubes spanned by
+// dims: after the call every PE holds the minimum of v over all PEs that
+// differ from it only in the given dimensions. Cost: len(dims) router
+// cycles (one exchange each) plus local compares.
+func (m *Machine) ReduceMin(dims []uint, v []ppa.Word) {
+	m.checkLen("v", len(v))
+	partner := make([]ppa.Word, m.size)
+	for _, d := range dims {
+		m.Exchange(d, v, partner)
+		m.CountInstr()
+		m.CountPE(int64(m.size))
+		for i := range v {
+			if partner[i] < v[i] {
+				v[i] = partner[i]
+			}
+		}
+	}
+}
+
+// ReduceMinPair performs the same all-reduce minimum but carries a payload
+// word alongside the key, breaking ties toward the smaller payload — the
+// arg-min used to extract PTN pointers. Cost: 2 router cycles per
+// dimension (key and payload move separately, as on a 1-word-wide router).
+func (m *Machine) ReduceMinPair(dims []uint, key, payload []ppa.Word) {
+	m.checkLen("key", len(key))
+	m.checkLen("payload", len(payload))
+	pkey := make([]ppa.Word, m.size)
+	ppay := make([]ppa.Word, m.size)
+	for _, d := range dims {
+		m.Exchange(d, key, pkey)
+		m.Exchange(d, payload, ppay)
+		m.CountInstr()
+		m.CountPE(int64(m.size))
+		for i := range key {
+			if pkey[i] < key[i] || (pkey[i] == key[i] && ppay[i] < payload[i]) {
+				key[i], payload[i] = pkey[i], ppay[i]
+			}
+		}
+	}
+}
+
+// BroadcastFrom delivers, within each subcube spanned by dims, the value
+// held by the subcube member whose coordinates in those dimensions equal
+// the corresponding bits of source. Cost: len(dims) router cycles.
+func (m *Machine) BroadcastFrom(dims []uint, source int, v []ppa.Word, top ppa.Word) {
+	var mask int
+	for _, d := range dims {
+		m.checkDim(d)
+		mask |= 1 << d
+	}
+	srcMask := make([]bool, m.size)
+	for i := range srcMask {
+		srcMask[i] = i&mask == source&mask
+	}
+	m.BroadcastMasked(dims, srcMask, v, top)
+}
+
+// BroadcastMasked delivers, within each subcube spanned by dims, the value
+// held by that subcube's (unique) member for which sourceMask is true.
+// Implemented as a masked min-reduce: non-sources contribute the absorbing
+// element top, so the call is exact whenever every subcube has at most one
+// source (subcubes with none are filled with top). Cost: len(dims) router
+// cycles plus one local masking instruction.
+func (m *Machine) BroadcastMasked(dims []uint, sourceMask []bool, v []ppa.Word, top ppa.Word) {
+	m.checkLen("sourceMask", len(sourceMask))
+	m.checkLen("v", len(v))
+	m.CountInstr()
+	m.CountPE(int64(m.size))
+	for i := range v {
+		if !sourceMask[i] {
+			v[i] = top
+		}
+	}
+	m.ReduceMin(dims, v)
+}

@@ -1,0 +1,254 @@
+package hypercube
+
+import (
+	"fmt"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// Options tunes SolveMCP.
+type Options struct {
+	// Bits is the word width used for MAXINT/saturation (0 = auto).
+	Bits uint
+	// MaxIterations bounds the DP loop (0 = n+1).
+	MaxIterations int
+	// BitSerialRouter charges h router cycles per word exchange (the
+	// CM-1's bit-serial links) instead of 1 — the conservative unit for
+	// the E3 comparison against the PPA's bit-wide wired-OR cycles.
+	BitSerialRouter bool
+}
+
+// Result is the hypercube solution plus its cycle accounting (dominated
+// by RouterCycles).
+type Result struct {
+	graph.Result
+	Metrics ppa.Metrics
+	Bits    uint
+	// PaddedN is the power-of-two the vertex count was padded to; the
+	// machine has PaddedN^2 processors.
+	PaddedN int
+}
+
+// SolveMCP runs the same dynamic program as the PPA on a SIMD hypercube,
+// following Hillis's Connection Machine formulation: the n x n matrix is
+// embedded in a 2^(2q')-processor cube (n padded to 2^q'), rows and
+// columns are subcubes, and each DP round costs Θ(log n) router cycles
+// (one column broadcast, one row arg-min reduction, two diagonal-to-column
+// broadcasts). Dist, Next and Iterations agree exactly with core.Solve.
+func SolveMCP(g *graph.Graph, dest int, opt Options) (*Result, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("hypercube: destination %d out of range [0,%d)", dest, g.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	h := opt.Bits
+	if h == 0 {
+		h = g.BitsNeeded()
+	}
+	if h > ppa.MaxBits {
+		return nil, fmt.Errorf("hypercube: word width %d exceeds %d bits", h, ppa.MaxBits)
+	}
+	n := g.N
+	inf := ppa.Infinity(h)
+	np, logNp := padToPow2(n)
+	if int64(np-1) > int64(inf) {
+		return nil, fmt.Errorf("hypercube: %d-bit words cannot hold vertex indices up to %d", h, np-1)
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n + 1
+	}
+
+	var mopts []MachineOption
+	if opt.BitSerialRouter {
+		mopts = append(mopts, WithWordCost(int64(h)))
+	}
+	m := New(2*logNp, mopts...)
+	size := m.Size() // np * np
+	rowDims := make([]uint, 0, logNp)
+	colDims := make([]uint, 0, logNp)
+	for d := uint(0); d < logNp; d++ {
+		rowDims = append(rowDims, d)       // varying the column index j
+		colDims = append(colDims, d+logNp) // varying the row index i
+	}
+
+	w, err := loadWeights(g, np, h)
+	if err != nil {
+		return nil, err
+	}
+
+	rowIsD := make([]bool, size)
+	diagMask := make([]bool, size)
+	notD := make([]bool, size)
+	colIndex := make([]ppa.Word, size)
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			p := i*np + j
+			rowIsD[p] = i == dest
+			diagMask[p] = i == j
+			notD[p] = i != dest
+			colIndex[p] = ppa.Word(j)
+		}
+	}
+
+	sow := make([]ppa.Word, size)
+	ptn := make([]ppa.Word, size)
+	minSOW := make([]ppa.Word, size) // zero-init keeps SOW[d][d] pinned at 0
+	oldSOW := make([]ppa.Word, size)
+	changed := make([]bool, size)
+
+	assignWhere := func(dst, src []ppa.Word, mask []bool) {
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := range dst {
+			if mask[p] {
+				dst[p] = src[p]
+			}
+		}
+	}
+
+	// Initialization: SOW[d][j] = w_jd. Move column d across rows, then
+	// fold through the diagonal onto row d — the hypercube version of the
+	// corrected statement-5 init.
+	acrossRows := append([]ppa.Word(nil), w...)
+	m.BroadcastFrom(rowDims, dest, acrossRows, inf) // (i, c) <- w_id
+	ontoRowD := acrossRows
+	m.BroadcastMasked(colDims, diagMask, ontoRowD, inf) // (r, j) <- w_jd
+	assignWhere(sow, ontoRowD, rowIsD)
+	m.CountInstr()
+	m.CountPE(int64(size))
+	for p := range ptn {
+		if rowIsD[p] {
+			ptn[p] = ppa.Word(dest)
+		}
+	}
+	sow[dest*np+dest] = 0
+
+	scratch := make([]ppa.Word, size)
+	payload := make([]ppa.Word, size)
+	iterations := 0
+	for {
+		iterations++
+		if iterations > maxIter {
+			return nil, fmt.Errorf("hypercube: DP did not converge within %d rounds", maxIter)
+		}
+
+		// Column broadcast of row d, then local add of W.
+		copy(scratch, sow)
+		m.BroadcastMasked(colDims, rowIsD, scratch, inf)
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := range scratch {
+			scratch[p] = ppa.SatAdd(scratch[p], w[p], h)
+		}
+		assignWhere(sow, scratch, notD)
+
+		// Row arg-min reduction.
+		copy(scratch, sow)
+		copy(payload, colIndex)
+		m.ReduceMinPair(rowDims, scratch, payload)
+		assignWhere(minSOW, scratch, notD)
+		assignWhere(ptn, payload, notD)
+
+		// Fold the per-row results back into row d via the diagonal.
+		newRow := append([]ppa.Word(nil), minSOW...)
+		m.BroadcastMasked(colDims, diagMask, newRow, inf)
+		newPTN := append([]ppa.Word(nil), ptn...)
+		m.BroadcastMasked(colDims, diagMask, newPTN, inf)
+		m.CountInstr()
+		m.CountPE(int64(size))
+		for p := range changed {
+			changed[p] = false
+			if rowIsD[p] {
+				oldSOW[p] = sow[p]
+				sow[p] = newRow[p]
+				if sow[p] != oldSOW[p] {
+					changed[p] = true
+					ptn[p] = newPTN[p]
+				}
+			}
+		}
+		if !m.GlobalOr(changed) {
+			break
+		}
+	}
+
+	res := &Result{
+		Result: graph.Result{
+			Dest:       dest,
+			Dist:       make([]int64, n),
+			Next:       make([]int, n),
+			Iterations: iterations,
+		},
+		Metrics: m.Metrics(),
+		Bits:    h,
+		PaddedN: np,
+	}
+	for i := 0; i < n; i++ {
+		s := sow[dest*np+i]
+		switch {
+		case i == dest:
+			res.Dist[i] = 0
+			res.Next[i] = -1
+		case s == inf:
+			res.Dist[i] = graph.NoEdge
+			res.Next[i] = -1
+		default:
+			res.Dist[i] = int64(s)
+			res.Next[i] = int(ptn[dest*np+i])
+		}
+	}
+	return res, nil
+}
+
+// padToPow2 returns the smallest power of two >= n and its log2.
+func padToPow2(n int) (np int, logNp uint) {
+	np = 1
+	for np < n {
+		np <<= 1
+		logNp++
+	}
+	return np, logNp
+}
+
+// loadWeights builds the padded machine matrix: NoEdge and the padding
+// region become MAXINT, the diagonal becomes 0 (see DESIGN.md).
+func loadWeights(g *graph.Graph, np int, h uint) ([]ppa.Word, error) {
+	n := g.N
+	inf := ppa.Infinity(h)
+	w := make([]ppa.Word, np*np)
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			switch {
+			case i == j:
+				w[i*np+j] = 0
+			case i >= n || j >= n:
+				w[i*np+j] = inf
+			default:
+				wt := g.At(i, j)
+				switch {
+				case wt == graph.NoEdge:
+					w[i*np+j] = inf
+				case n > 1 && wt > (int64(inf)-1)/int64(n-1):
+					return nil, fmt.Errorf(
+						"hypercube: %d-bit words cannot distinguish worst-case path cost (%d * %d) from MAXINT",
+						h, n-1, wt)
+				default:
+					w[i*np+j] = ppa.Word(wt)
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// PredictedRouterCycles is the analytical router-cycle model of one
+// SolveMCP run on a padded side np = 2^logNp with a word-wide router: the
+// initialization costs 2·logNp cycles and every DP round 5·logNp (one
+// column broadcast, a two-word row reduction, two diagonal broadcasts).
+// With BitSerialRouter the total multiplies by h.
+func PredictedRouterCycles(logNp uint, iters int) int64 {
+	return int64(iters)*5*int64(logNp) + 2*int64(logNp)
+}

@@ -1,0 +1,270 @@
+// Package mesh implements the baseline the PPA paper implicitly argues
+// against: the same n x n SIMD processor array *without* reconfigurable
+// buses. Every data movement is a nearest-neighbour shift on the torus, so
+// a row/column broadcast costs n-1 shift steps and a row minimum costs n-1
+// shift-and-compare steps, turning the paper's Θ(p·h)-cycle MCP into a
+// Θ(p·n)-step one. Experiments E3/E4 quantify the gap.
+//
+// The mesh keeps the SIMD controller's global-OR termination line (as the
+// CM-class machines did); only the inter-PE fabric is restricted.
+package mesh
+
+import (
+	"fmt"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// Options tunes SolveMCP.
+type Options struct {
+	// Bits is the machine word width h (0 = auto, graph.BitsNeeded).
+	Bits uint
+	// Workers fans ring operations out over goroutines (identical results).
+	Workers int
+	// MaxIterations bounds the DP loop (0 = n+1).
+	MaxIterations int
+}
+
+// Result is the mesh solution plus its cycle accounting (dominated by
+// ShiftSteps).
+type Result struct {
+	graph.Result
+	Metrics ppa.Metrics
+	Bits    uint
+}
+
+// rowBroadcast delivers src's row `srcRow` to every row using n-1 South
+// shifts: after k shifts row (srcRow+k) mod n holds the data and captures
+// it under a mask.
+func rowBroadcast(a *par.Array, src *par.Var, srcRow int) *par.Var {
+	n := a.N()
+	row := a.Row()
+	dst := src.Copy()
+	moving := src.Copy()
+	for k := 1; k < n; k++ {
+		moving = a.Shift(moving, ppa.South)
+		target := row.EqConst(ppa.Word((srcRow + k) % n))
+		a.Where(target, func() {
+			dst.Assign(moving)
+		})
+	}
+	return dst
+}
+
+// diagBroadcast delivers the diagonal element of each column to every PE
+// of the column: PE (i, j) receives src[j][j]. It shifts a copy South n-1
+// times; the value that started at (j, j) reaches ((j+k) mod n, j) after k
+// steps and is captured there. The capture masks depend only on PE
+// coordinates, so the controller precomputes them at program load (like
+// ROW and COL); no machine cycles are charged for them.
+func diagBroadcast(a *par.Array, src *par.Var) *par.Var {
+	n := a.N()
+	dst := src.Copy() // diagonal PEs already hold their value
+	moving := src.Copy()
+	for k := 1; k < n; k++ {
+		moving = a.Shift(moving, ppa.South)
+		target := make([]bool, n*n)
+		for c := 0; c < n; c++ {
+			target[((c+k)%n)*n+c] = true
+		}
+		a.Where(a.FromBools(target), func() {
+			dst.Assign(moving)
+		})
+	}
+	return dst
+}
+
+// rowMinArg computes, for every PE, the minimum of src over its row and
+// the smallest column index attaining it, by rotating (value, index) pairs
+// n-1 steps West with a lexicographic running minimum.
+func rowMinArg(a *par.Array, src *par.Var) (minVal, argCol *par.Var) {
+	n := a.N()
+	minVal = src.Copy()
+	argCol = a.Col().Copy()
+	movingVal := src.Copy()
+	movingIdx := a.Col().Copy()
+	for k := 1; k < n; k++ {
+		movingVal = a.Shift(movingVal, ppa.West)
+		movingIdx = a.Shift(movingIdx, ppa.West)
+		better := movingVal.Lt(minVal).
+			Or(movingVal.Eq(minVal).And(movingIdx.Lt(argCol)))
+		a.Where(better, func() {
+			minVal.Assign(movingVal)
+			argCol.Assign(movingIdx)
+		})
+	}
+	return minVal, argCol
+}
+
+// SolveMCP runs the PPA paper's dynamic program on the plain mesh.
+// Results (Dist, Next, Iterations) are identical to core.Solve and
+// graph.BellmanFord; only the cost profile differs.
+func SolveMCP(g *graph.Graph, dest int, opt Options) (*Result, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("mesh: destination %d out of range [0,%d)", dest, g.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	h := opt.Bits
+	if h == 0 {
+		h = g.BitsNeeded()
+	}
+	if h > ppa.MaxBits {
+		return nil, fmt.Errorf("mesh: word width %d exceeds %d bits", h, ppa.MaxBits)
+	}
+	n := g.N
+	inf := ppa.Infinity(h)
+	if int64(n-1) > int64(inf) {
+		return nil, fmt.Errorf("mesh: %d-bit words cannot hold vertex indices up to %d", h, n-1)
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n + 1
+	}
+
+	var mopts []ppa.Option
+	if opt.Workers > 1 {
+		mopts = append(mopts, ppa.WithWorkers(opt.Workers))
+	}
+	m := ppa.New(n, h, mopts...)
+	a := par.New(m)
+
+	w, err := loadWeights(g, h)
+	if err != nil {
+		return nil, err
+	}
+
+	row, col := a.Row(), a.Col()
+	rowIsD := row.EqConst(ppa.Word(dest))
+	notD := rowIsD.Not()
+
+	W := a.FromSlice(w)
+	SOW := a.Zeros()
+	PTN := a.Zeros()
+	MinSOW := a.Zeros()
+	OldSOW := a.Zeros()
+
+	// Initialization: move column d of W onto row d with shifts.
+	// Step A: rotate column d horizontally to every column (n-1 East
+	// shifts): PE (j, c) <- w_jd. Step B: diagonal-to-column broadcast.
+	acrossRows := W.Copy()
+	movingW := W.Copy()
+	for k := 1; k < n; k++ {
+		movingW = a.Shift(movingW, ppa.East)
+		source := col.EqConst(ppa.Word((dest + k) % n))
+		a.Where(source, func() {
+			acrossRows.Assign(movingW)
+		})
+	}
+	// acrossRows now holds w_jd at (j, (d+k)%n)... every PE of row j needs
+	// w_jd: after k East shifts, column (d+k)%n holds w_jd; the masked
+	// captures above already materialized exactly that. (j, c) = w_jd for
+	// all c. Now fold onto row d via the diagonal.
+	ontoRowD := diagBroadcast(a, acrossRows)
+	a.Where(rowIsD, func() {
+		SOW.Assign(ontoRowD)
+		PTN.AssignConst(ppa.Word(dest))
+	})
+	a.Where(rowIsD.And(col.EqConst(ppa.Word(dest))), func() {
+		SOW.AssignConst(0)
+	})
+
+	iterations := 0
+	for {
+		iterations++
+		if iterations > maxIter {
+			return nil, fmt.Errorf("mesh: DP did not converge within %d rounds", maxIter)
+		}
+
+		cand := rowBroadcast(a, SOW, dest).AddSat(W)
+		a.Where(notD, func() {
+			SOW.Assign(cand)
+		})
+
+		rowMin, argMin := rowMinArg(a, SOW)
+		a.Where(notD, func() {
+			MinSOW.Assign(rowMin)
+			PTN.Assign(argMin)
+		})
+
+		newRow := diagBroadcast(a, MinSOW)
+		newPTN := diagBroadcast(a, PTN)
+		a.Where(rowIsD, func() {
+			OldSOW.Assign(SOW)
+			SOW.Assign(newRow)
+			a.Where(SOW.Ne(OldSOW), func() {
+				PTN.Assign(newPTN)
+			})
+		})
+
+		if a.None(rowIsD.And(SOW.Ne(OldSOW))) {
+			break
+		}
+	}
+
+	res := &Result{
+		Result: graph.Result{
+			Dest:       dest,
+			Dist:       make([]int64, n),
+			Next:       make([]int, n),
+			Iterations: iterations,
+		},
+		Metrics: m.Metrics(),
+		Bits:    h,
+	}
+	for i := 0; i < n; i++ {
+		sow := SOW.At(dest, i)
+		switch {
+		case i == dest:
+			res.Dist[i] = 0
+			res.Next[i] = -1
+		case sow == inf:
+			res.Dist[i] = graph.NoEdge
+			res.Next[i] = -1
+		default:
+			res.Dist[i] = int64(sow)
+			res.Next[i] = int(PTN.At(dest, i))
+		}
+	}
+	if res.Metrics.BusCycles != 0 || res.Metrics.WiredOrCycles != 0 {
+		return nil, fmt.Errorf("mesh: internal error: used reconfigurable buses (%v)", res.Metrics)
+	}
+	return res, nil
+}
+
+// loadWeights mirrors core's conversion: NoEdge -> MAXINT, zero diagonal,
+// saturation guard.
+func loadWeights(g *graph.Graph, h uint) ([]ppa.Word, error) {
+	n := g.N
+	inf := ppa.Infinity(h)
+	w := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				w[i*n+j] = 0
+			case wt == graph.NoEdge:
+				w[i*n+j] = inf
+			case n > 1 && wt > (int64(inf)-1)/int64(n-1):
+				return nil, fmt.Errorf(
+					"mesh: %d-bit words cannot distinguish worst-case path cost (%d * %d) from MAXINT",
+					h, n-1, wt)
+			default:
+				w[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+	return w, nil
+}
+
+// PredictedShiftSteps is the analytical shift count for one SolveMCP run:
+// the initialization moves 2(n-1) steps and each DP round costs
+// (n-1) row-broadcast + 2(n-1) min/argmin rotation + 2(n-1) diagonal
+// broadcast steps.
+func PredictedShiftSteps(n, iters int) int64 {
+	perIter := int64(n-1) * 5
+	return int64(iters)*perIter + int64(n-1)*2
+}

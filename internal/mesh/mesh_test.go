@@ -1,0 +1,145 @@
+package mesh
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+)
+
+func TestSolveMCPChain(t *testing.T) {
+	g := graph.GenChain(5, 3)
+	r, err := SolveMCP(g, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{12, 9, 6, 3, 0}; !reflect.DeepEqual(r.Dist, want) {
+		t.Errorf("Dist = %v, want %v", r.Dist, want)
+	}
+	if want := []int{1, 2, 3, 4, -1}; !reflect.DeepEqual(r.Next, want) {
+		t.Errorf("Next = %v, want %v", r.Next, want)
+	}
+	if err := graph.CheckResult(g, &r.Result); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveMCPMatchesPPAExactly: the mesh runs the same DP, so Dist, Next
+// and Iterations must agree with core.Solve element for element.
+func TestSolveMCPMatchesPPAExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		g := graph.GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(15)), rng.Int63())
+		dest := rng.Intn(n)
+		ppaRes, err := core.Solve(g, dest, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meshRes, err := SolveMCP(g, dest, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ppaRes.Dist, meshRes.Dist) ||
+			!reflect.DeepEqual(ppaRes.Next, meshRes.Next) ||
+			ppaRes.Iterations != meshRes.Iterations {
+			t.Fatalf("trial %d: mesh diverged from PPA\nppa:  %v %v (%d iters)\nmesh: %v %v (%d iters)",
+				trial, ppaRes.Dist, ppaRes.Next, ppaRes.Iterations,
+				meshRes.Dist, meshRes.Next, meshRes.Iterations)
+		}
+	}
+}
+
+func TestSolveMCPUsesOnlyShifts(t *testing.T) {
+	g := graph.GenRandomConnected(8, 0.3, 9, 2)
+	r, err := SolveMCP(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.BusCycles != 0 || r.Metrics.WiredOrCycles != 0 || r.Metrics.RouterCycles != 0 {
+		t.Errorf("mesh used non-shift fabric: %v", r.Metrics)
+	}
+	if r.Metrics.ShiftSteps == 0 {
+		t.Error("no shifts counted")
+	}
+}
+
+func TestSolveMCPShiftCountMatchesModel(t *testing.T) {
+	for _, n := range []int{3, 6, 11} {
+		g := graph.GenRandomConnected(n, 0.4, 7, int64(n))
+		r, err := SolveMCP(g, n/2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PredictedShiftSteps(n, r.Iterations)
+		if r.Metrics.ShiftSteps != want {
+			t.Errorf("n=%d: ShiftSteps = %d, model %d (iters=%d)",
+				n, r.Metrics.ShiftSteps, want, r.Iterations)
+		}
+	}
+}
+
+func TestSolveMCPSingleVertex(t *testing.T) {
+	r, err := SolveMCP(graph.New(1), 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[0] != 0 || r.Next[0] != -1 {
+		t.Errorf("trivial: %+v", r)
+	}
+}
+
+func TestSolveMCPUnreachable(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	r, err := SolveMCP(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[3] != graph.NoEdge || r.Next[3] != -1 {
+		t.Errorf("unreachable handling: %v %v", r.Dist, r.Next)
+	}
+}
+
+func TestSolveMCPErrors(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	if _, err := SolveMCP(g, 9, Options{}); err == nil {
+		t.Error("bad dest accepted")
+	}
+	if _, err := SolveMCP(g, -1, Options{}); err == nil {
+		t.Error("negative dest accepted")
+	}
+	if _, err := SolveMCP(g, 0, Options{Bits: 63}); err == nil {
+		t.Error("oversized Bits accepted")
+	}
+	if _, err := SolveMCP(graph.GenChain(10, 1), 0, Options{Bits: 3}); err == nil {
+		t.Error("3-bit machine accepted 10 vertices")
+	}
+	if _, err := SolveMCP(graph.GenChain(5, 60), 4, Options{Bits: 7}); err == nil {
+		t.Error("saturating configuration accepted")
+	}
+	if _, err := SolveMCP(g, 3, Options{MaxIterations: 1}); err == nil {
+		t.Error("MaxIterations guard did not trip")
+	}
+	bad := graph.New(2)
+	bad.W[1] = -1
+	if _, err := SolveMCP(bad, 0, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestSolveMCPWorkersDeterminism(t *testing.T) {
+	g := graph.GenRandomConnected(9, 0.3, 9, 7)
+	base, err := SolveMCP(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par4, err := SolveMCP(g, 2, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Dist, par4.Dist) || base.Metrics != par4.Metrics {
+		t.Error("worker pool changed results")
+	}
+}

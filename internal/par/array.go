@@ -1,0 +1,196 @@
+// Package par is the data-parallel programming layer of the PPA: the
+// semantics of Polymorphic Parallel C (PPC) exposed as a Go API.
+//
+// An Array wraps a ppa.Machine and maintains the SIMD activity mask
+// manipulated by the where/elsewhere construct. Parallel variables (Var for
+// h-bit words, Bool for logicals) are allocated from the Array; pure
+// elementwise operations compute on all PEs (SIMD lockstep), while mutating
+// operations store only where the activity mask is set — exactly the
+// store-enable semantics of a SIMD controller.
+//
+// Communication primitives mirror PPC's: Shift, Broadcast, the wired-OR
+// reduction Or, the bit-serial Min and SelectedMin of the paper, and the
+// global-OR line Any used for loop termination.
+package par
+
+import (
+	"fmt"
+
+	"ppamcp/internal/ppa"
+)
+
+// Array is a PPA programming context: a communication fabric plus the
+// activity-mask stack. It is not safe for concurrent use.
+type Array struct {
+	m    ppa.Fabric
+	mask []bool
+}
+
+// New returns a context on fabric m with all PEs active. The fabric is
+// usually a *ppa.Machine; pass a *virt.Machine to run the same program
+// block-mapped onto a smaller physical array.
+func New(m ppa.Fabric) *Array {
+	mask := make([]bool, m.N()*m.N())
+	for i := range mask {
+		mask[i] = true
+	}
+	return &Array{m: m, mask: mask}
+}
+
+// Machine returns the underlying communication fabric.
+func (a *Array) Machine() ppa.Fabric { return a.m }
+
+// N returns the array side.
+func (a *Array) N() int { return a.m.N() }
+
+// size returns the PE count.
+func (a *Array) size() int { n := a.m.N(); return n * n }
+
+// Where runs body with the activity mask narrowed to the PEs where c holds
+// (intersected with the current mask), restoring the mask afterwards. It
+// is PPC's `where (c) { ... }`.
+func (a *Array) Where(c *Bool, body func()) {
+	a.WhereElse(c, body, nil)
+}
+
+// WhereElse is PPC's `where (c) { then } elsewhere { els }`: then runs with
+// the mask narrowed to c, els with the mask narrowed to !c. Either may be
+// nil.
+func (a *Array) WhereElse(c *Bool, then, els func()) {
+	a.check(c.a)
+	saved := a.mask
+	if then != nil {
+		narrowed := make([]bool, len(saved))
+		for i := range narrowed {
+			narrowed[i] = saved[i] && c.v[i]
+		}
+		a.mask = narrowed
+		then()
+	}
+	if els != nil {
+		narrowed := make([]bool, len(saved))
+		for i := range narrowed {
+			narrowed[i] = saved[i] && !c.v[i]
+		}
+		a.mask = narrowed
+		els()
+	}
+	a.mask = saved
+}
+
+// Active reports whether PE i is enabled under the current mask.
+func (a *Array) Active(i int) bool { return a.mask[i] }
+
+// ActiveCount returns the number of enabled PEs.
+func (a *Array) ActiveCount() int {
+	n := 0
+	for _, b := range a.mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// check panics if a parallel value from a different context is mixed in;
+// this is always a programming error.
+func (a *Array) check(other *Array) {
+	if a != other {
+		panic("par: mixing parallel values from different Arrays")
+	}
+}
+
+// instr charges one SIMD instruction executed in lockstep by all PEs.
+func (a *Array) instr() {
+	a.m.CountInstr()
+	a.m.CountPE(int64(a.size()))
+}
+
+// Row returns the parallel variable holding each PE's row coordinate
+// (PPC's ROW). The values are materialized by the controller at program
+// load; no machine cycles are charged.
+func (a *Array) Row() *Var {
+	v := a.newVar()
+	n := a.N()
+	for i := range v.v {
+		v.v[i] = ppa.Word(i / n)
+	}
+	return v
+}
+
+// Col returns the parallel variable holding each PE's column coordinate
+// (PPC's COL).
+func (a *Array) Col() *Var {
+	v := a.newVar()
+	n := a.N()
+	for i := range v.v {
+		v.v[i] = ppa.Word(i % n)
+	}
+	return v
+}
+
+func (a *Array) newVar() *Var {
+	return &Var{a: a, v: make([]ppa.Word, a.size())}
+}
+
+func (a *Array) newBool() *Bool {
+	return &Bool{a: a, v: make([]bool, a.size())}
+}
+
+// Zeros allocates a parallel word variable initialized to 0 on all PEs.
+func (a *Array) Zeros() *Var { return a.newVar() }
+
+// Lit allocates a parallel word variable holding the scalar x on all PEs
+// (a controller-broadcast immediate; one instruction).
+func (a *Array) Lit(x ppa.Word) *Var {
+	ppa.CheckWord(x, a.m.Bits())
+	v := a.newVar()
+	for i := range v.v {
+		v.v[i] = x
+	}
+	a.instr()
+	return v
+}
+
+// Inf allocates a parallel variable holding MAXINT on all PEs.
+func (a *Array) Inf() *Var { return a.Lit(a.m.Inf()) }
+
+// FromSlice loads host data (row-major, length N*N) into a new parallel
+// variable, ignoring the activity mask: this models the host<->array DMA
+// path, not a SIMD instruction.
+func (a *Array) FromSlice(data []ppa.Word) *Var {
+	if len(data) != a.size() {
+		panic(fmt.Sprintf("par: FromSlice length %d, want %d", len(data), a.size()))
+	}
+	h := a.m.Bits()
+	v := a.newVar()
+	for i, w := range data {
+		ppa.CheckWord(w, h)
+		v.v[i] = w
+	}
+	return v
+}
+
+// FromBools loads host booleans into a new parallel logical, ignoring the
+// mask (DMA path).
+func (a *Array) FromBools(data []bool) *Bool {
+	if len(data) != a.size() {
+		panic(fmt.Sprintf("par: FromBools length %d, want %d", len(data), a.size()))
+	}
+	b := a.newBool()
+	copy(b.v, data)
+	return b
+}
+
+// False allocates a parallel logical initialized to false.
+func (a *Array) False() *Bool { return a.newBool() }
+
+// True allocates a parallel logical initialized to true (one instruction).
+func (a *Array) True() *Bool {
+	b := a.newBool()
+	for i := range b.v {
+		b.v[i] = true
+	}
+	a.instr()
+	return b
+}

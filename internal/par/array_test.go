@@ -1,0 +1,297 @@
+package par
+
+import (
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+func ctx(n int, h uint) *Array { return New(ppa.New(n, h)) }
+
+func TestRowColCoordinates(t *testing.T) {
+	a := ctx(4, 8)
+	row, col := a.Row(), a.Col()
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if row.At(r, c) != ppa.Word(r) || col.At(r, c) != ppa.Word(c) {
+				t.Errorf("coords at (%d,%d) = (%d,%d)", r, c, row.At(r, c), col.At(r, c))
+			}
+		}
+	}
+}
+
+func TestLitInfZerosTrueFalse(t *testing.T) {
+	a := ctx(3, 8)
+	if got := a.Lit(42).At(1, 2); got != 42 {
+		t.Errorf("Lit = %d", got)
+	}
+	if got := a.Inf().At(0, 0); got != 255 {
+		t.Errorf("Inf = %d", got)
+	}
+	if got := a.Zeros().At(2, 2); got != 0 {
+		t.Errorf("Zeros = %d", got)
+	}
+	if !a.True().At(1, 1) || a.False().At(1, 1) {
+		t.Error("True/False wrong")
+	}
+}
+
+func TestLitRejectsUnrepresentable(t *testing.T) {
+	a := ctx(3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lit(16) on 4-bit machine did not panic")
+		}
+	}()
+	a.Lit(16)
+}
+
+func TestFromSliceRoundTrip(t *testing.T) {
+	a := ctx(2, 8)
+	in := []ppa.Word{1, 2, 3, 4}
+	v := a.FromSlice(in)
+	if got := v.Slice(); !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip = %v", got)
+	}
+	// Slice must be a copy.
+	v.Slice()[0] = 99
+	if v.At(0, 0) != 1 {
+		t.Error("Slice aliases internal storage")
+	}
+	bs := a.FromBools([]bool{true, false, false, true})
+	if !bs.At(0, 0) || bs.At(0, 1) || bs.Count() != 2 {
+		t.Error("FromBools wrong")
+	}
+}
+
+func TestFromSliceLengthPanics(t *testing.T) {
+	a := ctx(2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short FromSlice did not panic")
+		}
+	}()
+	a.FromSlice([]ppa.Word{1})
+}
+
+func TestWhereMasksStores(t *testing.T) {
+	a := ctx(4, 8)
+	v := a.Zeros()
+	diag := a.Row().Eq(a.Col())
+	a.Where(diag, func() {
+		v.AssignConst(7)
+	})
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := ppa.Word(0)
+			if r == c {
+				want = 7
+			}
+			if v.At(r, c) != want {
+				t.Errorf("v[%d,%d] = %d, want %d", r, c, v.At(r, c), want)
+			}
+		}
+	}
+}
+
+func TestWhereElse(t *testing.T) {
+	a := ctx(3, 8)
+	v := a.Zeros()
+	topRow := a.Row().EqConst(0)
+	a.WhereElse(topRow,
+		func() { v.AssignConst(1) },
+		func() { v.AssignConst(2) })
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := ppa.Word(2)
+			if r == 0 {
+				want = 1
+			}
+			if v.At(r, c) != want {
+				t.Errorf("v[%d,%d] = %d, want %d", r, c, v.At(r, c), want)
+			}
+		}
+	}
+}
+
+func TestWhereNesting(t *testing.T) {
+	a := ctx(4, 8)
+	v := a.Zeros()
+	a.Where(a.Row().LtConst(2), func() {
+		a.Where(a.Col().LtConst(2), func() {
+			v.AssignConst(9) // only the 2x2 top-left block
+		})
+	})
+	count := 0
+	for _, w := range v.Slice() {
+		if w == 9 {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("nested where wrote %d lanes, want 4", count)
+	}
+	// Mask restored after Where.
+	if a.ActiveCount() != 16 {
+		t.Errorf("mask not restored: %d active", a.ActiveCount())
+	}
+}
+
+func TestWhereRestoresMaskOnEmptySelection(t *testing.T) {
+	a := ctx(2, 8)
+	v := a.Zeros()
+	a.Where(a.False(), func() { v.AssignConst(5) })
+	for _, w := range v.Slice() {
+		if w != 0 {
+			t.Fatal("store under empty mask leaked")
+		}
+	}
+}
+
+func TestMixingContextsPanics(t *testing.T) {
+	a, b := ctx(2, 8), ctx(2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-context op did not panic")
+		}
+	}()
+	a.Zeros().Assign(b.Zeros())
+}
+
+func TestArithmetic(t *testing.T) {
+	a := ctx(2, 8)
+	x := a.FromSlice([]ppa.Word{1, 2, 254, 255})
+	y := a.FromSlice([]ppa.Word{1, 3, 10, 1})
+	sum := x.AddSat(y)
+	if got, want := sum.Slice(), []ppa.Word{2, 5, 255, 255}; !reflect.DeepEqual(got, want) {
+		t.Errorf("AddSat = %v, want %v", got, want)
+	}
+	if got := x.AddSatConst(250).Slice(); !reflect.DeepEqual(got, []ppa.Word{251, 252, 255, 255}) {
+		t.Errorf("AddSatConst = %v", got)
+	}
+	if got := x.MinWith(y).Slice(); !reflect.DeepEqual(got, []ppa.Word{1, 2, 10, 1}) {
+		t.Errorf("MinWith = %v", got)
+	}
+	if got := x.MaxWith(y).Slice(); !reflect.DeepEqual(got, []ppa.Word{1, 3, 254, 255}) {
+		t.Errorf("MaxWith = %v", got)
+	}
+	diff := x.SubClamp(y)
+	if got, want := diff.Slice(), []ppa.Word{0, 0, 244, 255}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SubClamp = %v, want %v", got, want)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a := ctx(2, 8)
+	x := a.FromSlice([]ppa.Word{1, 5, 5, 9})
+	y := a.FromSlice([]ppa.Word{2, 5, 4, 9})
+	if got := x.Eq(y).Slice(); !reflect.DeepEqual(got, []bool{false, true, false, true}) {
+		t.Errorf("Eq = %v", got)
+	}
+	if got := x.Ne(y).Slice(); !reflect.DeepEqual(got, []bool{true, false, true, false}) {
+		t.Errorf("Ne = %v", got)
+	}
+	if got := x.Lt(y).Slice(); !reflect.DeepEqual(got, []bool{true, false, false, false}) {
+		t.Errorf("Lt = %v", got)
+	}
+	if got := x.Le(y).Slice(); !reflect.DeepEqual(got, []bool{true, true, false, true}) {
+		t.Errorf("Le = %v", got)
+	}
+	if got := x.EqConst(5).Slice(); !reflect.DeepEqual(got, []bool{false, true, true, false}) {
+		t.Errorf("EqConst = %v", got)
+	}
+	if got := x.NeConst(5).Slice(); !reflect.DeepEqual(got, []bool{true, false, false, true}) {
+		t.Errorf("NeConst = %v", got)
+	}
+	if got := x.LtConst(5).Slice(); !reflect.DeepEqual(got, []bool{true, false, false, false}) {
+		t.Errorf("LtConst = %v", got)
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	a := ctx(2, 8)
+	x := a.FromBools([]bool{true, true, false, false})
+	y := a.FromBools([]bool{true, false, true, false})
+	if got := x.And(y).Slice(); !reflect.DeepEqual(got, []bool{true, false, false, false}) {
+		t.Errorf("And = %v", got)
+	}
+	if got := x.Or(y).Slice(); !reflect.DeepEqual(got, []bool{true, true, true, false}) {
+		t.Errorf("Or = %v", got)
+	}
+	if got := x.Not().Slice(); !reflect.DeepEqual(got, []bool{false, false, true, true}) {
+		t.Errorf("Not = %v", got)
+	}
+	if got := x.Xor(y).Slice(); !reflect.DeepEqual(got, []bool{false, true, true, false}) {
+		t.Errorf("Xor = %v", got)
+	}
+	if got := x.ToVar().Slice(); !reflect.DeepEqual(got, []ppa.Word{1, 1, 0, 0}) {
+		t.Errorf("ToVar = %v", got)
+	}
+}
+
+func TestBitPlane(t *testing.T) {
+	a := ctx(2, 4)
+	x := a.FromSlice([]ppa.Word{0b0000, 0b0101, 0b1010, 0b1111})
+	if got := x.BitPlane(0).Slice(); !reflect.DeepEqual(got, []bool{false, true, false, true}) {
+		t.Errorf("bit 0 = %v", got)
+	}
+	if got := x.BitPlane(3).Slice(); !reflect.DeepEqual(got, []bool{false, false, true, true}) {
+		t.Errorf("bit 3 = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BitPlane(4) on 4-bit machine did not panic")
+		}
+	}()
+	x.BitPlane(4)
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := ctx(2, 8)
+	x := a.FromSlice([]ppa.Word{1, 2, 3, 4})
+	y := x.Copy()
+	y.AssignConst(0)
+	if !reflect.DeepEqual(x.Slice(), []ppa.Word{1, 2, 3, 4}) {
+		t.Error("Copy shares storage")
+	}
+	b := a.FromBools([]bool{true, false, true, false})
+	c := b.Copy()
+	c.AssignConst(false)
+	if b.Count() != 2 {
+		t.Error("Bool Copy shares storage")
+	}
+}
+
+func TestAssignRespectsMaskForBool(t *testing.T) {
+	a := ctx(2, 8)
+	b := a.False()
+	a.Where(a.Col().EqConst(0), func() {
+		b.AssignConst(true)
+	})
+	if got := b.Slice(); !reflect.DeepEqual(got, []bool{true, false, true, false}) {
+		t.Errorf("masked bool assign = %v", got)
+	}
+	src := a.True()
+	a.Where(a.Row().EqConst(0), func() {
+		b.Assign(src)
+	})
+	if got := b.Slice(); !reflect.DeepEqual(got, []bool{true, true, true, false}) {
+		t.Errorf("masked bool Assign = %v", got)
+	}
+}
+
+func TestActiveAccessors(t *testing.T) {
+	a := ctx(2, 8)
+	if a.ActiveCount() != 4 || !a.Active(0) {
+		t.Error("initial mask not all-active")
+	}
+	a.Where(a.Row().EqConst(0), func() {
+		if a.ActiveCount() != 2 || !a.Active(0) || a.Active(2) {
+			t.Error("narrowed mask wrong")
+		}
+	})
+	if a.Machine() == nil || a.N() != 2 {
+		t.Error("accessors broken")
+	}
+}

@@ -1,0 +1,105 @@
+package par
+
+import "ppamcp/internal/ppa"
+
+// Broadcast is PPC's broadcast(src, dir, L): the parallel logical L
+// partitions each ring of the array into clusters (true = Open switch box);
+// every PE receives the src value of its cluster's head — the nearest Open
+// PE strictly upstream in direction dir. Lanes on a floating ring (no Open
+// PE) receive 0 in the fresh result.
+//
+// The result is a pure expression value; combine with Assign under a mask
+// to reproduce PPC's `X = broadcast(...)`.
+func (a *Array) Broadcast(src *Var, dir ppa.Direction, open *Bool) *Var {
+	a.check(src.a)
+	a.check(open.a)
+	dst := a.newVar()
+	a.m.Broadcast(dir, open.v, src.v, dst.v)
+	return dst
+}
+
+// BroadcastInto performs the same bus transaction but delivers into an
+// existing variable, so floating lanes keep their previous contents and
+// the store respects the activity mask.
+func (a *Array) BroadcastInto(dst, src *Var, dir ppa.Direction, open *Bool) {
+	a.check(dst.a)
+	a.check(src.a)
+	a.check(open.a)
+	tmp := append([]ppa.Word(nil), dst.v...)
+	a.m.Broadcast(dir, open.v, src.v, tmp)
+	for i := range dst.v {
+		if a.mask[i] {
+			dst.v[i] = tmp[i]
+		}
+	}
+}
+
+// BroadcastBool broadcasts a parallel logical over the segmented bus
+// (one single-bit bus transaction, charged as a bus cycle).
+func (a *Array) BroadcastBool(src *Bool, dir ppa.Direction, open *Bool) *Bool {
+	a.check(src.a)
+	a.check(open.a)
+	in := make([]ppa.Word, a.size())
+	out := make([]ppa.Word, a.size())
+	for i, b := range src.v {
+		if b {
+			in[i] = 1
+		}
+	}
+	a.m.Broadcast(dir, open.v, in, out)
+	dst := a.newBool()
+	for i, w := range out {
+		dst.v[i] = w != 0
+	}
+	return dst
+}
+
+// Or is PPC's or(x, dir, L): the wired-OR of x over each cluster defined
+// by L, available at every PE of the cluster after one wired-OR bus cycle.
+func (a *Array) Or(x *Bool, dir ppa.Direction, open *Bool) *Bool {
+	a.check(x.a)
+	a.check(open.a)
+	dst := a.newBool()
+	a.m.WiredOr(dir, open.v, x.v, dst.v)
+	return dst
+}
+
+// Shift is PPC's shift(src, dir): every PE passes its value to its nearest
+// neighbour in direction dir (torus wrap) and receives from the opposite
+// side.
+func (a *Array) Shift(src *Var, dir ppa.Direction) *Var {
+	a.check(src.a)
+	dst := a.newVar()
+	a.m.Shift(dir, src.v, dst.v)
+	return dst
+}
+
+// ShiftBool shifts a parallel logical one step in direction dir.
+func (a *Array) ShiftBool(src *Bool, dir ppa.Direction) *Bool {
+	a.check(src.a)
+	in := make([]ppa.Word, a.size())
+	for i, b := range src.v {
+		if b {
+			in[i] = 1
+		}
+	}
+	out := make([]ppa.Word, a.size())
+	a.m.Shift(dir, in, out)
+	dst := a.newBool()
+	for i, w := range out {
+		dst.v[i] = w != 0
+	}
+	return dst
+}
+
+// Any evaluates the global-OR line: true if b holds at any PE, regardless
+// of the activity mask. PPC loop conditions such as the paper's
+// `while (at least one SOW in row d has changed)` compile to Any of an
+// explicit parallel predicate.
+func (a *Array) Any(b *Bool) bool {
+	a.check(b.a)
+	return a.m.GlobalOr(b.v)
+}
+
+// None is the negation of Any.
+func (a *Array) None(b *Bool) bool { return !a.Any(b) }

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/ppa"
+	"ppamcp/internal/virt"
+)
+
+// opScript is a randomly generated straight-line program over the par
+// API. Running the same script on different fabrics (serial machine,
+// worker-pool machine, block-mapped virtual machine) must produce
+// identical variable contents — a differential fuzz harness tying the
+// three fabric implementations together through the full programming
+// layer.
+type opScript struct {
+	seed  int64
+	n     int
+	h     uint
+	steps int
+}
+
+// run executes the script on fabric m and returns the final contents of
+// its two working variables.
+func (s opScript) run(m ppa.Fabric) ([]ppa.Word, []bool) {
+	rng := rand.New(rand.NewSource(s.seed))
+	a := New(m)
+	size := s.n * s.n
+	initial := make([]ppa.Word, size)
+	for i := range initial {
+		initial[i] = ppa.Word(rng.Int63n(int64(ppa.Infinity(s.h)) + 1))
+	}
+	v := a.FromSlice(initial)
+	maskData := make([]bool, size)
+	for i := range maskData {
+		maskData[i] = rng.Intn(2) == 0
+	}
+	b := a.FromBools(maskData)
+
+	randDir := func() ppa.Direction { return ppa.Direction(rng.Intn(4)) }
+	// Heads: one guaranteed per ring of a chosen direction, plus noise.
+	randHeads := func(d ppa.Direction) *Bool {
+		heads := make([]bool, size)
+		for ring := 0; ring < s.n; ring++ {
+			k := rng.Intn(s.n)
+			if d.Horizontal() {
+				heads[ring*s.n+k] = true
+			} else {
+				heads[k*s.n+ring] = true
+			}
+		}
+		for i := range heads {
+			if rng.Intn(6) == 0 {
+				heads[i] = true
+			}
+		}
+		return a.FromBools(heads)
+	}
+
+	for step := 0; step < s.steps; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			v = a.Shift(v, randDir())
+		case 1:
+			d := randDir()
+			v = a.Broadcast(v, d, randHeads(d))
+		case 2:
+			d := randDir()
+			b = a.Or(b, d, randHeads(d))
+		case 3:
+			d := randDir()
+			v = a.Min(v, d, randHeads(d))
+		case 4:
+			d := randDir()
+			v = a.Max(v, d, randHeads(d))
+		case 5:
+			d := randDir()
+			v = a.SelectedMin(v, d, randHeads(d), b)
+		case 6:
+			w := ppa.Word(rng.Int63n(int64(ppa.Infinity(s.h)) + 1))
+			a.Where(b, func() {
+				v.AssignConst(w)
+			})
+		case 7:
+			v = v.AddSatConst(ppa.Word(rng.Intn(4)))
+		case 8:
+			b = v.BitPlane(uint(rng.Intn(int(s.h))))
+		case 9:
+			d := randDir()
+			b = a.FirstSet(b, d, randHeads(d))
+		}
+	}
+	return v.Slice(), b.Slice()
+}
+
+func TestDifferentialFabrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 25; trial++ {
+		// Sides with several block factors available.
+		n := []int{4, 6, 8, 12}[rng.Intn(4)]
+		script := opScript{
+			seed:  rng.Int63(),
+			n:     n,
+			h:     uint(5 + rng.Intn(6)),
+			steps: 4 + rng.Intn(10),
+		}
+		refV, refB := script.run(ppa.New(n, script.h))
+
+		workersV, workersB := script.run(ppa.New(n, script.h, ppa.WithWorkers(4)))
+		if !reflect.DeepEqual(refV, workersV) || !reflect.DeepEqual(refB, workersB) {
+			t.Fatalf("trial %d: worker-pool fabric diverged (script %+v)", trial, script)
+		}
+
+		for phys := 1; phys <= n; phys++ {
+			if n%phys != 0 || phys == n {
+				continue
+			}
+			vm, err := virt.New(n, phys, script.h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotV, gotB := script.run(vm)
+			if !reflect.DeepEqual(refV, gotV) || !reflect.DeepEqual(refB, gotB) {
+				t.Fatalf("trial %d: virtual fabric (phys=%d) diverged (script %+v)",
+					trial, phys, script)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package par
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+// firstSetRef computes the expected FirstSet lanes by explicit cluster
+// walking (flow order from each head to the next, wrapping).
+func firstSetRef(n int, d ppa.Direction, open, x []bool) []bool {
+	out := make([]bool, n*n)
+	// ring geometry mirrors the machine's.
+	pos := func(ring, k int) int {
+		switch d {
+		case ppa.East:
+			return ring*n + k
+		case ppa.West:
+			return ring*n + n - 1 - k
+		case ppa.South:
+			return k*n + ring
+		default: // North
+			return (n-1-k)*n + ring
+		}
+	}
+	for ring := 0; ring < n; ring++ {
+		var heads []int
+		for k := 0; k < n; k++ {
+			if open[pos(ring, k)] {
+				heads = append(heads, k)
+			}
+		}
+		if len(heads) == 0 {
+			continue
+		}
+		for hi, h := range heads {
+			next := heads[(hi+1)%len(heads)]
+			segLen := ((next-h)%n + n) % n
+			if segLen == 0 {
+				segLen = n
+			}
+			for t := 0; t < segLen; t++ {
+				p := pos(ring, (h+t)%n)
+				if x[p] {
+					out[p] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestFirstSetSimple(t *testing.T) {
+	a := ctx(4, 8)
+	// Row 0, flow East, head at col 0: drivers at cols 1 and 3 -> first is 1.
+	x := a.FromBools([]bool{
+		false, true, false, true,
+		false, false, false, false,
+		true, false, true, false, // row 2: head at 0 drives -> head first
+		false, false, false, false,
+	})
+	heads := a.Col().EqConst(0)
+	got := a.FirstSet(x, ppa.East, heads)
+	want := []bool{
+		false, true, false, false,
+		false, false, false, false,
+		true, false, false, false,
+		false, false, false, false,
+	}
+	if !reflect.DeepEqual(got.Slice(), want) {
+		t.Errorf("FirstSet = %v, want %v", got.Slice(), want)
+	}
+}
+
+func TestFirstSetMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(8)
+		d := ppa.Direction(rng.Intn(4))
+		a := ctx(n, 8)
+		openData := make([]bool, n*n)
+		xData := make([]bool, n*n)
+		for ring := 0; ring < n; ring++ {
+			pos := rng.Intn(n)
+			if d.Horizontal() {
+				openData[ring*n+pos] = true
+			} else {
+				openData[pos*n+ring] = true
+			}
+		}
+		for i := range openData {
+			if rng.Intn(4) == 0 {
+				openData[i] = true
+			}
+			xData[i] = rng.Intn(3) == 0
+		}
+		got := a.FirstSet(a.FromBools(xData), d, a.FromBools(openData))
+		want := firstSetRef(n, d, openData, xData)
+		if !reflect.DeepEqual(got.Slice(), want) {
+			t.Fatalf("trial %d n=%d d=%v:\nopen=%v\nx=%v\ngot =%v\nwant=%v",
+				trial, n, d, openData, xData, got.Slice(), want)
+		}
+	}
+}
+
+func TestFirstSetCost(t *testing.T) {
+	a := ctx(4, 8)
+	before := a.Machine().Metrics()
+	a.FirstSet(a.False(), ppa.East, a.Col().EqConst(0))
+	d := a.Machine().Metrics().Sub(before)
+	if d.BusCycles != 1 || d.WiredOrCycles != 0 {
+		t.Errorf("FirstSet cost = %v, want exactly 1 bus cycle", d)
+	}
+}
+
+func TestFirstSetAtMostOnePerCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		a := ctx(n, 8)
+		xData := make([]bool, n*n)
+		for i := range xData {
+			xData[i] = rng.Intn(2) == 0
+		}
+		// Whole-row clusters.
+		got := a.FirstSet(a.FromBools(xData), ppa.East, a.Col().EqConst(0))
+		for r := 0; r < n; r++ {
+			count, any := 0, false
+			for c := 0; c < n; c++ {
+				if got.At(r, c) {
+					count++
+				}
+				any = any || xData[r*n+c]
+			}
+			if count > 1 {
+				t.Fatalf("trial %d row %d: %d firsts", trial, r, count)
+			}
+			if any && count != 1 {
+				t.Fatalf("trial %d row %d: drivers exist but no first marked", trial, r)
+			}
+		}
+	}
+}

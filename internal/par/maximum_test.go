@@ -1,0 +1,127 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+func TestMaxWholeRow(t *testing.T) {
+	a := ctx(4, 8)
+	src := a.FromSlice([]ppa.Word{
+		7, 3, 9, 5,
+		0, 0, 0, 0,
+		255, 1, 2, 3,
+		200, 100, 100, 201,
+	})
+	got := a.Max(src, ppa.West, a.Col().EqConst(3))
+	want := []ppa.Word{9, 0, 255, 201}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if got.At(r, c) != want[r] {
+				t.Errorf("max[%d,%d] = %d, want %d", r, c, got.At(r, c), want[r])
+			}
+		}
+	}
+}
+
+func TestMaxMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(9)
+		h := uint(4 + rng.Intn(10))
+		a := ctx(n, h)
+		flat := make([]ppa.Word, n*n)
+		for i := range flat {
+			flat[i] = ppa.Word(rng.Int63n(int64(ppa.Infinity(h)) + 1))
+		}
+		src := a.FromSlice(flat)
+		got := a.Max(src, ppa.East, a.Col().EqConst(0))
+		for r := 0; r < n; r++ {
+			want := flat[r*n]
+			for c := 1; c < n; c++ {
+				if flat[r*n+c] > want {
+					want = flat[r*n+c]
+				}
+			}
+			for c := 0; c < n; c++ {
+				if got.At(r, c) != want {
+					t.Fatalf("trial %d row %d: max = %d, want %d (row %v)",
+						trial, r, got.At(r, c), want, flat[r*n:r*n+n])
+				}
+			}
+		}
+	}
+}
+
+func TestMaxCycleCostMatchesMin(t *testing.T) {
+	a := ctx(8, 12)
+	src := a.Zeros()
+	head := a.Col().EqConst(7)
+	before := a.Machine().Metrics()
+	a.Max(src, ppa.West, head)
+	d := a.Machine().Metrics().Sub(before)
+	wiredOr, bus := MinCost(12)
+	if d.WiredOrCycles != wiredOr || d.BusCycles != bus {
+		t.Errorf("Max cost %d wired-OR / %d bus, want %d / %d",
+			d.WiredOrCycles, d.BusCycles, wiredOr, bus)
+	}
+}
+
+func TestSelectedMax(t *testing.T) {
+	a := ctx(3, 8)
+	src := a.FromSlice([]ppa.Word{
+		5, 90, 9,
+		1, 2, 3,
+		8, 8, 8,
+	})
+	sel := a.FromBools([]bool{
+		true, false, true, // max over {5, 9} = 9
+		true, true, false, // max over {1, 2} = 2
+		false, false, false, // empty: floats, src returned
+	})
+	got := a.SelectedMax(src, ppa.West, a.Col().EqConst(2), sel)
+	if got.At(0, 0) != 9 || got.At(1, 1) != 2 {
+		t.Errorf("selected max wrong: %d %d", got.At(0, 0), got.At(1, 1))
+	}
+	for c := 0; c < 3; c++ {
+		if got.At(2, c) != 8 {
+			t.Errorf("empty-sel row: %d", got.At(2, c))
+		}
+	}
+	if sel.Count() != 4 {
+		t.Error("SelectedMax mutated caller's selection")
+	}
+}
+
+// TestMinMaxDuality: Max(x) == inf - Min(inf - x) lanewise, a relation
+// that must hold for any data because the two scans are exact duals.
+func TestMinMaxDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, h = 5, 9
+	inf := ppa.Infinity(h)
+	flat := make([]ppa.Word, n*n)
+	for i := range flat {
+		flat[i] = ppa.Word(rng.Int63n(int64(inf) + 1))
+	}
+	a := ctx(n, h)
+	src := a.FromSlice(flat)
+	head := a.Col().EqConst(n - 1)
+	maxed := a.Max(src, ppa.West, head)
+
+	b := ctx(n, h)
+	compl := make([]ppa.Word, n*n)
+	for i, w := range flat {
+		compl[i] = inf - w
+	}
+	mined := b.Min(b.FromSlice(compl), ppa.West, b.Col().EqConst(n-1))
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if maxed.At(r, c) != inf-mined.At(r, c) {
+				t.Fatalf("duality broken at (%d,%d): max %d, inf-min %d",
+					r, c, maxed.At(r, c), inf-mined.At(r, c))
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package par
+
+import "ppamcp/internal/ppa"
+
+// RankRows computes, for every PE, the rank of its src value within its
+// row (0 = smallest), breaking ties by column index — the classic
+// enumeration primitive of bus-based arrays. Implementation: n pivot
+// broadcasts (one per column, each a whole-row cut-ring transaction) with
+// a local compare-and-count per pivot. Cost: n bus cycles + O(n) local
+// instructions; needs h >= log2(n) bits, which every MCP-capable
+// configuration already has.
+func (a *Array) RankRows(src *Var) *Var {
+	a.check(src.a)
+	n := a.N()
+	col := a.Col()
+	rank := a.Zeros()
+	for k := 0; k < n; k++ {
+		pivotOpen := col.EqConst(ppa.Word(k))
+		pivot := a.Broadcast(src, ppa.East, pivotOpen)
+		// The pivot (column k's value) ranks before this PE's value if it
+		// is smaller, or equal but from a smaller column.
+		kBeforeMe := col.LtConst(ppa.Word(k + 1)).Not() // k < COL
+		before := pivot.Lt(src).Or(pivot.Eq(src).And(kBeforeMe))
+		a.Where(before, func() {
+			rank.Assign(rank.AddSatConst(1))
+		})
+	}
+	return rank
+}
+
+// SortRows returns a variable in which every row holds its src values in
+// ascending order (stable in the original column order for ties). It
+// ranks the row and then routes each value to the column equal to its
+// rank with one broadcast per rank. Cost: 2n bus cycles total.
+func (a *Array) SortRows(src *Var) *Var {
+	a.check(src.a)
+	n := a.N()
+	col := a.Col()
+	rank := a.RankRows(src)
+	out := a.Zeros()
+	for k := 0; k < n; k++ {
+		fromRank := a.Broadcast(src, ppa.East, rank.EqConst(ppa.Word(k)))
+		a.Where(col.EqConst(ppa.Word(k)), func() {
+			out.Assign(fromRank)
+		})
+	}
+	return out
+}

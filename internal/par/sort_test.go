@@ -1,0 +1,93 @@
+package par
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+func TestRankRowsSimple(t *testing.T) {
+	a := ctx(4, 8)
+	src := a.FromSlice([]ppa.Word{
+		30, 10, 40, 20,
+		5, 5, 5, 5, // all ties: ranks follow column order
+		9, 8, 7, 6,
+		0, 255, 0, 255, // pairwise ties
+	})
+	got := a.RankRows(src).Slice()
+	want := []ppa.Word{
+		2, 0, 3, 1,
+		0, 1, 2, 3,
+		3, 2, 1, 0,
+		0, 2, 1, 3,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRankRowsIsPermutationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(9)
+		a := ctx(n, 10)
+		flat := make([]ppa.Word, n*n)
+		for i := range flat {
+			flat[i] = ppa.Word(rng.Intn(16)) // many ties
+		}
+		ranks := a.RankRows(a.FromSlice(flat)).Slice()
+		for r := 0; r < n; r++ {
+			seen := make([]bool, n)
+			for c := 0; c < n; c++ {
+				rk := int(ranks[r*n+c])
+				if rk < 0 || rk >= n || seen[rk] {
+					t.Fatalf("trial %d row %d: ranks %v are not a permutation", trial, r, ranks[r*n:r*n+n])
+				}
+				seen[rk] = true
+			}
+		}
+	}
+}
+
+func TestSortRowsMatchesHostSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(9)
+		h := uint(5 + rng.Intn(7))
+		a := ctx(n, h)
+		flat := make([]ppa.Word, n*n)
+		for i := range flat {
+			flat[i] = ppa.Word(rng.Int63n(int64(ppa.Infinity(h)) + 1))
+		}
+		got := a.SortRows(a.FromSlice(flat)).Slice()
+		for r := 0; r < n; r++ {
+			want := append([]ppa.Word(nil), flat[r*n:r*n+n]...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for c := 0; c < n; c++ {
+				if got[r*n+c] != want[c] {
+					t.Fatalf("trial %d row %d: sorted %v, want %v", trial, r,
+						got[r*n:r*n+n], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSortRowsCost(t *testing.T) {
+	const n = 6
+	a := ctx(n, 8)
+	src := a.Zeros()
+	before := a.Machine().Metrics()
+	a.SortRows(src)
+	d := a.Machine().Metrics().Sub(before)
+	if d.BusCycles != 2*n {
+		t.Errorf("SortRows bus cycles = %d, want %d", d.BusCycles, 2*n)
+	}
+	if d.WiredOrCycles != 0 || d.ShiftSteps != 0 {
+		t.Errorf("SortRows used foreign fabric: %v", d)
+	}
+}

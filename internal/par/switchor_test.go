@@ -1,0 +1,137 @@
+package par
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+// TestOrViaSwitchesMatchesWiredOr: on every configuration in which each
+// ring has at least one cluster head — the only configurations the
+// paper's algorithms build — the switch-only OR equals the wired-OR.
+func TestOrViaSwitchesMatchesWiredOr(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(8)
+		d := ppa.Direction(rng.Intn(4))
+		a := ctx(n, 8)
+		openData := make([]bool, n*n)
+		driveData := make([]bool, n*n)
+		// Guarantee one head per ring of the chosen direction.
+		for ring := 0; ring < n; ring++ {
+			pos := rng.Intn(n)
+			if d.Horizontal() {
+				openData[ring*n+pos] = true
+			} else {
+				openData[pos*n+ring] = true
+			}
+		}
+		for i := range openData {
+			if rng.Intn(5) == 0 {
+				openData[i] = true
+			}
+			driveData[i] = rng.Intn(3) == 0
+		}
+		open := a.FromBools(openData)
+		drive := a.FromBools(driveData)
+		wired := a.Or(drive, d, open)
+		switched := a.OrViaSwitches(drive, d, open)
+		if !reflect.DeepEqual(wired.Slice(), switched.Slice()) {
+			t.Fatalf("trial %d n=%d d=%v:\nopen=%v\ndrive=%v\nwired=%v\nswitched=%v",
+				trial, n, d, openData, driveData, wired.Slice(), switched.Slice())
+		}
+	}
+}
+
+// TestOrViaSwitchesHeadlessDivergence documents the one configuration the
+// switch-only model cannot express: a ring with no head.
+func TestOrViaSwitchesHeadlessDivergence(t *testing.T) {
+	a := ctx(3, 8)
+	drive := a.FromBools([]bool{
+		true, false, false,
+		false, false, false,
+		false, false, false,
+	})
+	noHeads := a.False()
+	wired := a.Or(drive, ppa.East, noHeads)
+	if !wired.At(0, 0) || !wired.At(0, 2) {
+		t.Fatal("wired-OR on a headless ring should OR the whole ring")
+	}
+	switched := a.OrViaSwitches(drive, ppa.East, noHeads)
+	for c := 0; c < 3; c++ {
+		if switched.At(0, c) {
+			t.Errorf("headless switch-OR lane (0,%d) = true (documented to be all-false)", c)
+		}
+	}
+}
+
+func TestOrViaSwitchesCost(t *testing.T) {
+	a := ctx(4, 8)
+	before := a.Machine().Metrics()
+	a.OrViaSwitches(a.False(), ppa.West, a.Col().EqConst(3))
+	d := a.Machine().Metrics().Sub(before)
+	if d.BusCycles != 2 || d.WiredOrCycles != 0 {
+		t.Errorf("cost = %d bus, %d wired-OR; want 2 and 0", d.BusCycles, d.WiredOrCycles)
+	}
+}
+
+// TestMinViaSwitchesMatchesMin: the two bus models compute identical
+// minima on whole-ring clusters.
+func TestMinViaSwitchesMatchesMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		h := uint(4 + rng.Intn(8))
+		a := ctx(n, h)
+		flat := make([]ppa.Word, n*n)
+		for i := range flat {
+			flat[i] = ppa.Word(rng.Int63n(int64(ppa.Infinity(h)) + 1))
+		}
+		src := a.FromSlice(flat)
+		head := a.Col().EqConst(ppa.Word(n - 1))
+		wired := a.Min(src, ppa.West, head)
+		switched := a.MinViaSwitches(src, ppa.West, head)
+		if !reflect.DeepEqual(wired.Slice(), switched.Slice()) {
+			t.Fatalf("trial %d: minima diverge\nwired=%v\nswitched=%v",
+				trial, wired.Slice(), switched.Slice())
+		}
+	}
+}
+
+func TestMinViaSwitchesCost(t *testing.T) {
+	for _, h := range []uint{4, 8, 16} {
+		a := ctx(6, h)
+		src := a.Zeros()
+		head := a.Col().EqConst(5)
+		before := a.Machine().Metrics()
+		a.MinViaSwitches(src, ppa.West, head)
+		d := a.Machine().Metrics().Sub(before)
+		wantWOR, wantBus := MinSwitchCost(h)
+		if d.WiredOrCycles != wantWOR || d.BusCycles != wantBus {
+			t.Errorf("h=%d: cost %d wired-OR / %d bus, want %d / %d",
+				h, d.WiredOrCycles, d.BusCycles, wantWOR, wantBus)
+		}
+	}
+}
+
+func TestSelectedMinViaSwitches(t *testing.T) {
+	a := ctx(4, 8)
+	sel := a.FromBools([]bool{
+		false, true, false, true,
+		true, true, true, true,
+		false, false, false, false,
+		true, false, false, false,
+	})
+	head := a.Col().EqConst(3)
+	wired := a.SelectedMin(a.Col(), ppa.West, head, sel)
+	switched := a.SelectedMinViaSwitches(a.Col(), ppa.West, head, sel)
+	if !reflect.DeepEqual(wired.Slice(), switched.Slice()) {
+		t.Errorf("selected minima diverge:\nwired=%v\nswitched=%v",
+			wired.Slice(), switched.Slice())
+	}
+	if sel.Count() != 7 {
+		t.Error("selection clobbered")
+	}
+}

@@ -1,0 +1,297 @@
+package par
+
+import (
+	"fmt"
+
+	"ppamcp/internal/ppa"
+)
+
+// Var is a parallel h-bit word variable: one copy per PE, row-major.
+type Var struct {
+	a *Array
+	v []ppa.Word
+}
+
+// Array returns the context the variable belongs to.
+func (x *Var) Array() *Array { return x.a }
+
+// Slice copies the variable out to the host (DMA path; no cycles charged).
+func (x *Var) Slice() []ppa.Word {
+	return append([]ppa.Word(nil), x.v...)
+}
+
+// At returns the value held by PE (row, col) (host read-back).
+func (x *Var) At(row, col int) ppa.Word {
+	return x.v[row*x.a.N()+col]
+}
+
+// Copy returns a fresh parallel variable with the same contents
+// (one register-move instruction on all PEs).
+func (x *Var) Copy() *Var {
+	y := x.a.newVar()
+	copy(y.v, x.v)
+	x.a.instr()
+	return y
+}
+
+// Assign stores u into x where the activity mask is set (x = u).
+func (x *Var) Assign(u *Var) {
+	x.a.check(u.a)
+	for i := range x.v {
+		if x.a.mask[i] {
+			x.v[i] = u.v[i]
+		}
+	}
+	x.a.instr()
+}
+
+// AssignConst stores the scalar w into x where the mask is set.
+func (x *Var) AssignConst(w ppa.Word) {
+	ppa.CheckWord(w, x.a.m.Bits())
+	for i := range x.v {
+		if x.a.mask[i] {
+			x.v[i] = w
+		}
+	}
+	x.a.instr()
+}
+
+// binary applies op lanewise producing a fresh variable (pure expression:
+// computed on all PEs, stored to a temporary).
+func (x *Var) binary(u *Var, op func(a, b ppa.Word) ppa.Word) *Var {
+	x.a.check(u.a)
+	y := x.a.newVar()
+	for i := range y.v {
+		y.v[i] = op(x.v[i], u.v[i])
+	}
+	x.a.instr()
+	return y
+}
+
+// AddSat returns x + u with saturation at MAXINT (the PPA's path-cost
+// addition).
+func (x *Var) AddSat(u *Var) *Var {
+	h := x.a.m.Bits()
+	return x.binary(u, func(a, b ppa.Word) ppa.Word { return ppa.SatAdd(a, b, h) })
+}
+
+// AddSatConst returns x + w with saturation.
+func (x *Var) AddSatConst(w ppa.Word) *Var {
+	h := x.a.m.Bits()
+	ppa.CheckWord(w, h)
+	y := x.a.newVar()
+	for i := range y.v {
+		y.v[i] = ppa.SatAdd(x.v[i], w, h)
+	}
+	x.a.instr()
+	return y
+}
+
+// SubClamp returns x - u clamped below at 0 (monus); MAXINT minus anything
+// finite stays MAXINT.
+func (x *Var) SubClamp(u *Var) *Var {
+	inf := x.a.m.Inf()
+	return x.binary(u, func(a, b ppa.Word) ppa.Word {
+		if a == inf {
+			return inf
+		}
+		if b >= a {
+			return 0
+		}
+		return a - b
+	})
+}
+
+// MinWith returns the lanewise minimum of x and u (a local two-operand
+// min, not the bus reduction).
+func (x *Var) MinWith(u *Var) *Var {
+	return x.binary(u, func(a, b ppa.Word) ppa.Word {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// MaxWith returns the lanewise maximum of x and u.
+func (x *Var) MaxWith(u *Var) *Var {
+	return x.binary(u, func(a, b ppa.Word) ppa.Word {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// compare builds a Bool from a lanewise predicate.
+func (x *Var) compare(u *Var, pred func(a, b ppa.Word) bool) *Bool {
+	x.a.check(u.a)
+	b := x.a.newBool()
+	for i := range b.v {
+		b.v[i] = pred(x.v[i], u.v[i])
+	}
+	x.a.instr()
+	return b
+}
+
+// Eq returns the parallel logical x == u.
+func (x *Var) Eq(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a == b }) }
+
+// Ne returns x != u.
+func (x *Var) Ne(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a != b }) }
+
+// Lt returns x < u.
+func (x *Var) Lt(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a < b }) }
+
+// Le returns x <= u.
+func (x *Var) Le(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a <= b }) }
+
+// compareConst builds a Bool from a lanewise predicate against a scalar.
+func (x *Var) compareConst(w ppa.Word, pred func(a, b ppa.Word) bool) *Bool {
+	b := x.a.newBool()
+	for i := range b.v {
+		b.v[i] = pred(x.v[i], w)
+	}
+	x.a.instr()
+	return b
+}
+
+// EqConst returns x == w for scalar w.
+func (x *Var) EqConst(w ppa.Word) *Bool {
+	return x.compareConst(w, func(a, b ppa.Word) bool { return a == b })
+}
+
+// NeConst returns x != w.
+func (x *Var) NeConst(w ppa.Word) *Bool {
+	return x.compareConst(w, func(a, b ppa.Word) bool { return a != b })
+}
+
+// LtConst returns x < w.
+func (x *Var) LtConst(w ppa.Word) *Bool {
+	return x.compareConst(w, func(a, b ppa.Word) bool { return a < b })
+}
+
+// BitPlane returns the parallel logical holding bit j of x (PPC's
+// bit(x, j)).
+func (x *Var) BitPlane(j uint) *Bool {
+	if j >= x.a.m.Bits() {
+		panic(fmt.Sprintf("par: bit plane %d out of range for %d-bit machine", j, x.a.m.Bits()))
+	}
+	b := x.a.newBool()
+	for i := range b.v {
+		b.v[i] = ppa.Bit(x.v[i], j)
+	}
+	x.a.instr()
+	return b
+}
+
+// Bool is a parallel logical variable: one bit per PE.
+type Bool struct {
+	a *Array
+	v []bool
+}
+
+// Array returns the context the logical belongs to.
+func (x *Bool) Array() *Array { return x.a }
+
+// Slice copies the logical out to the host.
+func (x *Bool) Slice() []bool { return append([]bool(nil), x.v...) }
+
+// At returns the value held by PE (row, col).
+func (x *Bool) At(row, col int) bool { return x.v[row*x.a.N()+col] }
+
+// Copy returns a fresh logical with the same contents.
+func (x *Bool) Copy() *Bool {
+	y := x.a.newBool()
+	copy(y.v, x.v)
+	x.a.instr()
+	return y
+}
+
+// Assign stores u into x where the mask is set.
+func (x *Bool) Assign(u *Bool) {
+	x.a.check(u.a)
+	for i := range x.v {
+		if x.a.mask[i] {
+			x.v[i] = u.v[i]
+		}
+	}
+	x.a.instr()
+}
+
+// AssignConst stores the scalar b into x where the mask is set.
+func (x *Bool) AssignConst(b bool) {
+	for i := range x.v {
+		if x.a.mask[i] {
+			x.v[i] = b
+		}
+	}
+	x.a.instr()
+}
+
+// And returns x && u.
+func (x *Bool) And(u *Bool) *Bool {
+	x.a.check(u.a)
+	y := x.a.newBool()
+	for i := range y.v {
+		y.v[i] = x.v[i] && u.v[i]
+	}
+	x.a.instr()
+	return y
+}
+
+// Or returns x || u.
+func (x *Bool) Or(u *Bool) *Bool {
+	x.a.check(u.a)
+	y := x.a.newBool()
+	for i := range y.v {
+		y.v[i] = x.v[i] || u.v[i]
+	}
+	x.a.instr()
+	return y
+}
+
+// Not returns !x.
+func (x *Bool) Not() *Bool {
+	y := x.a.newBool()
+	for i := range y.v {
+		y.v[i] = !x.v[i]
+	}
+	x.a.instr()
+	return y
+}
+
+// Xor returns x != u lanewise.
+func (x *Bool) Xor(u *Bool) *Bool {
+	x.a.check(u.a)
+	y := x.a.newBool()
+	for i := range y.v {
+		y.v[i] = x.v[i] != u.v[i]
+	}
+	x.a.instr()
+	return y
+}
+
+// ToVar converts the logical to a word variable holding 0 or 1.
+func (x *Bool) ToVar() *Var {
+	y := x.a.newVar()
+	for i := range y.v {
+		if x.v[i] {
+			y.v[i] = 1
+		}
+	}
+	x.a.instr()
+	return y
+}
+
+// Count returns the number of true lanes (host-side read-back, used by
+// instrumentation and tests; charges nothing).
+func (x *Bool) Count() int {
+	n := 0
+	for _, b := range x.v {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package ppa
+
+import "fmt"
+
+// Direction is the global data-movement direction selected by the SIMD
+// controller. At any given time every PE moves data the same way; only the
+// per-PE switch configuration (Open/Short) is data dependent.
+type Direction uint8
+
+const (
+	North Direction = iota // toward decreasing row index
+	East                   // toward increasing column index
+	South                  // toward increasing row index
+	West                   // toward decreasing column index
+)
+
+// Opposite returns the direction opposite to d, as the paper's
+// opposite(x) helper.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	panic(fmt.Sprintf("ppa: invalid direction %d", d))
+}
+
+// Horizontal reports whether data moves along rows (East or West).
+func (d Direction) Horizontal() bool { return d == East || d == West }
+
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "North"
+	case East:
+		return "East"
+	case South:
+		return "South"
+	case West:
+		return "West"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// ParseDirection converts a case-insensitive name ("north", "E", ...) to a
+// Direction.
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "north", "North", "NORTH", "n", "N":
+		return North, nil
+	case "east", "East", "EAST", "e", "E":
+		return East, nil
+	case "south", "South", "SOUTH", "s", "S":
+		return South, nil
+	case "west", "West", "WEST", "w", "W":
+		return West, nil
+	}
+	return 0, fmt.Errorf("ppa: unknown direction %q", s)
+}

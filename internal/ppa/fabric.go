@@ -1,0 +1,39 @@
+package ppa
+
+// Fabric is the communication-fabric contract the programming layers
+// build on: an n x n array addressed in row-major order with segmented
+// broadcast buses, a wired-OR bus mode, nearest-neighbour shifts and a
+// global-OR line, all charged to a Metrics accumulator.
+//
+// Machine implements it directly; virt.Machine implements it by
+// simulating a large logical array on a smaller physical Machine
+// (block mapping), which is how the paper's one-element-per-PE assumption
+// is lifted without changing any algorithm code.
+type Fabric interface {
+	// N is the (logical) array side; arrays passed to the ops have N*N
+	// elements.
+	N() int
+	// Bits is the word width h.
+	Bits() uint
+	// Inf is the MAXINT sentinel, 2^h - 1.
+	Inf() Word
+	// Broadcast performs one segmented-bus transaction (see
+	// Machine.Broadcast for the exact cut-ring semantics).
+	Broadcast(d Direction, open []bool, src, dst []Word)
+	// WiredOr performs one 1-bit wired-OR bus transaction.
+	WiredOr(d Direction, open, drive, dst []bool)
+	// Shift moves every word one PE in direction d with wrap-around.
+	Shift(d Direction, src, dst []Word)
+	// GlobalOr reports whether pred holds anywhere.
+	GlobalOr(pred []bool) bool
+	// CountPE charges local ALU operations; CountInstr one SIMD
+	// instruction.
+	CountPE(ops int64)
+	CountInstr()
+	// Metrics returns the accumulated cost; ResetMetrics zeroes it.
+	Metrics() Metrics
+	ResetMetrics()
+}
+
+// Machine satisfies Fabric.
+var _ Fabric = (*Machine)(nil)

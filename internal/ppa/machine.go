@@ -1,0 +1,297 @@
+package ppa
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Machine is an n x n Polymorphic Processor Array. It owns no PE state:
+// parallel variables live in the layers above (package par) as flat
+// row-major slices of length n*n, and the Machine provides the
+// communication fabric that moves them around, charging every transaction
+// to its Metrics.
+//
+// A Machine is not safe for concurrent use by multiple goroutines; it *may*
+// internally fan independent ring operations out over a worker pool (see
+// WithWorkers), which never changes results.
+type Machine struct {
+	n       int
+	h       uint
+	workers int
+	metrics Metrics
+
+	faults   map[int]FaultKind
+	observer func(Event)
+
+	wg sync.WaitGroup
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithWorkers sets the number of goroutines used to execute independent
+// ring operations. The default (1) runs everything on the calling
+// goroutine. Results are identical for any worker count.
+func WithWorkers(w int) Option {
+	return func(m *Machine) {
+		if w < 1 {
+			w = 1
+		}
+		m.workers = w
+	}
+}
+
+// New returns an n x n machine with h-bit words. It panics if n < 1 or h
+// is outside [1, MaxBits]; these are static configuration errors.
+func New(n int, h uint, opts ...Option) *Machine {
+	if n < 1 {
+		panic(fmt.Sprintf("ppa: machine side %d < 1", n))
+	}
+	if h == 0 || h > MaxBits {
+		panic(fmt.Sprintf("ppa: word width %d out of range [1,%d]", h, MaxBits))
+	}
+	m := &Machine{n: n, h: h, workers: 1}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// N returns the side of the array; the machine has N*N PEs.
+func (m *Machine) N() int { return m.n }
+
+// Size returns the total number of PEs, N*N.
+func (m *Machine) Size() int { return m.n * m.n }
+
+// Bits returns the word width h.
+func (m *Machine) Bits() uint { return m.h }
+
+// Inf returns this machine's MAXINT sentinel, Infinity(Bits()).
+func (m *Machine) Inf() Word { return Infinity(m.h) }
+
+// Index maps (row, col) to the flat row-major PE index.
+func (m *Machine) Index(row, col int) int { return row*m.n + col }
+
+// RowCol maps a flat PE index back to (row, col).
+func (m *Machine) RowCol(i int) (row, col int) { return i / m.n, i % m.n }
+
+// Metrics returns the costs accumulated so far.
+func (m *Machine) Metrics() Metrics { return m.metrics }
+
+// ResetMetrics zeroes the accumulated costs.
+func (m *Machine) ResetMetrics() { m.metrics = Metrics{} }
+
+// CountPE charges ops local ALU operations (summed over active PEs).
+// It is exported for the programming layers above the raw fabric.
+func (m *Machine) CountPE(ops int64) { m.metrics.PEOps += ops }
+
+// CountInstr charges one SIMD instruction issued by the controller.
+func (m *Machine) CountInstr() { m.metrics.Instructions++ }
+
+// ring describes the geometry of one bus ring in flow order: the PE at
+// flow position k has flat index base + k*stride (indices are exact; no
+// modular arithmetic is applied because 0 <= k < n).
+type ring struct {
+	base, stride int
+}
+
+// ringFor returns ring geometry for the i-th ring (0 <= i < n) carrying
+// data in direction d. East/West rings are rows; North/South rings are
+// columns. Flow order follows the data movement direction.
+func (m *Machine) ringFor(d Direction, i int) ring {
+	switch d {
+	case East:
+		return ring{base: i * m.n, stride: 1}
+	case West:
+		return ring{base: i*m.n + m.n - 1, stride: -1}
+	case South:
+		return ring{base: i, stride: m.n}
+	case North:
+		return ring{base: i + (m.n-1)*m.n, stride: -m.n}
+	}
+	panic(fmt.Sprintf("ppa: invalid direction %d", d))
+}
+
+// runRings invokes fn(i) for every ring index i, possibly in parallel.
+func (m *Machine) runRings(fn func(i int)) {
+	if m.workers <= 1 || m.n == 1 {
+		for i := 0; i < m.n; i++ {
+			fn(i)
+		}
+		return
+	}
+	w := m.workers
+	if w > m.n {
+		w = m.n
+	}
+	chunk := (m.n + w - 1) / w
+	for g := 0; g < w; g++ {
+		lo, hi := g*chunk, (g+1)*chunk
+		if hi > m.n {
+			hi = m.n
+		}
+		if lo >= hi {
+			break
+		}
+		m.wg.Add(1)
+		go func(lo, hi int) {
+			defer m.wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	m.wg.Wait()
+}
+
+func (m *Machine) checkLen(name string, got int) {
+	if got != m.n*m.n {
+		panic(fmt.Sprintf("ppa: %s has length %d, want %d", name, got, m.n*m.n))
+	}
+}
+
+// Broadcast performs one segmented-bus transaction in direction d.
+// PEs with open[i] == true cut the ring and inject src[i] downstream;
+// every PE receives into dst the operand of the nearest Open PE strictly
+// upstream of it (wrapping). On a ring with no Open PE the bus floats and
+// dst is left unchanged there. dst may alias src. Cost: one bus cycle.
+func (m *Machine) Broadcast(d Direction, open []bool, src, dst []Word) {
+	m.checkLen("open", len(open))
+	m.checkLen("src", len(src))
+	m.checkLen("dst", len(dst))
+	open = m.effectiveOpen(open)
+	m.observe(OpBroadcast, d, countOpens(open))
+	m.metrics.BusCycles++
+	m.runRings(func(i int) {
+		rg := m.ringFor(d, i)
+		n := m.n
+		last := -1
+		for k := 0; k < n; k++ {
+			if open[rg.base+k*rg.stride] {
+				last = k
+			}
+		}
+		if last == -1 {
+			return // floating bus
+		}
+		lastVal := src[rg.base+last*rg.stride]
+		for t := 1; t <= n; t++ {
+			k := last + t
+			if k >= n {
+				k -= n
+			}
+			p := rg.base + k*rg.stride
+			v := src[p] // read before the (possibly aliased) write
+			dst[p] = lastVal
+			if open[p] {
+				lastVal = v
+			}
+		}
+	})
+}
+
+// WiredOr performs one 1-bit wired-OR bus transaction in direction d.
+// Open PEs segment each ring into clusters (a cluster is an Open head plus
+// the downstream Short PEs up to, but excluding, the next Open PE,
+// wrapping). Every PE drives drive[i] onto its cluster's wire and reads
+// back the OR over the whole cluster into dst. A ring with no Open PE is a
+// single closed cluster spanning all n PEs. dst may alias drive.
+// Cost: one wired-OR cycle.
+func (m *Machine) WiredOr(d Direction, open, drive, dst []bool) {
+	m.checkLen("open", len(open))
+	m.checkLen("drive", len(drive))
+	m.checkLen("dst", len(dst))
+	open = m.effectiveOpen(open)
+	m.observe(OpWiredOr, d, countOpens(open))
+	m.metrics.WiredOrCycles++
+	m.runRings(func(i int) {
+		rg := m.ringFor(d, i)
+		n := m.n
+		first := -1
+		for k := 0; k < n; k++ {
+			if open[rg.base+k*rg.stride] {
+				first = k
+				break
+			}
+		}
+		if first == -1 {
+			or := false
+			for k := 0; k < n; k++ {
+				or = or || drive[rg.base+k*rg.stride]
+			}
+			for k := 0; k < n; k++ {
+				dst[rg.base+k*rg.stride] = or
+			}
+			return
+		}
+		// Walk clusters starting at the first head.
+		start := first
+		for covered := 0; covered < n; {
+			// Segment: head at start, extends until next open (exclusive).
+			segLen := 1
+			for segLen < n {
+				k := start + segLen
+				if k >= n {
+					k -= n
+				}
+				if open[rg.base+k*rg.stride] {
+					break
+				}
+				segLen++
+			}
+			or := false
+			for t := 0; t < segLen; t++ {
+				k := start + t
+				if k >= n {
+					k -= n
+				}
+				or = or || drive[rg.base+k*rg.stride]
+			}
+			for t := 0; t < segLen; t++ {
+				k := start + t
+				if k >= n {
+					k -= n
+				}
+				dst[rg.base+k*rg.stride] = or
+			}
+			covered += segLen
+			start += segLen
+			if start >= n {
+				start -= n
+			}
+		}
+	})
+}
+
+// Shift moves every word one PE in direction d with torus wrap:
+// dst[p] = src[neighbour of p on the side opposite d]. dst may alias src.
+// Cost: one shift step.
+func (m *Machine) Shift(d Direction, src, dst []Word) {
+	m.checkLen("src", len(src))
+	m.checkLen("dst", len(dst))
+	m.observe(OpShift, d, 0)
+	m.metrics.ShiftSteps++
+	m.runRings(func(i int) {
+		rg := m.ringFor(d, i)
+		n := m.n
+		tmp := src[rg.base+(n-1)*rg.stride]
+		for k := n - 1; k >= 1; k-- {
+			dst[rg.base+k*rg.stride] = src[rg.base+(k-1)*rg.stride]
+		}
+		dst[rg.base] = tmp
+	})
+}
+
+// GlobalOr evaluates the global-OR line: it reports whether pred is true
+// at any PE. Cost: one global-OR operation.
+func (m *Machine) GlobalOr(pred []bool) bool {
+	m.checkLen("pred", len(pred))
+	m.observe(OpGlobalOr, North, 0)
+	m.metrics.GlobalOrOps++
+	for _, p := range pred {
+		if p {
+			return true
+		}
+	}
+	return false
+}

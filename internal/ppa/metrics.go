@@ -1,0 +1,70 @@
+package ppa
+
+import "fmt"
+
+// Metrics accumulates the abstract cost of a simulated computation. The
+// unit-cost assumptions mirror the hardware argument of Maresca/Li/Baglietto
+// (ICPP'89): a segmented-bus transaction completes in one machine cycle
+// regardless of how many Short switch boxes it traverses.
+//
+// The same struct shape is reused by the comparator architectures
+// (hypercube, GCN, plain mesh) so that experiment tables can be assembled
+// uniformly; fields that do not apply to an architecture stay zero.
+type Metrics struct {
+	// BusCycles counts word-wide segmented-bus broadcasts (PPA, GCN).
+	BusCycles int64
+	// WiredOrCycles counts one-bit wired-OR bus transactions (PPA, GCN);
+	// the bit-serial min issues one per bit plane.
+	WiredOrCycles int64
+	// ShiftSteps counts nearest-neighbour word moves (PPA shift, and the
+	// only communication available to the plain mesh).
+	ShiftSteps int64
+	// RouterCycles counts hypercube dimension-exchange word moves.
+	RouterCycles int64
+	// GlobalOrOps counts uses of the global-OR line into the controller
+	// (loop-termination tests).
+	GlobalOrOps int64
+	// PEOps counts local ALU operations summed over *active* PEs.
+	PEOps int64
+	// Instructions counts SIMD instructions issued by the controller.
+	Instructions int64
+}
+
+// CommCycles is the architecture's dominant communication cost: every
+// bus, wired-OR, shift, router and global-OR transaction. It is the column
+// compared across architectures in experiment E3.
+func (m Metrics) CommCycles() int64 {
+	return m.BusCycles + m.WiredOrCycles + m.ShiftSteps + m.RouterCycles + m.GlobalOrOps
+}
+
+// Add returns the field-wise sum of m and o.
+func (m Metrics) Add(o Metrics) Metrics {
+	return Metrics{
+		BusCycles:     m.BusCycles + o.BusCycles,
+		WiredOrCycles: m.WiredOrCycles + o.WiredOrCycles,
+		ShiftSteps:    m.ShiftSteps + o.ShiftSteps,
+		RouterCycles:  m.RouterCycles + o.RouterCycles,
+		GlobalOrOps:   m.GlobalOrOps + o.GlobalOrOps,
+		PEOps:         m.PEOps + o.PEOps,
+		Instructions:  m.Instructions + o.Instructions,
+	}
+}
+
+// Sub returns the field-wise difference m - o, useful for measuring the
+// cost of a region of a computation.
+func (m Metrics) Sub(o Metrics) Metrics {
+	return Metrics{
+		BusCycles:     m.BusCycles - o.BusCycles,
+		WiredOrCycles: m.WiredOrCycles - o.WiredOrCycles,
+		ShiftSteps:    m.ShiftSteps - o.ShiftSteps,
+		RouterCycles:  m.RouterCycles - o.RouterCycles,
+		GlobalOrOps:   m.GlobalOrOps - o.GlobalOrOps,
+		PEOps:         m.PEOps - o.PEOps,
+		Instructions:  m.Instructions - o.Instructions,
+	}
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("bus=%d wiredOR=%d shift=%d router=%d globalOR=%d peOps=%d instr=%d (comm=%d)",
+		m.BusCycles, m.WiredOrCycles, m.ShiftSteps, m.RouterCycles, m.GlobalOrOps, m.PEOps, m.Instructions, m.CommCycles())
+}

@@ -1,0 +1,65 @@
+// Package ppa simulates the Polymorphic Processor Array (PPA), the
+// massively parallel SIMD architecture of Maresca, Li and Baglietto: an
+// n x n torus of processing elements (PEs) whose row and column buses can
+// be dynamically segmented by per-PE switch boxes.
+//
+// The package models the machine at the level the IPPS'98 MCP paper relies
+// on: unit-cost segmented-bus transactions (broadcast and wired-OR), unit
+// nearest-neighbour shifts, and a global-OR line to the SIMD controller.
+// Every operation is charged to a Metrics struct so algorithms built on top
+// can be compared in abstract machine cycles rather than host wall time.
+//
+// Bus semantics ("cut ring"): each row and each column is a ring
+// (the PPA descends from the Polymorphic Torus). A PE whose switch box is
+// Open cuts the ring between its read port and its drive port and injects
+// its operand downstream; a PE whose switch box is Short passes the signal
+// through. A PE therefore receives the operand of the nearest Open PE
+// strictly upstream of it, wrapping around the ring.
+package ppa
+
+import "fmt"
+
+// Word is the value manipulated by a PE. The architecture is bit-serial
+// at heart: a machine is configured with a word width h (Bits), values are
+// unsigned integers in [0, 2^h-1], and 2^h-1 doubles as the MAXINT
+// (infinity) sentinel of the paper.
+type Word int64
+
+// MaxBits is the widest word a Machine supports. One bit of the underlying
+// int64 is kept in reserve so that intermediate sums cannot overflow before
+// saturation is applied.
+const MaxBits = 62
+
+// Infinity returns the MAXINT sentinel for an h-bit machine: the all-ones
+// word 2^h - 1. It is absorbing under SatAdd and loses every minimum
+// except against itself.
+func Infinity(h uint) Word {
+	if h == 0 || h > MaxBits {
+		panic(fmt.Sprintf("ppa: word width %d out of range [1,%d]", h, MaxBits))
+	}
+	return Word(1)<<h - 1
+}
+
+// SatAdd adds two h-bit words, saturating at Infinity(h). Negative
+// operands are rejected: the PPA MCP algorithm is defined on non-negative
+// edge weights.
+func SatAdd(a, b Word, h uint) Word {
+	if a < 0 || b < 0 {
+		panic(fmt.Sprintf("ppa: SatAdd of negative word (%d, %d)", a, b))
+	}
+	inf := Infinity(h)
+	if a >= inf || b >= inf || a+b >= inf {
+		return inf
+	}
+	return a + b
+}
+
+// Bit reports the i-th bit plane of w, as the paper's bit(x, i) primitive.
+func Bit(w Word, i uint) bool { return w>>i&1 == 1 }
+
+// CheckWord panics unless w is representable on an h-bit machine.
+func CheckWord(w Word, h uint) {
+	if w < 0 || w > Infinity(h) {
+		panic(fmt.Sprintf("ppa: word %d not representable in %d bits", w, h))
+	}
+}

@@ -1,0 +1,151 @@
+package ppa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInfinity(t *testing.T) {
+	cases := []struct {
+		h    uint
+		want Word
+	}{
+		{1, 1}, {2, 3}, {4, 15}, {8, 255}, {16, 65535}, {62, 1<<62 - 1},
+	}
+	for _, c := range cases {
+		if got := Infinity(c.h); got != c.want {
+			t.Errorf("Infinity(%d) = %d, want %d", c.h, got, c.want)
+		}
+	}
+}
+
+func TestInfinityPanicsOutOfRange(t *testing.T) {
+	for _, h := range []uint{0, 63, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Infinity(%d) did not panic", h)
+				}
+			}()
+			Infinity(h)
+		}()
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	const h = 8
+	inf := Infinity(h)
+	cases := []struct {
+		a, b, want Word
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{100, 100, 200},
+		{200, 100, inf}, // overflow saturates
+		{inf, 0, inf},   // infinity is absorbing
+		{0, inf, inf},
+		{inf, inf, inf},
+		{254, 0, 254},
+		{254, 1, inf}, // 255 == inf itself
+	}
+	for _, c := range cases {
+		if got := SatAdd(c.a, c.b, h); got != c.want {
+			t.Errorf("SatAdd(%d, %d, %d) = %d, want %d", c.a, c.b, h, got, c.want)
+		}
+	}
+}
+
+func TestSatAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SatAdd(-1, 0) did not panic")
+		}
+	}()
+	SatAdd(-1, 0, 8)
+}
+
+func TestSatAddProperties(t *testing.T) {
+	const h = 16
+	inf := Infinity(h)
+	f := func(a, b uint16) bool {
+		x, y := Word(a)%inf, Word(b)%inf
+		got := SatAdd(x, y, h)
+		// Commutative, bounded, exact when no saturation.
+		if got != SatAdd(y, x, h) || got > inf {
+			return false
+		}
+		if x+y < inf && got != x+y {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBit(t *testing.T) {
+	w := Word(0b1011001)
+	want := []bool{true, false, false, true, true, false, true, false}
+	for i, wbit := range want {
+		if got := Bit(w, uint(i)); got != wbit {
+			t.Errorf("Bit(%b, %d) = %v, want %v", w, i, got, wbit)
+		}
+	}
+}
+
+func TestCheckWord(t *testing.T) {
+	CheckWord(0, 4)
+	CheckWord(15, 4)
+	for _, w := range []Word{-1, 16, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckWord(%d, 4) did not panic", w)
+				}
+			}()
+			CheckWord(w, 4)
+		}()
+	}
+}
+
+func TestDirectionOpposite(t *testing.T) {
+	for _, d := range []Direction{North, East, South, West} {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not involutive for %v", d)
+		}
+		if d.Opposite() == d {
+			t.Errorf("Opposite(%v) == %v", d, d)
+		}
+	}
+	if North.Opposite() != South || East.Opposite() != West {
+		t.Error("wrong opposite pairing")
+	}
+}
+
+func TestDirectionHorizontal(t *testing.T) {
+	if !East.Horizontal() || !West.Horizontal() || North.Horizontal() || South.Horizontal() {
+		t.Error("Horizontal misclassifies directions")
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Direction
+	}{{"north", North}, {"E", East}, {"South", South}, {"w", West}} {
+		got, err := ParseDirection(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDirection(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseDirection("up"); err == nil {
+		t.Error("ParseDirection(up) succeeded, want error")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if North.String() != "North" || Direction(9).String() == "" {
+		t.Error("Direction.String broken")
+	}
+}

@@ -1,0 +1,231 @@
+package ppclang
+
+// Type is a PPC value type: the cross product of {scalar, parallel} and
+// {int, logical}, plus void for functions.
+type Type struct {
+	Parallel bool
+	Base     BaseType
+}
+
+// BaseType is int, logical or void.
+type BaseType uint8
+
+// Base types.
+const (
+	BaseInt BaseType = iota
+	BaseLogical
+	BaseVoid
+)
+
+func (t Type) String() string {
+	base := map[BaseType]string{BaseInt: "int", BaseLogical: "logical", BaseVoid: "void"}[t.Base]
+	if t.Parallel {
+		return "parallel " + base
+	}
+	return base
+}
+
+// Node is any AST node.
+type Node interface {
+	nodePos() Pos
+}
+
+// Expressions.
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	Pos Pos
+	Op  Kind // NOT or MINUS
+	X   Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// Assign is `name = value` (an expression, C-style).
+type Assign struct {
+	Pos  Pos
+	Name string
+	Val  Expr
+}
+
+// IncDec is `name++` or `name--`.
+type IncDec struct {
+	Pos  Pos
+	Name string
+	Op   Kind // INC or DEC
+}
+
+// Call is a function or builtin invocation.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Expr is any expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+func (e *IntLit) nodePos() Pos { return e.Pos }
+func (e *Ident) nodePos() Pos  { return e.Pos }
+func (e *Unary) nodePos() Pos  { return e.Pos }
+func (e *Binary) nodePos() Pos { return e.Pos }
+func (e *Assign) nodePos() Pos { return e.Pos }
+func (e *IncDec) nodePos() Pos { return e.Pos }
+func (e *Call) nodePos() Pos   { return e.Pos }
+
+func (*IntLit) exprNode() {}
+func (*Ident) exprNode()  {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Assign) exprNode() {}
+func (*IncDec) exprNode() {}
+func (*Call) exprNode()   {}
+
+// Statements.
+
+// VarDecl declares one or more variables of a common type, each with an
+// optional initializer.
+type VarDecl struct {
+	Pos   Pos
+	Type  Type
+	Names []string
+	Inits []Expr // parallel slice to Names; nil entries mean zero-value
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// If is `if (cond) then [else els]` with a *scalar* condition.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// Where is `where (cond) then [elsewhere els]` with a *parallel* condition.
+type Where struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is `while (cond) body`.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is `do body while (cond);`.
+type DoWhile struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// For is `for (init; cond; post) body`; each header part may be nil.
+type For struct {
+	Pos  Pos
+	Init Stmt // VarDecl or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Return is `return;` or `return expr;`.
+type Return struct {
+	Pos Pos
+	Val Expr // may be nil
+}
+
+// Break is `break;`.
+type Break struct{ Pos Pos }
+
+// Continue is `continue;`.
+type Continue struct{ Pos Pos }
+
+// Block is `{ stmts }`.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Stmt is any statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+func (s *VarDecl) nodePos() Pos  { return s.Pos }
+func (s *ExprStmt) nodePos() Pos { return s.Pos }
+func (s *If) nodePos() Pos       { return s.Pos }
+func (s *Where) nodePos() Pos    { return s.Pos }
+func (s *While) nodePos() Pos    { return s.Pos }
+func (s *DoWhile) nodePos() Pos  { return s.Pos }
+func (s *For) nodePos() Pos      { return s.Pos }
+func (s *Return) nodePos() Pos   { return s.Pos }
+func (s *Break) nodePos() Pos    { return s.Pos }
+func (s *Continue) nodePos() Pos { return s.Pos }
+func (s *Block) nodePos() Pos    { return s.Pos }
+
+func (*VarDecl) stmtNode()  {}
+func (*ExprStmt) stmtNode() {}
+func (*If) stmtNode()       {}
+func (*Where) stmtNode()    {}
+func (*While) stmtNode()    {}
+func (*DoWhile) stmtNode()  {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Block) stmtNode()    {}
+
+// Param is one function parameter.
+type Param struct {
+	Type Type
+	Name string
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   *Block
+}
+
+func (f *FuncDecl) nodePos() Pos { return f.Pos }
+
+// Program is a parsed PPC source file.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   map[string]*FuncDecl
+	// Order preserves declaration order for global initialization.
+	Order []Node
+}

@@ -1,0 +1,431 @@
+package ppclang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Check performs static semantic analysis of a compiled program — the
+// front-end pass a PPC compiler would run before code generation. It
+// reports, with positions:
+//
+//   - undefined variables and functions; redeclarations; arity errors;
+//   - type errors: parallel values in scalar contexts (conditions of
+//     if/while/do/for need any()), scalar conditions under where,
+//     void values used in expressions, parallel * / % and unary minus,
+//     ++/-- on anything but a scalar int;
+//   - placement errors: break/continue outside loops, and
+//     break/continue/return crossing a where boundary (SIMD control
+//     cannot diverge per PE);
+//   - non-void functions that can fall off the end without returning.
+//
+// Value-dependent conditions (division by zero, direction operands out of
+// 0..3, bit-plane ranges, recursion depth) remain runtime errors.
+// cmd/ppcrun runs Check before executing; the interpreter re-detects
+// everything dynamically, so Check is a usability layer, not a soundness
+// requirement.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		globals: map[string]Type{},
+	}
+	// Predefined environment (must match NewInterp's).
+	for name, t := range map[string]Type{
+		"ROW": {Parallel: true, Base: BaseInt},
+		"COL": {Parallel: true, Base: BaseInt},
+		"N":   {Base: BaseInt}, "BITS": {Base: BaseInt}, "MAXINT": {Base: BaseInt},
+		"NORTH": {Base: BaseInt}, "EAST": {Base: BaseInt},
+		"SOUTH": {Base: BaseInt}, "WEST": {Base: BaseInt},
+	} {
+		c.globals[name] = t
+	}
+	for _, d := range prog.Globals {
+		c.checkGlobalDecl(d)
+	}
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	return errors.Join(c.errs...)
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]Type
+	errs    []error
+
+	// per-function state
+	scopes     []map[string]Type
+	ret        Type
+	loopDepth  int
+	whereDepth int
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...interface{}) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) lookup(name string) (Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	t, ok := c.globals[name]
+	return t, ok
+}
+
+func (c *checker) declare(pos Pos, name string, t Type) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "variable %q redeclared in this scope", name)
+		return
+	}
+	top[name] = t
+}
+
+func (c *checker) checkGlobalDecl(d *VarDecl) {
+	for k, name := range d.Names {
+		if _, dup := c.globals[name]; dup {
+			c.errorf(d.Pos, "global %q redeclared (or shadows a predefined name)", name)
+		}
+		c.globals[name] = d.Type
+		if init := d.Inits[k]; init != nil {
+			// Global initializers run in the global scope.
+			c.scopes = []map[string]Type{{}}
+			t := c.checkExpr(init)
+			c.requireAssignable(init.nodePos(), t, d.Type)
+			c.scopes = nil
+		}
+	}
+}
+
+func (c *checker) checkFunc(f *FuncDecl) {
+	c.scopes = []map[string]Type{{}}
+	c.ret = f.Ret
+	c.loopDepth, c.whereDepth = 0, 0
+	for _, p := range f.Params {
+		c.declare(f.Pos, p.Name, p.Type)
+	}
+	c.checkStmt(f.Body)
+	if f.Ret.Base != BaseVoid && !alwaysReturns(f.Body) {
+		c.errorf(f.Pos, "function %q may reach its end without returning %s", f.Name, f.Ret)
+	}
+	c.scopes = nil
+}
+
+// alwaysReturns conservatively decides whether every path through s ends
+// in a return.
+func alwaysReturns(s Stmt) bool {
+	switch st := s.(type) {
+	case *Return:
+		return true
+	case *Block:
+		for _, sub := range st.Stmts {
+			if alwaysReturns(sub) {
+				return true
+			}
+		}
+		return false
+	case *If:
+		return st.Else != nil && alwaysReturns(st.Then) && alwaysReturns(st.Else)
+	case *DoWhile:
+		return alwaysReturns(st.Body)
+	default:
+		return false
+	}
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]Type{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarDecl:
+		for k, name := range st.Names {
+			if init := st.Inits[k]; init != nil {
+				t := c.checkExpr(init)
+				c.requireAssignable(init.nodePos(), t, st.Type)
+			}
+			c.declare(st.Pos, name, st.Type)
+		}
+	case *ExprStmt:
+		c.checkExpr(st.X)
+	case *Block:
+		c.pushScope()
+		for _, sub := range st.Stmts {
+			c.checkStmt(sub)
+		}
+		c.popScope()
+	case *If:
+		c.requireScalarCond(st.Cond, "if")
+		c.pushScope()
+		c.checkStmt(st.Then)
+		c.popScope()
+		if st.Else != nil {
+			c.pushScope()
+			c.checkStmt(st.Else)
+			c.popScope()
+		}
+	case *Where:
+		t := c.checkExpr(st.Cond)
+		if t.Base != BaseVoid && !t.Parallel {
+			c.errorf(st.Cond.nodePos(), "where condition must be parallel, got %s (use if for scalar conditions)", t)
+		}
+		c.whereDepth++
+		c.pushScope()
+		c.checkStmt(st.Then)
+		c.popScope()
+		if st.Else != nil {
+			c.pushScope()
+			c.checkStmt(st.Else)
+			c.popScope()
+		}
+		c.whereDepth--
+	case *While:
+		c.requireScalarCond(st.Cond, "while")
+		c.loopDepth++
+		c.pushScope()
+		c.checkStmt(st.Body)
+		c.popScope()
+		c.loopDepth--
+	case *DoWhile:
+		c.loopDepth++
+		c.pushScope()
+		c.checkStmt(st.Body)
+		c.popScope()
+		c.loopDepth--
+		c.requireScalarCond(st.Cond, "do-while")
+	case *For:
+		c.pushScope()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.requireScalarCond(st.Cond, "for")
+		}
+		if st.Post != nil {
+			c.checkExpr(st.Post)
+		}
+		c.loopDepth++
+		c.pushScope()
+		c.checkStmt(st.Body)
+		c.popScope()
+		c.loopDepth--
+		c.popScope()
+	case *Return:
+		if c.whereDepth > 0 {
+			c.errorf(st.Pos, "return cannot cross a where boundary")
+		}
+		if st.Val == nil {
+			if c.ret.Base != BaseVoid {
+				c.errorf(st.Pos, "missing return value (%s expected)", c.ret)
+			}
+			return
+		}
+		if c.ret.Base == BaseVoid {
+			c.errorf(st.Pos, "void function returns a value")
+			c.checkExpr(st.Val)
+			return
+		}
+		t := c.checkExpr(st.Val)
+		c.requireAssignable(st.Pos, t, c.ret)
+	case *Break:
+		if c.loopDepth == 0 {
+			c.errorf(st.Pos, "break outside a loop")
+		} else if c.whereDepth > 0 {
+			c.errorf(st.Pos, "break cannot cross a where boundary")
+		}
+	case *Continue:
+		if c.loopDepth == 0 {
+			c.errorf(st.Pos, "continue outside a loop")
+		} else if c.whereDepth > 0 {
+			c.errorf(st.Pos, "continue cannot cross a where boundary")
+		}
+	}
+}
+
+func (c *checker) requireScalarCond(e Expr, what string) {
+	t := c.checkExpr(e)
+	if t.Base == BaseVoid {
+		c.errorf(e.nodePos(), "%s condition is void", what)
+		return
+	}
+	if t.Parallel {
+		c.errorf(e.nodePos(), "%s condition must be scalar, got %s (reduce with any())", what, t)
+	}
+}
+
+// requireAssignable mirrors the runtime conversion rules.
+func (c *checker) requireAssignable(pos Pos, from, to Type) {
+	if from.Base == BaseVoid {
+		c.errorf(pos, "void value in expression")
+		return
+	}
+	if from.Parallel && !to.Parallel {
+		c.errorf(pos, "cannot assign %s to %s (reduce with any() first)", from, to)
+	}
+}
+
+// checkExpr types an expression; errors are recorded and a best-effort
+// type returned so checking can continue.
+func (c *checker) checkExpr(e Expr) Type {
+	switch ex := e.(type) {
+	case *IntLit:
+		return Type{Base: BaseInt}
+	case *Ident:
+		t, ok := c.lookup(ex.Name)
+		if !ok {
+			c.errorf(ex.Pos, "undefined variable %q", ex.Name)
+			return Type{Base: BaseInt}
+		}
+		return t
+	case *Assign:
+		target, ok := c.lookup(ex.Name)
+		if !ok {
+			c.errorf(ex.Pos, "undefined variable %q", ex.Name)
+			c.checkExpr(ex.Val)
+			return Type{Base: BaseInt}
+		}
+		t := c.checkExpr(ex.Val)
+		c.requireAssignable(ex.Pos, t, target)
+		return target
+	case *IncDec:
+		t, ok := c.lookup(ex.Name)
+		if !ok {
+			c.errorf(ex.Pos, "undefined variable %q", ex.Name)
+			return Type{Base: BaseInt}
+		}
+		if t.Parallel || t.Base != BaseInt {
+			c.errorf(ex.Pos, "++/-- requires a scalar int, %q is %s", ex.Name, t)
+		}
+		return Type{Base: BaseInt}
+	case *Unary:
+		t := c.checkExpr(ex.X)
+		if t.Base == BaseVoid {
+			c.errorf(ex.Pos, "void value in expression")
+			return Type{Base: BaseInt}
+		}
+		if ex.Op == MINUS {
+			if t.Parallel {
+				c.errorf(ex.Pos, "unary minus on parallel values is not supported")
+			}
+			return Type{Base: BaseInt}
+		}
+		return Type{Parallel: t.Parallel, Base: BaseLogical}
+	case *Binary:
+		return c.checkBinary(ex)
+	case *Call:
+		return c.checkCall(ex)
+	}
+	return Type{Base: BaseInt}
+}
+
+func (c *checker) checkBinary(ex *Binary) Type {
+	l := c.checkExpr(ex.L)
+	r := c.checkExpr(ex.R)
+	if l.Base == BaseVoid {
+		c.errorf(ex.L.nodePos(), "void value in expression")
+		return Type{Base: BaseInt}
+	}
+	if r.Base == BaseVoid {
+		c.errorf(ex.R.nodePos(), "void value in expression")
+		return Type{Base: BaseInt}
+	}
+	parallel := l.Parallel || r.Parallel
+	switch ex.Op {
+	case ANDAND, OROR:
+		return Type{Parallel: parallel, Base: BaseLogical}
+	case EQ, NEQ, LT, LE, GT, GE:
+		return Type{Parallel: parallel, Base: BaseLogical}
+	case STAR, SLASH, PERCENT:
+		if parallel {
+			c.errorf(ex.Pos, "%v is not supported on parallel values", ex.Op)
+		}
+		return Type{Base: BaseInt}
+	default: // PLUS, MINUS
+		return Type{Parallel: parallel, Base: BaseInt}
+	}
+}
+
+// builtinSig describes a builtin's static signature: argument kinds and
+// how its result type derives from the arguments.
+type builtinSig struct {
+	argc int
+	// kinds: 'p' = parallel (any base), 's' = scalar, 'i' = parallel int,
+	// '*' = anything non-void.
+	kinds  string
+	result func(args []Type) Type
+}
+
+var builtinSigs = map[string]builtinSig{
+	"shift": {2, "ps", func(a []Type) Type { return a[0] }},
+	"broadcast": {3, "psp", func(a []Type) Type {
+		return Type{Parallel: true, Base: a[0].Base}
+	}},
+	"min":          {3, "isp", parallelIntResult},
+	"max":          {3, "isp", parallelIntResult},
+	"selected_min": {4, "ispp", parallelIntResult},
+	"selected_max": {4, "ispp", parallelIntResult},
+	"or":           {3, "psp", func([]Type) Type { return Type{Parallel: true, Base: BaseLogical} }},
+	"bit":          {2, "is", func([]Type) Type { return Type{Parallel: true, Base: BaseLogical} }},
+	"any":          {1, "p", func([]Type) Type { return Type{Base: BaseLogical} }},
+	"opposite":     {1, "s", func([]Type) Type { return Type{Base: BaseInt} }},
+}
+
+func parallelIntResult([]Type) Type { return Type{Parallel: true, Base: BaseInt} }
+
+func (c *checker) checkCall(ex *Call) Type {
+	if ex.Name == "print" {
+		for _, a := range ex.Args {
+			if t := c.checkExpr(a); t.Base == BaseVoid {
+				c.errorf(a.nodePos(), "void value in print")
+			}
+		}
+		return Type{Base: BaseVoid}
+	}
+	if sig, ok := builtinSigs[ex.Name]; ok {
+		if len(ex.Args) != sig.argc {
+			c.errorf(ex.Pos, "%s expects %d arguments, got %d", ex.Name, sig.argc, len(ex.Args))
+			for _, a := range ex.Args {
+				c.checkExpr(a)
+			}
+			return sig.result(make([]Type, sig.argc))
+		}
+		args := make([]Type, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = c.checkExpr(a)
+			if args[i].Base == BaseVoid {
+				c.errorf(a.nodePos(), "void value as argument %d of %s", i+1, ex.Name)
+				continue
+			}
+			switch sig.kinds[i] {
+			case 's':
+				if args[i].Parallel {
+					c.errorf(a.nodePos(), "argument %d of %s must be scalar, got %s", i+1, ex.Name, args[i])
+				}
+			case 'p', 'i':
+				// Scalars promote to parallel; nothing to reject
+				// statically beyond void (handled above).
+			}
+		}
+		return sig.result(args)
+	}
+	f, ok := c.prog.Funcs[ex.Name]
+	if !ok {
+		c.errorf(ex.Pos, "undefined function %q", ex.Name)
+		for _, a := range ex.Args {
+			c.checkExpr(a)
+		}
+		return Type{Base: BaseInt}
+	}
+	if len(ex.Args) != len(f.Params) {
+		c.errorf(ex.Pos, "%s expects %d arguments, got %d", ex.Name, len(f.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		t := c.checkExpr(a)
+		if i < len(f.Params) {
+			c.requireAssignable(a.nodePos(), t, f.Params[i].Type)
+		}
+	}
+	return f.Ret
+}

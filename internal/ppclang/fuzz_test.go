@@ -1,0 +1,40 @@
+package ppclang
+
+import (
+	"testing"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// FuzzCompile asserts the front end never panics and that anything it
+// accepts can at least be installed into an interpreter without crashing
+// (global initializers may legitimately fail with an error).
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		PaperMCPSource,
+		PaperMinSource,
+		dtSource,
+		"int x = 1;",
+		"void main() { where (ROW == 0) ; elsewhere ; }",
+		"parallel logical L; void f(parallel int v, int s) { return; }",
+		"void main() { for (int i = 0; i < 3; i++) { break; } }",
+		"/* comment */ // line\nint y;",
+		"void main() { do ; while (0 != 0); }",
+		"int f(int x) { return f(x - 1); } void main() { }",
+		"}{)(!!!",
+		"int 5x;",
+		"where where where",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must also survive interpreter installation.
+		_, _ = NewInterp(prog, par.New(ppa.New(2, 8)))
+	})
+}

@@ -1,0 +1,726 @@
+package ppclang
+
+import (
+	"fmt"
+	"io"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// Interp executes a compiled Program against a par.Array. Globals are
+// created (and their initializers run) by NewInterp; host code can then
+// bind input data with the Set* methods, invoke entry points with Call,
+// and read results back with the Get* methods.
+type Interp struct {
+	prog    *Program
+	arr     *par.Array
+	globals *scope
+	out     io.Writer
+	depth   int // call depth, to catch runaway recursion
+}
+
+// maxCallDepth bounds recursion in interpreted programs.
+const maxCallDepth = 256
+
+// scope is one lexical environment level.
+type scope struct {
+	vars   map[string]*Value
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: make(map[string]*Value), parent: parent}
+}
+
+func (s *scope) lookup(name string) *Value {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(pos Pos, name string, v Value) error {
+	if _, dup := s.vars[name]; dup {
+		return errAt(pos, "variable %q redeclared in this scope", name)
+	}
+	cp := v
+	s.vars[name] = &cp
+	return nil
+}
+
+// InterpOption configures an Interp.
+type InterpOption func(*Interp)
+
+// WithOutput directs print() output to w (default: discarded).
+func WithOutput(w io.Writer) InterpOption {
+	return func(i *Interp) { i.out = w }
+}
+
+// NewInterp creates an interpreter for prog on arr: it installs the
+// predefined environment (ROW, COL, N, BITS, MAXINT, the four directions)
+// and evaluates the program's global declarations in order.
+func NewInterp(prog *Program, arr *par.Array, opts ...InterpOption) (*Interp, error) {
+	in := &Interp{prog: prog, arr: arr, globals: newScope(nil), out: io.Discard}
+	for _, o := range opts {
+		o(in)
+	}
+	// Predefined environment. Directions share ppa.Direction's encoding.
+	pre := map[string]Value{
+		"ROW":    parallelInt(arr.Row()),
+		"COL":    parallelInt(arr.Col()),
+		"N":      scalarInt(int64(arr.N())),
+		"BITS":   scalarInt(int64(arr.Machine().Bits())),
+		"MAXINT": scalarInt(int64(arr.Machine().Inf())),
+		"NORTH":  scalarInt(int64(ppa.North)),
+		"EAST":   scalarInt(int64(ppa.East)),
+		"SOUTH":  scalarInt(int64(ppa.South)),
+		"WEST":   scalarInt(int64(ppa.West)),
+	}
+	for name, v := range pre {
+		if err := in.globals.declare(Pos{}, name, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range prog.Globals {
+		if err := in.execVarDecl(d, in.globals); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// Array returns the array the interpreter runs on.
+func (in *Interp) Array() *par.Array { return in.arr }
+
+// control describes how a statement finished.
+type control uint8
+
+const (
+	ctrlNone control = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// execVarDecl declares the variables of d in sc.
+func (in *Interp) execVarDecl(d *VarDecl, sc *scope) error {
+	for k, name := range d.Names {
+		var v Value
+		if d.Inits[k] != nil {
+			raw, err := in.eval(d.Inits[k], sc)
+			if err != nil {
+				return err
+			}
+			if v, err = convertTo(d.Inits[k].nodePos(), in.arr, raw, d.Type); err != nil {
+				return err
+			}
+		} else {
+			v = in.zeroValue(d.Type)
+		}
+		if err := sc.declare(d.Pos, name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) zeroValue(t Type) Value {
+	switch {
+	case t.Parallel && t.Base == BaseInt:
+		return parallelInt(in.arr.Zeros())
+	case t.Parallel && t.Base == BaseLogical:
+		return parallelBool(in.arr.False())
+	case t.Base == BaseLogical:
+		return scalarBool(false)
+	default:
+		return scalarInt(0)
+	}
+}
+
+// exec runs one statement.
+func (in *Interp) exec(s Stmt, sc *scope) (control, Value, error) {
+	switch st := s.(type) {
+	case *VarDecl:
+		return ctrlNone, Value{}, in.execVarDecl(st, sc)
+	case *ExprStmt:
+		_, err := in.eval(st.X, sc)
+		return ctrlNone, Value{}, err
+	case *Block:
+		inner := newScope(sc)
+		for _, sub := range st.Stmts {
+			c, v, err := in.exec(sub, inner)
+			if err != nil || c != ctrlNone {
+				return c, v, err
+			}
+		}
+		return ctrlNone, Value{}, nil
+	case *If:
+		condV, err := in.eval(st.Cond, sc)
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		cond, err := asScalarBool(st.Cond.nodePos(), condV)
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		if cond {
+			return in.exec(st.Then, newScope(sc))
+		}
+		if st.Else != nil {
+			return in.exec(st.Else, newScope(sc))
+		}
+		return ctrlNone, Value{}, nil
+	case *Where:
+		return in.execWhere(st, sc)
+	case *While:
+		for iter := 0; ; iter++ {
+			condV, err := in.eval(st.Cond, sc)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			cond, err := asScalarBool(st.Cond.nodePos(), condV)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond {
+				return ctrlNone, Value{}, nil
+			}
+			c, v, err := in.exec(st.Body, newScope(sc))
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return c, v, nil
+			}
+		}
+	case *DoWhile:
+		for {
+			c, v, err := in.exec(st.Body, newScope(sc))
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return c, v, nil
+			}
+			condV, err := in.eval(st.Cond, sc)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			cond, err := asScalarBool(st.Cond.nodePos(), condV)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond {
+				return ctrlNone, Value{}, nil
+			}
+		}
+	case *For:
+		outer := newScope(sc)
+		if st.Init != nil {
+			if c, v, err := in.exec(st.Init, outer); err != nil || c != ctrlNone {
+				return c, v, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				condV, err := in.eval(st.Cond, outer)
+				if err != nil {
+					return ctrlNone, Value{}, err
+				}
+				cond, err := asScalarBool(st.Cond.nodePos(), condV)
+				if err != nil {
+					return ctrlNone, Value{}, err
+				}
+				if !cond {
+					return ctrlNone, Value{}, nil
+				}
+			}
+			c, v, err := in.exec(st.Body, newScope(outer))
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return c, v, nil
+			}
+			if st.Post != nil {
+				if _, err := in.eval(st.Post, outer); err != nil {
+					return ctrlNone, Value{}, err
+				}
+			}
+		}
+	case *Return:
+		if st.Val == nil {
+			return ctrlReturn, voidValue(), nil
+		}
+		v, err := in.eval(st.Val, sc)
+		return ctrlReturn, v, err
+	case *Break:
+		return ctrlBreak, Value{}, nil
+	case *Continue:
+		return ctrlContinue, Value{}, nil
+	}
+	return ctrlNone, Value{}, errAt(s.nodePos(), "internal: unknown statement %T", s)
+}
+
+// execWhere runs the where/elsewhere construct: the condition must be (or
+// convert to) a parallel logical, and the branch bodies run under the
+// narrowed activity mask. break/continue/return cannot cross a where
+// boundary (a SIMD controller cannot diverge per PE).
+func (in *Interp) execWhere(st *Where, sc *scope) (control, Value, error) {
+	condV, err := in.eval(st.Cond, sc)
+	if err != nil {
+		return ctrlNone, Value{}, err
+	}
+	if !condV.T.Parallel {
+		return ctrlNone, Value{}, errAt(st.Cond.nodePos(),
+			"where condition must be parallel, got %s (use if for scalar conditions)", condV.T)
+	}
+	cond, err := asParallelBool(st.Cond.nodePos(), in.arr, condV)
+	if err != nil {
+		return ctrlNone, Value{}, err
+	}
+	var bodyErr error
+	runBranch := func(body Stmt) func() {
+		return func() {
+			if bodyErr != nil || body == nil {
+				return
+			}
+			c, _, err := in.exec(body, newScope(sc))
+			if err != nil {
+				bodyErr = err
+				return
+			}
+			if c != ctrlNone {
+				bodyErr = errAt(body.nodePos(), "break/continue/return cannot cross a where boundary")
+			}
+		}
+	}
+	var elseFn func()
+	if st.Else != nil {
+		elseFn = runBranch(st.Else)
+	}
+	in.arr.WhereElse(cond, runBranch(st.Then), elseFn)
+	return ctrlNone, Value{}, bodyErr
+}
+
+// eval computes one expression.
+func (in *Interp) eval(e Expr, sc *scope) (Value, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return scalarInt(ex.Val), nil
+	case *Ident:
+		v := sc.lookup(ex.Name)
+		if v == nil {
+			return Value{}, errAt(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		return *v, nil
+	case *Assign:
+		return in.evalAssign(ex, sc)
+	case *IncDec:
+		v := sc.lookup(ex.Name)
+		if v == nil {
+			return Value{}, errAt(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		if v.T.Parallel || v.T.Base != BaseInt {
+			return Value{}, errAt(ex.Pos, "++/-- requires a scalar int, %q is %s", ex.Name, v.T)
+		}
+		old := v.SInt
+		if ex.Op == INC {
+			v.SInt++
+		} else {
+			v.SInt--
+		}
+		return scalarInt(old), nil
+	case *Unary:
+		return in.evalUnary(ex, sc)
+	case *Binary:
+		return in.evalBinary(ex, sc)
+	case *Call:
+		return in.evalCall(ex, sc)
+	}
+	return Value{}, errAt(e.nodePos(), "internal: unknown expression %T", e)
+}
+
+func (in *Interp) evalAssign(ex *Assign, sc *scope) (Value, error) {
+	target := sc.lookup(ex.Name)
+	if target == nil {
+		return Value{}, errAt(ex.Pos, "undefined variable %q", ex.Name)
+	}
+	raw, err := in.eval(ex.Val, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	v, err := convertTo(ex.Pos, in.arr, raw, target.T)
+	if err != nil {
+		return Value{}, err
+	}
+	switch {
+	case target.T.Parallel && target.T.Base == BaseInt:
+		target.PInt.Assign(v.PInt) // masked store
+	case target.T.Parallel && target.T.Base == BaseLogical:
+		target.PBool.Assign(v.PBool) // masked store
+	default:
+		// Scalar (controller) variables ignore the activity mask.
+		*target = v
+	}
+	return *target, nil
+}
+
+func (in *Interp) evalUnary(ex *Unary, sc *scope) (Value, error) {
+	v, err := in.eval(ex.X, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	switch ex.Op {
+	case NOT:
+		if v.T.Parallel {
+			b, err := asParallelBool(ex.Pos, in.arr, v)
+			if err != nil {
+				return Value{}, err
+			}
+			return parallelBool(b.Not()), nil
+		}
+		b, err := asScalarBool(ex.Pos, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarBool(!b), nil
+	case MINUS:
+		if v.T.Parallel {
+			return Value{}, errAt(ex.Pos, "unary minus on parallel values is not supported (machine words are unsigned)")
+		}
+		s, err := asScalarInt(ex.Pos, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarInt(-s), nil
+	}
+	return Value{}, errAt(ex.Pos, "internal: unknown unary op %v", ex.Op)
+}
+
+func (in *Interp) evalBinary(ex *Binary, sc *scope) (Value, error) {
+	// Scalar && and || short-circuit, C-style.
+	if ex.Op == ANDAND || ex.Op == OROR {
+		return in.evalLogical(ex, sc)
+	}
+	l, err := in.eval(ex.L, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := in.eval(ex.R, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.T.Parallel || r.T.Parallel {
+		return in.parallelBinary(ex, l, r)
+	}
+	return in.scalarBinary(ex, l, r)
+}
+
+func (in *Interp) evalLogical(ex *Binary, sc *scope) (Value, error) {
+	l, err := in.eval(ex.L, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	if !l.T.Parallel {
+		lb, err := asScalarBool(ex.L.nodePos(), l)
+		if err != nil {
+			return Value{}, err
+		}
+		// A decided scalar left side short-circuits, C-style: the right
+		// side is not evaluated at all (even if it would be parallel; the
+		// scalar result converts wherever it is used).
+		if (ex.Op == ANDAND && !lb) || (ex.Op == OROR && lb) {
+			return scalarBool(lb), nil
+		}
+		r, err := in.eval(ex.R, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if !r.T.Parallel {
+			rb, err := asScalarBool(ex.R.nodePos(), r)
+			if err != nil {
+				return Value{}, err
+			}
+			if ex.Op == ANDAND {
+				return scalarBool(lb && rb), nil
+			}
+			return scalarBool(lb || rb), nil
+		}
+		return in.parallelLogical(ex, scalarBool(lb), r)
+	}
+	r, err := in.eval(ex.R, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	return in.parallelLogical(ex, l, r)
+}
+
+func (in *Interp) parallelLogical(ex *Binary, l, r Value) (Value, error) {
+	lb, err := asParallelBool(ex.L.nodePos(), in.arr, l)
+	if err != nil {
+		return Value{}, err
+	}
+	rb, err := asParallelBool(ex.R.nodePos(), in.arr, r)
+	if err != nil {
+		return Value{}, err
+	}
+	if ex.Op == ANDAND {
+		return parallelBool(lb.And(rb)), nil
+	}
+	return parallelBool(lb.Or(rb)), nil
+}
+
+func (in *Interp) scalarBinary(ex *Binary, l, r Value) (Value, error) {
+	// Logical == / != compare truth values.
+	if (ex.Op == EQ || ex.Op == NEQ) && l.T.Base == BaseLogical && r.T.Base == BaseLogical {
+		eq := l.SBool == r.SBool
+		if ex.Op == NEQ {
+			eq = !eq
+		}
+		return scalarBool(eq), nil
+	}
+	a, err := asScalarInt(ex.L.nodePos(), l)
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := asScalarInt(ex.R.nodePos(), r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch ex.Op {
+	case PLUS:
+		return scalarInt(a + b), nil
+	case MINUS:
+		return scalarInt(a - b), nil
+	case STAR:
+		return scalarInt(a * b), nil
+	case SLASH:
+		if b == 0 {
+			return Value{}, errAt(ex.Pos, "division by zero")
+		}
+		return scalarInt(a / b), nil
+	case PERCENT:
+		if b == 0 {
+			return Value{}, errAt(ex.Pos, "modulo by zero")
+		}
+		return scalarInt(a % b), nil
+	case EQ:
+		return scalarBool(a == b), nil
+	case NEQ:
+		return scalarBool(a != b), nil
+	case LT:
+		return scalarBool(a < b), nil
+	case GT:
+		return scalarBool(a > b), nil
+	case LE:
+		return scalarBool(a <= b), nil
+	case GE:
+		return scalarBool(a >= b), nil
+	}
+	return Value{}, errAt(ex.Pos, "internal: unknown scalar op %v", ex.Op)
+}
+
+func (in *Interp) parallelBinary(ex *Binary, l, r Value) (Value, error) {
+	// Logical equality on two logicals.
+	if (ex.Op == EQ || ex.Op == NEQ) &&
+		l.T.Base == BaseLogical && r.T.Base == BaseLogical {
+		lb, err := asParallelBool(ex.L.nodePos(), in.arr, l)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, err := asParallelBool(ex.R.nodePos(), in.arr, r)
+		if err != nil {
+			return Value{}, err
+		}
+		x := lb.Xor(rb)
+		if ex.Op == EQ {
+			x = x.Not()
+		}
+		return parallelBool(x), nil
+	}
+	a, err := asParallelInt(ex.L.nodePos(), in.arr, l)
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := asParallelInt(ex.R.nodePos(), in.arr, r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch ex.Op {
+	case PLUS:
+		return parallelInt(a.AddSat(b)), nil
+	case MINUS:
+		return parallelInt(a.SubClamp(b)), nil
+	case STAR, SLASH, PERCENT:
+		return Value{}, errAt(ex.Pos, "%v is not supported on parallel values", ex.Op)
+	case EQ:
+		return parallelBool(a.Eq(b)), nil
+	case NEQ:
+		return parallelBool(a.Ne(b)), nil
+	case LT:
+		return parallelBool(a.Lt(b)), nil
+	case LE:
+		return parallelBool(a.Le(b)), nil
+	case GT:
+		return parallelBool(b.Lt(a)), nil
+	case GE:
+		return parallelBool(b.Le(a)), nil
+	}
+	return Value{}, errAt(ex.Pos, "internal: unknown parallel op %v", ex.Op)
+}
+
+func (in *Interp) evalCall(ex *Call, sc *scope) (Value, error) {
+	if fn, ok := builtins[ex.Name]; ok {
+		return fn(in, ex, sc)
+	}
+	f, ok := in.prog.Funcs[ex.Name]
+	if !ok {
+		return Value{}, errAt(ex.Pos, "undefined function %q", ex.Name)
+	}
+	if len(ex.Args) != len(f.Params) {
+		return Value{}, errAt(ex.Pos, "%s expects %d arguments, got %d", ex.Name, len(f.Params), len(ex.Args))
+	}
+	if in.depth >= maxCallDepth {
+		return Value{}, errAt(ex.Pos, "call depth exceeds %d (runaway recursion?)", maxCallDepth)
+	}
+	fsc := newScope(in.globals)
+	for k, param := range f.Params {
+		raw, err := in.eval(ex.Args[k], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := convertTo(ex.Args[k].nodePos(), in.arr, raw, param.Type)
+		if err != nil {
+			return Value{}, err
+		}
+		// Value semantics: parallel arguments are copied, so callee
+		// mutation (as in the paper's min(), which overwrites src) stays
+		// local.
+		switch {
+		case v.T.Parallel && v.T.Base == BaseInt:
+			v = parallelInt(v.PInt.Copy())
+		case v.T.Parallel && v.T.Base == BaseLogical:
+			v = parallelBool(v.PBool.Copy())
+		}
+		if err := fsc.declare(f.Pos, param.Name, v); err != nil {
+			return Value{}, err
+		}
+	}
+	in.depth++
+	c, ret, err := in.exec(f.Body, fsc)
+	in.depth--
+	if err != nil {
+		return Value{}, err
+	}
+	if c != ctrlReturn {
+		if f.Ret.Base != BaseVoid {
+			return Value{}, errAt(f.Pos, "%s: missing return of %s", f.Name, f.Ret)
+		}
+		return voidValue(), nil
+	}
+	if f.Ret.Base == BaseVoid {
+		return voidValue(), nil
+	}
+	return convertTo(f.Pos, in.arr, ret, f.Ret)
+}
+
+// Call invokes a niladic PPC function by name (the host entry point).
+func (in *Interp) Call(name string) (Value, error) {
+	f, ok := in.prog.Funcs[name]
+	if !ok {
+		return Value{}, fmt.Errorf("ppclang: undefined function %q", name)
+	}
+	if len(f.Params) != 0 {
+		return Value{}, fmt.Errorf("ppclang: %s takes %d parameters; Call supports only niladic entry points", name, len(f.Params))
+	}
+	return in.evalCall(&Call{Pos: f.Pos, Name: name}, in.globals)
+}
+
+// global returns the named global, type-checked against want.
+func (in *Interp) global(name string, want Type) (*Value, error) {
+	v, ok := in.globals.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("ppclang: no global %q", name)
+	}
+	if v.T != want {
+		return nil, fmt.Errorf("ppclang: global %q is %s, not %s", name, v.T, want)
+	}
+	return v, nil
+}
+
+// SetInt binds a scalar int global.
+func (in *Interp) SetInt(name string, val int64) error {
+	v, err := in.global(name, Type{Base: BaseInt})
+	if err != nil {
+		return err
+	}
+	v.SInt = val
+	return nil
+}
+
+// GetInt reads a scalar int global.
+func (in *Interp) GetInt(name string) (int64, error) {
+	v, err := in.global(name, Type{Base: BaseInt})
+	if err != nil {
+		return 0, err
+	}
+	return v.SInt, nil
+}
+
+// SetParallelInt binds a parallel int global from host data (row-major,
+// length N*N); models the host DMA path, charging no cycles.
+func (in *Interp) SetParallelInt(name string, data []ppa.Word) error {
+	v, err := in.global(name, Type{Parallel: true, Base: BaseInt})
+	if err != nil {
+		return err
+	}
+	if len(data) != in.arr.N()*in.arr.N() {
+		return fmt.Errorf("ppclang: %q needs %d values, got %d", name, in.arr.N()*in.arr.N(), len(data))
+	}
+	v.PInt = in.arr.FromSlice(data)
+	return nil
+}
+
+// GetParallelInt reads a parallel int global back to the host.
+func (in *Interp) GetParallelInt(name string) ([]ppa.Word, error) {
+	v, err := in.global(name, Type{Parallel: true, Base: BaseInt})
+	if err != nil {
+		return nil, err
+	}
+	return v.PInt.Slice(), nil
+}
+
+// SetParallelLogical binds a parallel logical global from host data.
+func (in *Interp) SetParallelLogical(name string, data []bool) error {
+	v, err := in.global(name, Type{Parallel: true, Base: BaseLogical})
+	if err != nil {
+		return err
+	}
+	if len(data) != in.arr.N()*in.arr.N() {
+		return fmt.Errorf("ppclang: %q needs %d values, got %d", name, in.arr.N()*in.arr.N(), len(data))
+	}
+	v.PBool = in.arr.FromBools(data)
+	return nil
+}
+
+// GetParallelLogical reads a parallel logical global back to the host.
+func (in *Interp) GetParallelLogical(name string) ([]bool, error) {
+	v, err := in.global(name, Type{Parallel: true, Base: BaseLogical})
+	if err != nil {
+		return nil, err
+	}
+	return v.PBool.Slice(), nil
+}

@@ -1,0 +1,528 @@
+package ppclang
+
+import (
+	"strings"
+	"testing"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+func newTestInterp(t *testing.T, src string, n int, h uint) *Interp {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	in, err := NewInterp(prog, par.New(ppa.New(n, h)))
+	if err != nil {
+		t.Fatalf("NewInterp: %v", err)
+	}
+	return in
+}
+
+func callOK(t *testing.T, in *Interp, name string) Value {
+	t.Helper()
+	v, err := in.Call(name)
+	if err != nil {
+		t.Fatalf("Call(%s): %v", name, err)
+	}
+	return v
+}
+
+func TestScalarArithmeticAndControlFlow(t *testing.T) {
+	src := `
+int result;
+int fib(int k) {
+	if (k <= 1) return k;
+	return fib(k - 1) + fib(k - 2);
+}
+void main() {
+	int i, acc;
+	acc = 0;
+	for (i = 1; i <= 10; i++) {
+		if (i % 2 == 0)
+			continue;
+		acc = acc + i;      /* 1+3+5+7+9 = 25 */
+	}
+	while (acc > 20) acc = acc - 7;   /* 25 -> 18 */
+	do acc++; while (acc < 20);       /* -> 20 */
+	result = acc * 2 - fib(7) + 100 / 4 - 13 % 5;  /* 40 - 13 + 25 - 3 = 49 */
+}
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	got, err := in.GetInt("result")
+	if err != nil || got != 49 {
+		t.Errorf("result = %d (%v), want 49", got, err)
+	}
+}
+
+func TestParallelWhereSemantics(t *testing.T) {
+	src := `
+parallel int V;
+void main() {
+	where (ROW == 0)
+		V = 10;
+	elsewhere
+		V = 20;
+	where (ROW == 0 && COL == 1)
+		V = V + 5;
+}
+`
+	in := newTestInterp(t, src, 3, 8)
+	callOK(t, in, "main")
+	v, err := in.GetParallelInt("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ppa.Word{10, 15, 10, 20, 20, 20, 20, 20, 20}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("V[%d] = %d, want %d", i, v[i], want[i])
+		}
+	}
+}
+
+func TestParallelSaturatingPlus(t *testing.T) {
+	src := `
+parallel int V;
+void main() { V = MAXINT; V = V + 1; V = V + V; }
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	v, _ := in.GetParallelInt("V")
+	if v[0] != 255 {
+		t.Errorf("saturation failed: %d", v[0])
+	}
+}
+
+func TestPredefinedConstants(t *testing.T) {
+	src := `
+int n2, b2, m2, no, ea, so, we;
+void main() { n2 = N; b2 = BITS; m2 = MAXINT; no = NORTH; ea = EAST; so = SOUTH; we = WEST; }
+`
+	in := newTestInterp(t, src, 5, 9)
+	callOK(t, in, "main")
+	for name, want := range map[string]int64{
+		"n2": 5, "b2": 9, "m2": 511, "no": 0, "ea": 1, "so": 2, "we": 3,
+	} {
+		if got, _ := in.GetInt(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestShiftAndBroadcastBuiltins(t *testing.T) {
+	src := `
+parallel int V, S, B;
+void main() {
+	V = COL;
+	S = shift(V, EAST);
+	B = broadcast(V, EAST, COL == 0);
+}
+`
+	in := newTestInterp(t, src, 3, 8)
+	callOK(t, in, "main")
+	s, _ := in.GetParallelInt("S")
+	b, _ := in.GetParallelInt("B")
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if s[r*3+c] != ppa.Word((c+2)%3) {
+				t.Errorf("S[%d,%d] = %d", r, c, s[r*3+c])
+			}
+			if b[r*3+c] != 0 {
+				t.Errorf("B[%d,%d] = %d, want 0 (col 0's value)", r, c, b[r*3+c])
+			}
+		}
+	}
+}
+
+func TestMinBuiltinAndUserMinAgree(t *testing.T) {
+	src := PaperMinSource + `
+parallel int V, M1, M2;
+void main() {
+	M1 = min(V, WEST, COL == (N - 1));
+	M2 = my_min(V, WEST, COL == (N - 1));
+}
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := par.New(ppa.New(4, 8))
+	in, err := NewInterp(prog, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []ppa.Word{
+		9, 4, 7, 5,
+		255, 1, 2, 255,
+		3, 3, 3, 3,
+		250, 251, 252, 0,
+	}
+	if err := in.SetParallelInt("V", data); err != nil {
+		t.Fatal(err)
+	}
+	before := arr.Machine().Metrics()
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	after := arr.Machine().Metrics().Sub(before)
+	m1, _ := in.GetParallelInt("M1")
+	m2, _ := in.GetParallelInt("M2")
+	wantMins := []ppa.Word{4, 1, 3, 0}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if m1[r*4+c] != wantMins[r] || m2[r*4+c] != wantMins[r] {
+				t.Errorf("row %d col %d: builtin %d, my_min %d, want %d",
+					r, c, m1[r*4+c], m2[r*4+c], wantMins[r])
+			}
+		}
+	}
+	// Both minima cost the same bus transactions: 2 * (h wired-OR + 2 bus).
+	if after.WiredOrCycles != 16 || after.BusCycles != 4 {
+		t.Errorf("comm cycles = %v, want 16 wired-OR + 4 bus", after)
+	}
+}
+
+func TestSelectedMinOrBitAnyOpposite(t *testing.T) {
+	src := `
+parallel int V, SM;
+parallel logical L, O;
+logical a1, a2;
+int op;
+void main() {
+	V = COL;
+	SM = selected_min(COL, WEST, COL == (N - 1), ROW == COL);
+	O = or(ROW == 1 && COL == 1, EAST, COL == 0);
+	L = bit(V, 0);
+	a1 = any(V > 900);
+	a2 = any(V == 2);
+	op = opposite(WEST);
+}
+`
+	in := newTestInterp(t, src, 3, 10)
+	callOK(t, in, "main")
+	sm, _ := in.GetParallelInt("SM")
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if sm[r*3+c] != ppa.Word(r) {
+				t.Errorf("SM[%d,%d] = %d, want %d (diagonal-selected col)", r, c, sm[r*3+c], r)
+			}
+		}
+	}
+	o, _ := in.GetParallelLogical("O")
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if o[r*3+c] != (r == 1) {
+				t.Errorf("O[%d,%d] = %v", r, c, o[r*3+c])
+			}
+		}
+	}
+	l, _ := in.GetParallelLogical("L")
+	// V = COL, so bit 0 is set exactly in odd columns.
+	if l[0] || !l[1] || l[2] {
+		t.Errorf("bit plane: %v", l[:3])
+	}
+	// any() results land in scalar logicals.
+	if v := in.globals.lookup("a1"); v.SBool {
+		t.Error("any(V > 900) = true")
+	}
+	if v := in.globals.lookup("a2"); !v.SBool {
+		t.Error("any(V == 2) = false")
+	}
+	if got, _ := in.GetInt("op"); got != int64(ppa.East) {
+		t.Errorf("opposite(WEST) = %d", got)
+	}
+}
+
+func TestMaxAndSelectedMaxBuiltins(t *testing.T) {
+	src := `
+parallel int V, M, SM;
+void main() {
+	V = COL;
+	M = max(V, WEST, COL == (N - 1));
+	SM = selected_max(V, WEST, COL == (N - 1), COL < 2);
+}
+`
+	in := newTestInterp(t, src, 4, 8)
+	callOK(t, in, "main")
+	m, _ := in.GetParallelInt("M")
+	sm, _ := in.GetParallelInt("SM")
+	for i := 0; i < 16; i++ {
+		if m[i] != 3 {
+			t.Errorf("max[%d] = %d, want 3", i, m[i])
+		}
+		if sm[i] != 1 {
+			t.Errorf("selected_max[%d] = %d, want 1", i, sm[i])
+		}
+	}
+}
+
+func TestFunctionValueSemanticsForParallelParams(t *testing.T) {
+	// The callee overwrites its parallel parameter; the caller's variable
+	// must be unaffected (the paper's min() relies on this).
+	src := `
+parallel int V;
+parallel int clobber(parallel int x) { x = 0; return x; }
+void main() { V = 7; clobber(V); }
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	v, _ := in.GetParallelInt("V")
+	if v[0] != 7 {
+		t.Errorf("caller's V clobbered: %d", v[0])
+	}
+}
+
+func TestGlobalInitializersRunInOrder(t *testing.T) {
+	src := `
+int a = 3;
+int b = a + 4;
+void main() { }
+`
+	in := newTestInterp(t, src, 2, 8)
+	if got, _ := in.GetInt("b"); got != 7 {
+		t.Errorf("b = %d, want 7", got)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	src := `
+parallel int V;
+void main() {
+	int s;
+	s = 42;
+	print(s, s + 1);
+	V = MAXINT;
+	print(V);
+}
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	in, err := NewInterp(prog, par.New(ppa.New(2, 8)), WithOutput(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "42 43") || !strings.Contains(out, "inf inf") {
+		t.Errorf("print output:\n%s", out)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":        "void main() { x = 1; }",
+		"undefined func":       "void main() { nosuch(); }",
+		"scalar where":         "void main() { where (1 < 2) ; }",
+		"parallel if":          "void main() { if (ROW == 0) ; }",
+		"parallel to scalar":   "int s; void main() { s = ROW; }",
+		"div by zero":          "void main() { int x; x = 1 / 0; }",
+		"mod by zero":          "void main() { int x; x = 1 % 0; }",
+		"parallel star":        "parallel int v; void main() { v = ROW * COL; }",
+		"parallel unary minus": "parallel int v; void main() { v = -ROW; }",
+		"bad direction":        "void main() { shift(ROW, 9); }",
+		"bit out of range":     "void main() { bit(ROW, 99); }",
+		"arg count":            "void main() { min(ROW, WEST); }",
+		"call arg count":       "int f(int x) { return x; } void main() { f(); }",
+		"missing return":       "int f() { } void main() { f(); }",
+		"return across where":  "void main() { where (ROW == 0) return; }",
+		"break across where":   "void main() { while (1 < 2) where (ROW == 0) break; }",
+		"parallel incdec":      "parallel int v; void main() { v++; }",
+		"redeclare":            "void main() { int x; int x; }",
+		"scalar lit too big":   "parallel int v; void main() { v = 300; }",
+		"recursion limit":      "int f(int x) { return f(x); } void main() { f(1); }",
+		"parallel while":       "void main() { while (ROW == 0) ; }",
+	}
+	for name, src := range cases {
+		in := newTestInterp(t, src, 2, 8)
+		if _, err := in.Call("main"); err == nil {
+			t.Errorf("%s: no runtime error", name)
+		}
+	}
+}
+
+func TestHostBindingErrors(t *testing.T) {
+	in := newTestInterp(t, "parallel int W; int d; parallel logical L; void main() { }", 2, 8)
+	if err := in.SetInt("W", 3); err == nil {
+		t.Error("SetInt on parallel accepted")
+	}
+	if err := in.SetInt("nosuch", 3); err == nil {
+		t.Error("SetInt on missing accepted")
+	}
+	if err := in.SetParallelInt("W", make([]ppa.Word, 3)); err == nil {
+		t.Error("short data accepted")
+	}
+	if err := in.SetParallelLogical("L", make([]bool, 1)); err == nil {
+		t.Error("short logical accepted")
+	}
+	if err := in.SetParallelInt("d", make([]ppa.Word, 4)); err == nil {
+		t.Error("SetParallelInt on scalar accepted")
+	}
+	if _, err := in.GetParallelInt("d"); err == nil {
+		t.Error("GetParallelInt on scalar accepted")
+	}
+	if _, err := in.GetParallelLogical("W"); err == nil {
+		t.Error("GetParallelLogical on int accepted")
+	}
+	if _, err := in.Call("nosuch"); err == nil {
+		t.Error("Call on missing function accepted")
+	}
+	if _, err := in.Call("main"); err != nil {
+		t.Errorf("Call(main): %v", err)
+	}
+	withArgs := newTestInterp(t, "void f(int x) { }", 2, 8)
+	if _, err := withArgs.Call("f"); err == nil {
+		t.Error("Call on function with params accepted")
+	}
+}
+
+func TestParallelOperatorMatrix(t *testing.T) {
+	src := `
+parallel logical LOR, LAND, LNE, GE1, GT1, LEQ;
+parallel int SUB;
+void main() {
+	LOR  = ROW == 0 || COL == 0;
+	LAND = 1 && ROW == 1;            /* scalar-true left, parallel right */
+	LNE  = (ROW == 0) != (COL == 0); /* parallel logical inequality */
+	GE1  = ROW >= 1;
+	GT1  = COL > 1;
+	LEQ  = (ROW == 0) == (COL == 0);
+	SUB  = ROW - COL;                /* clamped monus */
+}
+`
+	in := newTestInterp(t, src, 3, 8)
+	callOK(t, in, "main")
+	lor, _ := in.GetParallelLogical("LOR")
+	if !lor[0] || !lor[1] || !lor[3] || lor[4] {
+		t.Errorf("LOR = %v", lor)
+	}
+	land, _ := in.GetParallelLogical("LAND")
+	if land[0] || !land[3] {
+		t.Errorf("LAND = %v", land)
+	}
+	lne, _ := in.GetParallelLogical("LNE")
+	if lne[0] || !lne[1] || !lne[3] || lne[4] {
+		t.Errorf("LNE = %v", lne)
+	}
+	ge, _ := in.GetParallelLogical("GE1")
+	if ge[0] || !ge[3] || !ge[6] {
+		t.Errorf("GE1 = %v", ge)
+	}
+	gt, _ := in.GetParallelLogical("GT1")
+	if gt[1] || !gt[2] {
+		t.Errorf("GT1 = %v", gt)
+	}
+	leq, _ := in.GetParallelLogical("LEQ")
+	if !leq[0] || leq[1] || !leq[4] {
+		t.Errorf("LEQ = %v", leq)
+	}
+	sub, _ := in.GetParallelInt("SUB")
+	if sub[1] != 0 || sub[3] != 1 || sub[6] != 2 {
+		t.Errorf("SUB = %v", sub)
+	}
+}
+
+func TestScalarLogicalEquality(t *testing.T) {
+	src := `
+logical eq, ne;
+void main() {
+	eq = (1 < 2) == (3 < 4);
+	ne = (1 < 2) != (3 < 4);
+}
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	if v := in.globals.lookup("eq"); !v.SBool {
+		t.Error("logical == wrong")
+	}
+	if v := in.globals.lookup("ne"); v.SBool {
+		t.Error("logical != wrong")
+	}
+}
+
+func TestParallelOrWithParallelLeft(t *testing.T) {
+	src := `
+parallel logical L;
+void main() { L = ROW == 0 || 0; }
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	l, _ := in.GetParallelLogical("L")
+	if !l[0] || l[2] {
+		t.Errorf("parallel-left || = %v", l)
+	}
+}
+
+func TestGetIntErrorsAndArrayAccessor(t *testing.T) {
+	in := newTestInterp(t, "parallel int V; void main() { }", 2, 8)
+	if _, err := in.GetInt("V"); err == nil {
+		t.Error("GetInt on parallel accepted")
+	}
+	if _, err := in.GetInt("missing"); err == nil {
+		t.Error("GetInt on missing accepted")
+	}
+	if in.Array() == nil || in.Array().N() != 2 {
+		t.Error("Array accessor broken")
+	}
+}
+
+func TestLogicalConversionsAndComparisons(t *testing.T) {
+	src := `
+parallel logical L1, L2, LE1;
+logical s;
+void main() {
+	L1 = 1;
+	L2 = ROW;        /* int -> logical: nonzero */
+	LE1 = L1 == L2;
+	s = 5;           /* scalar int -> logical */
+}
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	l2, _ := in.GetParallelLogical("L2")
+	if l2[0] || !l2[2] {
+		t.Errorf("int->logical: %v", l2)
+	}
+	le, _ := in.GetParallelLogical("LE1")
+	if le[0] || !le[2] {
+		t.Errorf("logical equality: %v", le)
+	}
+	if v := in.globals.lookup("s"); !v.SBool {
+		t.Error("scalar int->logical failed")
+	}
+}
+
+func TestShortCircuitScalarLogic(t *testing.T) {
+	// 1/0 on the right of a short-circuited && must never evaluate.
+	src := `
+int ok;
+void main() {
+	if (0 != 0 && 1 / 0 == 1) ok = 1; else ok = 2;
+	if (1 == 1 || 1 / 0 == 1) ok = ok + 10;
+}
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	if got, _ := in.GetInt("ok"); got != 12 {
+		t.Errorf("ok = %d, want 12", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if scalarInt(5).String() != "5" || scalarBool(true).String() != "1" ||
+		scalarBool(false).String() != "0" || voidValue().String() != "void" {
+		t.Error("scalar String wrong")
+	}
+	arr := par.New(ppa.New(2, 8))
+	if s := parallelInt(arr.Zeros()).String(); !strings.Contains(s, "parallel int") {
+		t.Errorf("parallel String = %q", s)
+	}
+}

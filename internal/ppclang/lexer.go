@@ -1,0 +1,188 @@
+package ppclang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// lexer scans PPC source into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool   { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool   { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool  { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentCh(c byte) bool { return isLetter(c) || isDigit(c) }
+
+// skipSpaceAndComments consumes whitespace, // line comments and
+// /* block */ comments.
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		switch {
+		case isSpace(l.peek()):
+			l.advance()
+		case l.peek() == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case l.peek() == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return fmt.Errorf("%s: unterminated block comment", start)
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("%s: bad integer literal %q", p, text)
+		}
+		return Token{Kind: INT, Text: text, Val: v, Pos: p}, nil
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCh(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: p}, nil
+	}
+	l.advance()
+	two := func(second byte, both, single Kind) (Token, error) {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: both, Pos: p}, nil
+		}
+		return Token{Kind: single, Pos: p}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Pos: p}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: p}, nil
+	case '{':
+		return Token{Kind: LBRACE, Pos: p}, nil
+	case '}':
+		return Token{Kind: RBRACE, Pos: p}, nil
+	case ';':
+		return Token{Kind: SEMI, Pos: p}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: p}, nil
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NEQ, NOT)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '+':
+		return two('+', INC, PLUS)
+	case '-':
+		return two('-', DEC, MINUS)
+	case '*':
+		return Token{Kind: STAR, Pos: p}, nil
+	case '/':
+		return Token{Kind: SLASH, Pos: p}, nil
+	case '%':
+		return Token{Kind: PERCENT, Pos: p}, nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: ANDAND, Pos: p}, nil
+		}
+		return Token{}, fmt.Errorf("%s: unexpected '&' (PPC has no bitwise operators; use bit())", p)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OROR, Pos: p}, nil
+		}
+		return Token{}, fmt.Errorf("%s: unexpected '|'", p)
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", p, string(c))
+}
+
+// lexAll scans the whole source.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

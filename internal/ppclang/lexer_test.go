@@ -1,0 +1,118 @@
+package ppclang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll("parallel int x = 42; where (x == 3) x = x + 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		KWPARALLEL, KWINT, IDENT, ASSIGN, INT, SEMI,
+		KWWHERE, LPAREN, IDENT, EQ, INT, RPAREN,
+		IDENT, ASSIGN, IDENT, PLUS, INT, SEMI, EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[4].Val != 42 {
+		t.Errorf("literal value = %d", toks[4].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lexAll("== != <= >= < > = ! && || ++ -- + - * / %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{EQ, NEQ, LE, GE, LT, GT, ASSIGN, NOT, ANDAND, OROR,
+		INC, DEC, PLUS, MINUS, STAR, SLASH, PERCENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+int x; /* block
+comment */ int y;`
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KWINT, IDENT, SEMI, KWINT, IDENT, SEMI, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("positions: %v, %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "x & y", "x | y", "/* unterminated", "#define"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexKeywordsAll(t *testing.T) {
+	for word, kind := range keywords {
+		toks, err := lexAll(word)
+		if err != nil || toks[0].Kind != kind {
+			t.Errorf("keyword %q: %v %v", word, toks, err)
+		}
+	}
+	// Identifiers that merely contain keywords stay identifiers.
+	toks, _ := lexAll("interior whereabouts")
+	if toks[0].Kind != IDENT || toks[1].Kind != IDENT {
+		t.Error("keyword prefix misclassified")
+	}
+}
+
+func TestTokenAndKindString(t *testing.T) {
+	toks, _ := lexAll("x 5 +")
+	if !strings.Contains(toks[0].String(), "x") ||
+		!strings.Contains(toks[1].String(), "5") ||
+		toks[2].String() != "'+'" {
+		t.Errorf("token strings: %v %v %v", toks[0], toks[1], toks[2])
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

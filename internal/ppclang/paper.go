@@ -1,0 +1,103 @@
+package ppclang
+
+// PaperMCPSource is the paper's minimum_cost_path() listing (statements
+// 1-21) transliterated into the implemented PPC subset. Differences from
+// the printed listing, both documented in DESIGN.md:
+//
+//   - statement 5 is replaced by the corrected initialization (the listing
+//     loads row d of W where the DP needs column d; the fix moves column d
+//     onto row d with two broadcasts and pins SOW[d][d] to 0);
+//   - the termination pseudo-condition "at least one SOW in row d has
+//     changed" is spelled with the global-OR builtin any().
+//
+// The host binds W (parallel int, MAXINT for missing edges, zero diagonal)
+// and d (scalar int), calls minimum_cost_path, and reads row d of SOW and
+// PTN back. Executing this source issues exactly the same bus, wired-OR
+// and global-OR transactions as the native-Go core.Solve — experiment E5
+// checks both outputs and cycle counts for equality.
+const PaperMCPSource = `
+/* Input data, bound by the host. */
+parallel int W;
+int d;
+
+/* Output data: row d of SOW holds the path costs, row d of PTN the
+ * next-vertex pointers. */
+parallel int SOW;
+parallel int PTN;
+
+/* Zero-initialized working variable; its row-d lanes are never written,
+ * which keeps SOW[d][d] pinned at 0 through the diagonal fold. */
+parallel int MIN_SOW;
+
+void minimum_cost_path()
+{
+    parallel int OLD_SOW;
+
+    /* Step 1 - initialization (statements 4-7, corrected init). */
+    where (ROW == d) {
+        SOW = broadcast(broadcast(W, EAST, COL == d), SOUTH, ROW == COL);
+        PTN = d;
+    }
+    where (ROW == d && COL == d)
+        SOW = 0;
+
+    /* Step 2 - RMCP computation (statements 8-20). */
+    do {
+        where (ROW != d) {
+            SOW = broadcast(SOW, SOUTH, ROW == d) + W;
+            MIN_SOW = min(SOW, WEST, COL == (N - 1));
+            PTN = selected_min(COL, WEST, COL == (N - 1), MIN_SOW == SOW);
+        }
+        where (ROW == d) {
+            OLD_SOW = SOW;
+            SOW = broadcast(MIN_SOW, SOUTH, ROW == COL);
+            where (SOW != OLD_SOW)
+                PTN = broadcast(PTN, SOUTH, ROW == COL);
+        }
+    } while (any(ROW == d && SOW != OLD_SOW));
+}
+`
+
+// PaperMinSource is the paper's min() routine written as a user-defined
+// PPC function (my_min), used to validate the interpreter against the
+// builtin: both must return the same values at the same bus cost. Like the
+// builtin (DESIGN.md deviation 3a), it omits the listing's redundant
+// broadcast around or().
+const PaperMinSource = `
+parallel int my_min(parallel int src, int orientation, parallel logical L)
+{
+    int j;
+    parallel logical enable = 1;
+
+    for (j = BITS - 1; j >= 0; j--)
+        where (or(!bit(src, j) && enable, orientation, L) && bit(src, j))
+            enable = 0;
+    where (L)
+        src = broadcast(src, opposite(orientation), enable);
+    return broadcast(src, orientation, L);
+}
+`
+
+// PaperMinVerbatimSource is the paper's min() routine with statement 9
+// exactly as printed — including the broadcast wrapped around or().
+// On whole-ring clusters (the only configuration the MCP algorithm
+// builds) the extra broadcast is harmless under either bus model, because
+// each ring's single head receives its own cluster's OR back through the
+// wrap; TestPaperMinVerbatimMatchesBuiltin checks value equality with the
+// builtin and pins the extra bus cycle per bit plane. On multi-cluster
+// rings the verbatim form corrupts head lanes under the wired-OR model
+// (DESIGN.md deviation 3a), which is why the builtin drops it.
+const PaperMinVerbatimSource = `
+parallel int my_min_verbatim(parallel int src, int orientation, parallel logical L)
+{
+    int j;
+    parallel logical enable = 1;
+
+    for (j = BITS - 1; j >= 0; j--)
+        where (broadcast(or(!bit(src, j) && enable, orientation, L), orientation, L) && bit(src, j))
+            enable = 0;
+    where (L)
+        src = broadcast(src, opposite(orientation), enable);
+    return broadcast(src, orientation, L);
+}
+`

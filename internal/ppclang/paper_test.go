@@ -1,0 +1,180 @@
+package ppclang
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// runPaperMCP executes PaperMCPSource for g/dest on a fresh machine and
+// returns the decoded result plus the machine metrics.
+func runPaperMCP(t *testing.T, g *graph.Graph, dest int, h uint) (*graph.Result, ppa.Metrics) {
+	t.Helper()
+	prog, err := Compile(PaperMCPSource)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	n := g.N
+	m := ppa.New(n, h)
+	arr := par.New(m)
+	in, err := NewInterp(prog, arr)
+	if err != nil {
+		t.Fatalf("NewInterp: %v", err)
+	}
+	inf := m.Inf()
+	w := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				w[i*n+j] = 0
+			case wt == graph.NoEdge:
+				w[i*n+j] = inf
+			default:
+				w[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+	if err := in.SetParallelInt("W", w); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetInt("d", int64(dest)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("minimum_cost_path"); err != nil {
+		t.Fatalf("minimum_cost_path: %v", err)
+	}
+	sow, err := in.GetParallelInt("SOW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptn, err := in.GetParallelInt("PTN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &graph.Result{Dest: dest, Dist: make([]int64, n), Next: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s := sow[dest*n+i]
+		switch {
+		case i == dest:
+			res.Dist[i] = 0
+			res.Next[i] = -1
+		case s == inf:
+			res.Dist[i] = graph.NoEdge
+			res.Next[i] = -1
+		default:
+			res.Dist[i] = int64(s)
+			res.Next[i] = int(ptn[dest*n+i])
+		}
+	}
+	return res, m.Metrics()
+}
+
+// TestPaperProgramMatchesNativeSolver is experiment E5's core assertion:
+// the PPC-language program produces the same SOW/PTN as the native Go
+// implementation AND issues exactly the same bus, wired-OR and global-OR
+// transactions.
+func TestPaperProgramMatchesNativeSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(10)
+		g := graph.GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(12)), rng.Int63())
+		dest := rng.Intn(n)
+		native, err := core.Solve(g, dest, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ppcRes, ppcMetrics := runPaperMCP(t, g, dest, native.Bits)
+		for i := 0; i < n; i++ {
+			if native.Dist[i] != ppcRes.Dist[i] || native.Next[i] != ppcRes.Next[i] {
+				t.Fatalf("trial %d vertex %d: native (%d,%d) vs PPC (%d,%d)",
+					trial, i, native.Dist[i], native.Next[i], ppcRes.Dist[i], ppcRes.Next[i])
+			}
+		}
+		if err := graph.CheckResult(g, ppcRes); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ppcMetrics.BusCycles != native.Metrics.BusCycles ||
+			ppcMetrics.WiredOrCycles != native.Metrics.WiredOrCycles ||
+			ppcMetrics.GlobalOrOps != native.Metrics.GlobalOrOps {
+			t.Fatalf("trial %d: comm cycles differ\nPPC:    %v\nnative: %v",
+				trial, ppcMetrics, native.Metrics)
+		}
+	}
+}
+
+// TestPaperMinVerbatimMatchesBuiltin runs the min() listing exactly as
+// printed (statement 9's broadcast included) on whole-ring clusters and
+// checks it computes the same minima as the builtin, at h extra bus
+// cycles (one per bit plane).
+func TestPaperMinVerbatimMatchesBuiltin(t *testing.T) {
+	src := PaperMinVerbatimSource + `
+parallel int V, M1, M2;
+void main() {
+	M1 = min(V, WEST, COL == (N - 1));
+	M2 = my_min_verbatim(V, WEST, COL == (N - 1));
+}
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(7)
+		const h = 8
+		m := ppa.New(n, h)
+		arr := par.New(m)
+		in, err := NewInterp(prog, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]ppa.Word, n*n)
+		for i := range data {
+			data[i] = ppa.Word(rng.Intn(256))
+		}
+		if err := in.SetParallelInt("V", data); err != nil {
+			t.Fatal(err)
+		}
+		before := m.Metrics()
+		if _, err := in.Call("main"); err != nil {
+			t.Fatal(err)
+		}
+		d := m.Metrics().Sub(before)
+		m1, _ := in.GetParallelInt("M1")
+		m2, _ := in.GetParallelInt("M2")
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("trial %d lane %d: builtin %d, verbatim %d", trial, i, m1[i], m2[i])
+			}
+		}
+		// builtin: h wired-OR + 2 bus; verbatim adds h bus (statement 9).
+		if d.WiredOrCycles != 2*h || d.BusCycles != 4+h {
+			t.Fatalf("trial %d: cost %d wired-OR / %d bus, want %d / %d",
+				trial, d.WiredOrCycles, d.BusCycles, 2*h, 4+h)
+		}
+	}
+}
+
+func TestPaperProgramChain(t *testing.T) {
+	g := graph.GenChain(6, 2)
+	res, _ := runPaperMCP(t, g, 5, g.BitsNeeded())
+	want := []int64{10, 8, 6, 4, 2, 0}
+	for i := range want {
+		if res.Dist[i] != want[i] {
+			t.Errorf("Dist[%d] = %d, want %d", i, res.Dist[i], want[i])
+		}
+	}
+}
+
+func TestPaperProgramUnreachable(t *testing.T) {
+	g := graph.GenChain(4, 1)
+	res, _ := runPaperMCP(t, g, 0, 8)
+	if res.Dist[3] != graph.NoEdge || res.Next[3] != -1 {
+		t.Errorf("unreachable: %v %v", res.Dist, res.Next)
+	}
+}

@@ -1,0 +1,590 @@
+package ppclang
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Compile parses PPC source into a Program.
+func Compile(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Funcs: make(map[string]*FuncDecl)}
+	for p.cur().Kind != EOF {
+		decl, err := p.topLevel()
+		if err != nil {
+			return nil, err
+		}
+		switch d := decl.(type) {
+		case *VarDecl:
+			prog.Globals = append(prog.Globals, d)
+			prog.Order = append(prog.Order, d)
+		case *FuncDecl:
+			if _, dup := prog.Funcs[d.Name]; dup {
+				return nil, fmt.Errorf("%s: function %q redefined", d.Pos, d.Name)
+			}
+			prog.Funcs[d.Name] = d
+			prog.Order = append(prog.Order, d)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, fmt.Errorf("%s: expected %v, found %v", p.cur().Pos, k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// typeSpec parses [parallel] (int|logical|void).
+func (p *parser) typeSpec() (Type, error) {
+	var t Type
+	if p.accept(KWPARALLEL) {
+		t.Parallel = true
+	}
+	switch p.cur().Kind {
+	case KWINT:
+		t.Base = BaseInt
+	case KWLOGICAL:
+		t.Base = BaseLogical
+	case KWVOID:
+		if t.Parallel {
+			return t, fmt.Errorf("%s: 'parallel void' is not a type", p.cur().Pos)
+		}
+		t.Base = BaseVoid
+	default:
+		return t, fmt.Errorf("%s: expected type, found %v", p.cur().Pos, p.cur())
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) atTypeStart() bool {
+	switch p.cur().Kind {
+	case KWPARALLEL, KWINT, KWLOGICAL, KWVOID:
+		return true
+	}
+	return false
+}
+
+// topLevel parses one global declaration: a variable or a function.
+func (p *parser) topLevel() (Node, error) {
+	pos := p.cur().Pos
+	t, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == LPAREN {
+		return p.funcDecl(pos, t, name.Text)
+	}
+	if t.Base == BaseVoid {
+		return nil, fmt.Errorf("%s: variable %q cannot have type void", pos, name.Text)
+	}
+	return p.varDeclTail(pos, t, name.Text)
+}
+
+// varDeclTail parses the remainder of a declaration after `type name`.
+func (p *parser) varDeclTail(pos Pos, t Type, first string) (*VarDecl, error) {
+	d := &VarDecl{Pos: pos, Type: t, Names: []string{first}, Inits: []Expr{nil}}
+	if p.accept(ASSIGN) {
+		init, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		d.Inits[len(d.Inits)-1] = init
+	}
+	for p.accept(COMMA) {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d.Names = append(d.Names, name.Text)
+		d.Inits = append(d.Inits, nil)
+		if p.accept(ASSIGN) {
+			init, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			d.Inits[len(d.Inits)-1] = init
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// funcDecl parses a function definition after `type name`.
+func (p *parser) funcDecl(pos Pos, ret Type, name string) (*FuncDecl, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: pos, Ret: ret, Name: name}
+	if !p.accept(RPAREN) {
+		for {
+			if p.accept(KWVOID) && p.cur().Kind == RPAREN {
+				break // C-style `f(void)`
+			}
+			pt, err := p.typeSpec()
+			if err != nil {
+				return nil, err
+			}
+			if pt.Base == BaseVoid {
+				return nil, fmt.Errorf("%s: parameter cannot be void", p.cur().Pos)
+			}
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, Param{Type: pt, Name: pn.Text})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.cur().Kind != RBRACE {
+		if p.cur().Kind == EOF {
+			return nil, fmt.Errorf("%s: unterminated block (opened at %s)", p.cur().Pos, lb.Pos)
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // consume '}'
+	return b, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case LBRACE:
+		return p.block()
+	case SEMI:
+		p.advance()
+		return &Block{Pos: pos}, nil // empty statement
+	case KWIF:
+		p.advance()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(KWELSE) {
+			if els, err = p.statement(); err != nil {
+				return nil, err
+			}
+		}
+		return &If{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+	case KWWHERE:
+		p.advance()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(KWELSEWHERE) {
+			if els, err = p.statement(); err != nil {
+				return nil, err
+			}
+		}
+		return &Where{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+	case KWWHILE:
+		p.advance()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Pos: pos, Cond: cond, Body: body}, nil
+	case KWDO:
+		p.advance()
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWWHILE); err != nil {
+			return nil, err
+		}
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &DoWhile{Pos: pos, Body: body, Cond: cond}, nil
+	case KWFOR:
+		p.advance()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if p.cur().Kind != SEMI {
+			if p.atTypeStart() {
+				t, err := p.typeSpec()
+				if err != nil {
+					return nil, err
+				}
+				name, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				d, err := p.varDeclTail(pos, t, name.Text)
+				if err != nil {
+					return nil, err
+				}
+				init = d
+			} else {
+				x, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(SEMI); err != nil {
+					return nil, err
+				}
+				init = &ExprStmt{Pos: pos, X: x}
+			}
+		} else {
+			p.advance()
+		}
+		var cond Expr
+		var err error
+		if p.cur().Kind != SEMI {
+			if cond, err = p.expression(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		var post Expr
+		if p.cur().Kind != RPAREN {
+			if post, err = p.expression(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &For{Pos: pos, Init: init, Cond: cond, Post: post, Body: body}, nil
+	case KWRETURN:
+		p.advance()
+		var val Expr
+		var err error
+		if p.cur().Kind != SEMI {
+			if val, err = p.expression(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Return{Pos: pos, Val: val}, nil
+	case KWBREAK:
+		p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Break{Pos: pos}, nil
+	case KWCONTINUE:
+		p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &Continue{Pos: pos}, nil
+	}
+	if p.atTypeStart() {
+		t, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if t.Base == BaseVoid {
+			return nil, fmt.Errorf("%s: variable cannot have type void", pos)
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return p.varDeclTail(pos, t, name.Text)
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: pos, X: x}, nil
+}
+
+func (p *parser) parenExpr() (Expr, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// expression parses an assignment-level expression.
+func (p *parser) expression() (Expr, error) {
+	// Assignment: IDENT '=' expression (lookahead distinguishes '==').
+	if p.cur().Kind == IDENT && p.peek().Kind == ASSIGN {
+		name := p.advance()
+		p.advance() // '='
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: name.Pos, Name: name.Text, Val: val}, nil
+	}
+	return p.logicalOr()
+}
+
+func (p *parser) logicalOr() (Expr, error) {
+	x, err := p.logicalAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OROR {
+		op := p.advance()
+		r, err := p.logicalAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Pos: op.Pos, Op: OROR, L: x, R: r}
+	}
+	return x, nil
+}
+
+func (p *parser) logicalAnd() (Expr, error) {
+	x, err := p.equality()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == ANDAND {
+		op := p.advance()
+		r, err := p.equality()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Pos: op.Pos, Op: ANDAND, L: x, R: r}
+	}
+	return x, nil
+}
+
+func (p *parser) equality() (Expr, error) {
+	x, err := p.relational()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == EQ || p.cur().Kind == NEQ {
+		op := p.advance()
+		r, err := p.relational()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Pos: op.Pos, Op: op.Kind, L: x, R: r}
+	}
+	return x, nil
+}
+
+func (p *parser) relational() (Expr, error) {
+	x, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case LT, GT, LE, GE:
+			op := p.advance()
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Pos: op.Pos, Op: op.Kind, L: x, R: r}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) additive() (Expr, error) {
+	x, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == PLUS || p.cur().Kind == MINUS {
+		op := p.advance()
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Pos: op.Pos, Op: op.Kind, L: x, R: r}
+	}
+	return x, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == STAR || p.cur().Kind == SLASH || p.cur().Kind == PERCENT {
+		op := p.advance()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Pos: op.Pos, Op: op.Kind, L: x, R: r}
+	}
+	return x, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().Kind {
+	case NOT, MINUS:
+		op := p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == INC || p.cur().Kind == DEC {
+		id, ok := x.(*Ident)
+		if !ok {
+			return nil, fmt.Errorf("%s: ++/-- requires a variable", p.cur().Pos)
+		}
+		op := p.advance()
+		return &IncDec{Pos: op.Pos, Name: id.Name, Op: op.Kind}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.advance()
+		return &IntLit{Pos: t.Pos, Val: t.Val}, nil
+	case IDENT:
+		p.advance()
+		if p.cur().Kind == LPAREN {
+			p.advance()
+			call := &Call{Pos: t.Pos, Name: t.Text}
+			if !p.accept(RPAREN) {
+				for {
+					arg, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+				if _, err := p.expect(RPAREN); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case LPAREN:
+		p.advance()
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("%s: expected expression, found %v", t.Pos, t)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

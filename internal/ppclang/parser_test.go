@@ -1,0 +1,163 @@
+package ppclang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompilePaperSources(t *testing.T) {
+	for name, src := range map[string]string{
+		"mcp": PaperMCPSource,
+		"min": PaperMinSource,
+	} {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("Compile(%s): %v", name, err)
+		}
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	src := `
+parallel int A, B = 3;
+int d = 2;
+int twice(int x) { return x + x; }
+void main() { d = twice(d); }
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 {
+		t.Errorf("globals = %d, want 2", len(prog.Globals))
+	}
+	if prog.Globals[0].Names[0] != "A" || prog.Globals[0].Names[1] != "B" {
+		t.Errorf("global names: %v", prog.Globals[0].Names)
+	}
+	if prog.Globals[0].Inits[0] != nil || prog.Globals[0].Inits[1] == nil {
+		t.Error("initializer placement wrong")
+	}
+	if _, ok := prog.Funcs["twice"]; !ok {
+		t.Error("function twice missing")
+	}
+	f := prog.Funcs["twice"]
+	if len(f.Params) != 1 || f.Params[0].Name != "x" || f.Params[0].Type.Parallel {
+		t.Errorf("params: %+v", f.Params)
+	}
+	if f.Ret != (Type{Base: BaseInt}) {
+		t.Errorf("return type: %v", f.Ret)
+	}
+}
+
+func TestCompileVoidParamList(t *testing.T) {
+	prog, err := Compile("void f(void) { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs["f"].Params) != 0 {
+		t.Error("f(void) has parameters")
+	}
+}
+
+func TestCompileStatementsParse(t *testing.T) {
+	src := `
+void main() {
+	int i, s;
+	for (i = 0; i < 10; i++) s = s + i;
+	for (int j = 9; j >= 0; j--) { if (j == 5) break; else continue; }
+	while (s > 0) s = s - 1;
+	do s++; while (s < 3);
+	;
+	{ int nested; nested = 1; }
+	where (ROW == COL) s = 0; elsewhere s = 1;
+	return;
+}
+`
+	if _, err := Compile(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileExpressionPrecedence(t *testing.T) {
+	// 1 + 2 * 3 == 7 && !(4 < 3) must parse as ((1+(2*3)) == 7) && (!(4<3)).
+	prog, err := Compile("void f() { int x; x = 1 + 2 * 3 == 7 && !(4 < 3); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs["f"].Body.Stmts
+	asgn := body[1].(*ExprStmt).X.(*Assign)
+	top, ok := asgn.Val.(*Binary)
+	if !ok || top.Op != ANDAND {
+		t.Fatalf("top op: %#v", asgn.Val)
+	}
+	left, ok := top.L.(*Binary)
+	if !ok || left.Op != EQ {
+		t.Fatalf("left of &&: %#v", top.L)
+	}
+	plus, ok := left.L.(*Binary)
+	if !ok || plus.Op != PLUS {
+		t.Fatalf("left of ==: %#v", left.L)
+	}
+	if mul, ok := plus.R.(*Binary); !ok || mul.Op != STAR {
+		t.Fatalf("right of +: %#v", plus.R)
+	}
+}
+
+func TestCompileAssignmentChains(t *testing.T) {
+	prog, err := Compile("void f() { int a, b; a = b = 3; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgn := prog.Funcs["f"].Body.Stmts[1].(*ExprStmt).X.(*Assign)
+	if asgn.Name != "a" {
+		t.Errorf("outer assign to %q", asgn.Name)
+	}
+	if inner, ok := asgn.Val.(*Assign); !ok || inner.Name != "b" {
+		t.Errorf("inner: %#v", asgn.Val)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semi":        "int x",
+		"void variable":       "void x;",
+		"parallel void":       "parallel void f() {}",
+		"void local":          "void f() { void v; }",
+		"dup function":        "void f() {} void f() {}",
+		"bad top level":       "42;",
+		"unterminated block":  "void f() {",
+		"void param":          "void f(void x) {}",
+		"incdec non-variable": "void f() { 3++; }",
+		"missing paren":       "void f() { if (1 {} }",
+		"do without while":    "void f() { do {} until (1); }",
+		"stray elsewhere":     "void f() { elsewhere x = 1; }",
+		"expr expected":       "void f() { int x; x = ; }",
+		"unclosed call":       "void f() { g(1, ; }",
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: Compile(%q) succeeded, want error", name, src)
+		}
+	}
+}
+
+func TestCompileErrorMentionsPosition(t *testing.T) {
+	_, err := Compile("void f() {\n  int x\n}")
+	if err == nil || !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		{Base: BaseInt}:                     "int",
+		{Base: BaseLogical}:                 "logical",
+		{Base: BaseVoid}:                    "void",
+		{Parallel: true, Base: BaseInt}:     "parallel int",
+		{Parallel: true, Base: BaseLogical}: "parallel logical",
+	}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%v.String() = %q", ty, ty.String())
+		}
+	}
+}

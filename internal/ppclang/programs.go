@@ -1,0 +1,119 @@
+package ppclang
+
+// This file collects the complete PPC programs shipped beyond the paper's
+// own listing (PaperMCPSource in paper.go) — a small program library
+// demonstrating that the language generalizes across the machine's
+// algorithm family. Each is validated in this package's tests against its
+// native-Go counterpart.
+
+// DistanceTransformSource computes the city-block distance transform of a
+// binary image (bind FG, read DIST back) — the shift-fabric workload of
+// internal/dt, written in PPC. See TestDistanceTransformInPPC.
+const DistanceTransformSource = `
+parallel logical FG;     /* input: foreground mask */
+parallel int DIST;       /* output: city-block distance field */
+
+void relax(int direction, int guard_row, int guard_col)
+{
+	parallel int cand;
+	cand = shift(DIST, direction) + 1;
+	/* The torus wraps; candidates arriving across the image edge are
+	 * invalid. guard_row/guard_col select the receiving edge lanes
+	 * (-1 = no guard on that axis). */
+	where ((guard_row >= 0 && ROW == guard_row) ||
+	       (guard_col >= 0 && COL == guard_col))
+		cand = MAXINT;
+	where (cand < DIST)
+		DIST = cand;
+}
+
+void distance_transform()
+{
+	parallel int old;
+
+	DIST = MAXINT;
+	where (FG)
+		DIST = 0;
+	do {
+		old = DIST;
+		relax(EAST, -1, 0);          /* east shift wraps into col 0 */
+		relax(WEST, -1, N - 1);
+		relax(SOUTH, 0, -1);
+		relax(NORTH, N - 1, -1);
+	} while (any(DIST != old));
+}
+`
+
+// WidestPathSource computes single-destination widest (maximum
+// bottleneck) paths — the (max, min) dual of the paper's program (bind W
+// with 0 for missing links and MAXINT on the diagonal, plus d; read CAP
+// and PTN back). See TestWidestPathInPPC.
+const WidestPathSource = `
+parallel int W;      /* capacities: 0 = no link, MAXINT on the diagonal */
+int d;
+
+parallel int CAP;
+parallel int PTN;
+parallel int MAX_CAP = MAXINT;  /* row-d lanes never written: keeps CAP[d][d] unbounded */
+
+void widest_path()
+{
+    parallel int OLD_CAP, cand;
+
+    where (ROW == d) {
+        CAP = broadcast(broadcast(W, EAST, COL == d), SOUTH, ROW == COL);
+        PTN = d;
+    }
+    where (ROW == d && COL == d)
+        CAP = MAXINT;
+
+    do {
+        where (ROW != d) {
+            cand = broadcast(CAP, SOUTH, ROW == d);
+            where (W < cand)
+                cand = W;          /* lanewise min(w_ij, CAP_jd) */
+            CAP = cand;
+            MAX_CAP = max(CAP, WEST, COL == (N - 1));
+            PTN = selected_min(COL, WEST, COL == (N - 1), MAX_CAP == CAP);
+        }
+        where (ROW == d) {
+            OLD_CAP = CAP;
+            CAP = broadcast(MAX_CAP, SOUTH, ROW == COL);
+            where (CAP != OLD_CAP)
+                PTN = broadcast(PTN, SOUTH, ROW == COL);
+        }
+    } while (any(ROW == d && CAP != OLD_CAP));
+}
+`
+
+// SortRowsSource sorts every row of V ascending with rank-and-route: its
+// bus heads are data dependent (RANK == k), the per-PE dynamic
+// reconfiguration that distinguishes the PPA from a plain mesh. Cost: 2N
+// bus cycles, cycle-identical to the Go-level par.SortRows. See
+// TestSortRowsInPPC.
+const SortRowsSource = `
+parallel int V;       /* input and output: each row sorted ascending */
+
+void sort_rows()
+{
+    parallel int RANK, pivot, routed;
+    int k;
+
+    /* Rank: count, for each PE, the row values ordered before its own
+     * (ties break toward the smaller column). */
+    for (k = 0; k < N; k++) {
+        pivot = broadcast(V, EAST, COL == k);
+        where (pivot < V || (pivot == V && k < COL))
+            RANK = RANK + 1;
+    }
+
+    /* Route: the PE holding rank k broadcasts; column k captures. */
+    routed = V;
+    for (k = 0; k < N; k++) {
+        pivot = broadcast(V, EAST, RANK == k);
+        where (COL == k)
+            routed = pivot;
+    }
+    V = routed;
+}
+`

@@ -1,0 +1,211 @@
+package ppclang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// TestCompileNeverPanics feeds the compiler random garbage built from the
+// language's own token fragments: it must always return (possibly an
+// error), never panic.
+func TestCompileNeverPanics(t *testing.T) {
+	fragments := []string{
+		"int", "parallel", "logical", "void", "where", "elsewhere", "if",
+		"else", "while", "do", "for", "return", "break", "continue",
+		"x", "y", "min", "broadcast", "ROW", "N", "42", "0", "(", ")",
+		"{", "}", ";", ",", "=", "==", "!=", "<", "<=", "+", "-", "*",
+		"/", "%", "!", "&&", "||", "++", "--",
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Compile panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Compile(src) //nolint:errcheck // error or success both fine
+		}()
+	}
+}
+
+// TestCompileNeverPanicsOnRandomBytes does the same with raw byte noise.
+func TestCompileNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		buf := make([]byte, rng.Intn(80))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(128))
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Compile panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Compile(src)
+		}()
+	}
+}
+
+// TestBuiltinErrorPaths drives every builtin through its argument
+// validation.
+func TestBuiltinErrorPaths(t *testing.T) {
+	cases := map[string]string{
+		"shift argc":           "void main() { shift(ROW); }",
+		"shift bad dir":        "void main() { shift(ROW, 7); }",
+		"shift dir parallel":   "void main() { shift(ROW, COL); }",
+		"broadcast argc":       "void main() { broadcast(ROW, EAST); }",
+		"broadcast bad dir":    "void main() { broadcast(ROW, 4, COL == 0); }",
+		"broadcast void L":     "void f() {} void main() { broadcast(ROW, EAST, f()); }",
+		"min void src":         "void f() {} void main() { min(f(), EAST, COL == 0); }",
+		"min bad dir":          "void main() { min(ROW, 12, COL == 0); }",
+		"max argc":             "void main() { max(ROW, EAST); }",
+		"max bad dir":          "void main() { max(ROW, 9, COL == 0); }",
+		"selected_min argc":    "void main() { selected_min(COL, WEST, COL == 0); }",
+		"selected_min bad dir": "void main() { selected_min(COL, -1, COL == 0, COL == 0); }",
+		"selected_max argc":    "void main() { selected_max(COL, WEST, COL == 0); }",
+		"selected_max bad dir": "void main() { selected_max(COL, 5, COL == 0, COL == 0); }",
+		"or argc":              "void main() { or(COL == 0, EAST); }",
+		"or bad dir":           "void main() { or(COL == 0, 8, COL == 0); }",
+		"bit argc":             "void main() { bit(ROW); }",
+		"bit negative":         "void main() { bit(ROW, -1); }",
+		"any argc":             "void main() { any(ROW == 0, ROW == 1); }",
+		"any void":             "void f() {} void main() { any(f()); }",
+		"opposite argc":        "void main() { opposite(); }",
+		"opposite bad":         "void main() { opposite(77); }",
+		"print void nested":    "void f() {} void main() { print(f() + 1); }",
+		"minus void":           "void f() {} void main() { int x; x = -f(); }",
+		"not void":             "void f() {} void main() { int x; x = !f(); }",
+		"binary void left":     "void f() {} void main() { int x; x = f() + 1; }",
+		"assign void":          "void f() {} void main() { int x; x = f(); }",
+		"cond void":            "void f() {} void main() { if (f()) ; }",
+		"selmin sel void":      "void f() {} void main() { selected_min(COL, WEST, COL == 0, f()); }",
+		"shift void src":       "void f() {} void main() { shift(f(), EAST); }",
+	}
+	for name, src := range cases {
+		in := newTestInterp(t, src, 2, 8)
+		if _, err := in.Call("main"); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestPrintBoolGridAndScalars exercises printValue's remaining shapes.
+func TestPrintBoolGridAndScalars(t *testing.T) {
+	src := `
+parallel logical L;
+logical s;
+void main() {
+	L = ROW == 0;
+	s = 0;
+	print(L);
+	print(s);
+}
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	in, err := NewInterp(prog, par.New(ppa.New(2, 8)), WithOutput(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 1") || !strings.Contains(out, "0 0") {
+		t.Errorf("bool grid missing:\n%s", out)
+	}
+}
+
+// TestGlobalRedeclarationRejected covers NewInterp's collision paths.
+func TestGlobalRedeclarationRejected(t *testing.T) {
+	prog, err := Compile("int ROW;\nvoid main() { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterp(prog, par.New(ppa.New(2, 8))); err == nil {
+		t.Error("shadowing predefined ROW accepted")
+	}
+	prog2, err := Compile("int x, x;\nvoid main() { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterp(prog2, par.New(ppa.New(2, 8))); err == nil {
+		t.Error("duplicate global accepted")
+	}
+}
+
+// TestGlobalInitializerErrorSurfacesFromNewInterp.
+func TestGlobalInitializerErrorSurfaces(t *testing.T) {
+	prog, err := Compile("int x = 1 / 0;\nvoid main() { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterp(prog, par.New(ppa.New(2, 8))); err == nil {
+		t.Error("failing global initializer accepted")
+	}
+}
+
+// TestWhereWithParallelIntCondition: an int condition converts via != 0.
+func TestWhereWithParallelIntCondition(t *testing.T) {
+	src := `
+parallel int V;
+void main() {
+	where (COL) V = 5;   /* col != 0 */
+}
+`
+	in := newTestInterp(t, src, 3, 8)
+	callOK(t, in, "main")
+	v, _ := in.GetParallelInt("V")
+	if v[0] != 0 || v[1] != 5 || v[2] != 5 {
+		t.Errorf("int-condition where: %v", v[:3])
+	}
+}
+
+// TestForWithDeclInit and empty header parts.
+func TestForHeaderVariants(t *testing.T) {
+	src := `
+int total;
+void main() {
+	for (int j = 0; j < 3; j++) total = total + j;
+	int i;
+	i = 0;
+	for (; i < 2;) i++;
+	total = total + i;
+}
+`
+	in := newTestInterp(t, src, 2, 8)
+	callOK(t, in, "main")
+	if got, _ := in.GetInt("total"); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+}
+
+// TestDeepRecursionGuard covers the depth limiter with mutual recursion.
+func TestDeepRecursionGuard(t *testing.T) {
+	src := `
+int a(int n) { return b(n); }
+int b(int n) { return a(n); }
+void main() { a(0); }
+`
+	in := newTestInterp(t, src, 2, 8)
+	if _, err := in.Call("main"); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("recursion guard: %v", err)
+	}
+}

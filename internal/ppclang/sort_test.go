@@ -1,0 +1,98 @@
+package ppclang
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// sortSource aliases the exported program under test.
+const sortSource = SortRowsSource
+
+func TestSortRowsInPPC(t *testing.T) {
+	prog, err := Compile(sortSource)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(9)
+		const h = 10
+		m := ppa.New(n, h)
+		arr := par.New(m)
+		in, err := NewInterp(prog, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := make([]ppa.Word, n*n)
+		for i := range flat {
+			flat[i] = ppa.Word(rng.Intn(64)) // plenty of ties
+		}
+		if err := in.SetParallelInt("V", flat); err != nil {
+			t.Fatal(err)
+		}
+		before := m.Metrics()
+		if _, err := in.Call("sort_rows"); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d := m.Metrics().Sub(before)
+		got, _ := in.GetParallelInt("V")
+		for r := 0; r < n; r++ {
+			want := append([]ppa.Word(nil), flat[r*n:r*n+n]...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !reflect.DeepEqual(got[r*n:r*n+n], want) {
+				t.Fatalf("trial %d row %d: %v, want %v", trial, r, got[r*n:r*n+n], want)
+			}
+		}
+		if d.BusCycles != int64(2*n) {
+			t.Errorf("trial %d: %d bus cycles, want 2n = %d", trial, d.BusCycles, 2*n)
+		}
+	}
+}
+
+// TestSortRowsPPCMatchesNativePrimitive: the PPC program and par.SortRows
+// compute the same permutation at the same bus cost.
+func TestSortRowsPPCMatchesNativePrimitive(t *testing.T) {
+	prog, err := Compile(sortSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, h = 6, 9
+	rng := rand.New(rand.NewSource(5))
+	flat := make([]ppa.Word, n*n)
+	for i := range flat {
+		flat[i] = ppa.Word(rng.Intn(100))
+	}
+
+	mPPC := ppa.New(n, h)
+	in, err := NewInterp(prog, par.New(mPPC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetParallelInt("V", flat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("sort_rows"); err != nil {
+		t.Fatal(err)
+	}
+	fromPPC, _ := in.GetParallelInt("V")
+
+	mGo := ppa.New(n, h)
+	aGo := par.New(mGo)
+	fromGo := aGo.SortRows(aGo.FromSlice(flat)).Slice()
+
+	if !reflect.DeepEqual(fromPPC, fromGo) {
+		t.Fatal("PPC sort diverged from par.SortRows")
+	}
+	if mPPC.Metrics().BusCycles != mGo.Metrics().BusCycles {
+		t.Errorf("bus cycles differ: PPC %d, native %d",
+			mPPC.Metrics().BusCycles, mGo.Metrics().BusCycles)
+	}
+}

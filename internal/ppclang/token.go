@@ -1,0 +1,141 @@
+// Package ppclang implements Polymorphic Parallel C (PPC), the
+// data-parallel C dialect the paper uses to express the MCP algorithm
+// (Maresca & Baglietto, "A Programming Model for Reconfigurable Mesh Based
+// Parallel Computers"). It provides a lexer, a recursive-descent parser
+// and a tree-walking interpreter that executes programs against a
+// par.Array, so a PPC program and its native-Go transliteration run on the
+// *same* simulated machine and can be compared cycle for cycle
+// (experiment E5).
+//
+// The implemented subset covers everything the paper's listings use:
+//
+//   - declarations: `parallel` storage class, `int` and `logical` types,
+//     global and local variables, functions with value parameters;
+//   - statements: if/else, while, do-while, for, where/elsewhere, return,
+//     break, continue, blocks, expression statements;
+//   - expressions: ||, &&, ==, !=, <, <=, >, >=, +, -, *, / , % (scalar
+//     only for * / %), unary !/-, ++/--, assignment, calls;
+//   - builtins: shift, broadcast, min, selected_min, or, bit, any,
+//     opposite, print; constants ROW, COL, N, BITS, MAXINT and the
+//     directions NORTH/EAST/SOUTH/WEST.
+//
+// Parallel `+` saturates at MAXINT, mirroring the machine's path-cost
+// arithmetic.
+package ppclang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT // integer literal
+
+	// Punctuation and operators.
+	LPAREN  // (
+	RPAREN  // )
+	LBRACE  // {
+	RBRACE  // }
+	SEMI    // ;
+	COMMA   // ,
+	ASSIGN  // =
+	EQ      // ==
+	NEQ     // !=
+	LT      // <
+	GT      // >
+	LE      // <=
+	GE      // >=
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	NOT     // !
+	ANDAND  // &&
+	OROR    // ||
+	INC     // ++
+	DEC     // --
+
+	// Keywords.
+	KWPARALLEL
+	KWINT
+	KWLOGICAL
+	KWVOID
+	KWIF
+	KWELSE
+	KWWHERE
+	KWELSEWHERE
+	KWWHILE
+	KWDO
+	KWFOR
+	KWRETURN
+	KWBREAK
+	KWCONTINUE
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", IDENT: "identifier", INT: "integer literal",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	SEMI: "';'", COMMA: "','", ASSIGN: "'='", EQ: "'=='", NEQ: "'!='",
+	LT: "'<'", GT: "'>'", LE: "'<='", GE: "'>='", PLUS: "'+'",
+	MINUS: "'-'", STAR: "'*'", SLASH: "'/'", PERCENT: "'%'", NOT: "'!'",
+	ANDAND: "'&&'", OROR: "'||'", INC: "'++'", DEC: "'--'",
+	KWPARALLEL: "'parallel'", KWINT: "'int'", KWLOGICAL: "'logical'",
+	KWVOID: "'void'", KWIF: "'if'", KWELSE: "'else'", KWWHERE: "'where'",
+	KWELSEWHERE: "'elsewhere'", KWWHILE: "'while'", KWDO: "'do'",
+	KWFOR: "'for'", KWRETURN: "'return'", KWBREAK: "'break'",
+	KWCONTINUE: "'continue'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"parallel":  KWPARALLEL,
+	"int":       KWINT,
+	"logical":   KWLOGICAL,
+	"void":      KWVOID,
+	"if":        KWIF,
+	"else":      KWELSE,
+	"where":     KWWHERE,
+	"elsewhere": KWELSEWHERE,
+	"while":     KWWHILE,
+	"do":        KWDO,
+	"for":       KWFOR,
+	"return":    KWRETURN,
+	"break":     KWBREAK,
+	"continue":  KWCONTINUE,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string // identifier name or literal text
+	Val  int64  // value of INT literals
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("literal %s", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,167 @@
+package ppclang
+
+import (
+	"fmt"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// Value is a PPC runtime value: a scalar (controller) int or logical, or a
+// parallel int or logical living on the array.
+type Value struct {
+	T     Type
+	SInt  int64
+	SBool bool
+	PInt  *par.Var
+	PBool *par.Bool
+}
+
+func scalarInt(v int64) Value { return Value{T: Type{Base: BaseInt}, SInt: v} }
+func scalarBool(b bool) Value { return Value{T: Type{Base: BaseLogical}, SBool: b} }
+func parallelInt(v *par.Var) Value {
+	return Value{T: Type{Parallel: true, Base: BaseInt}, PInt: v}
+}
+func parallelBool(b *par.Bool) Value {
+	return Value{T: Type{Parallel: true, Base: BaseLogical}, PBool: b}
+}
+
+func voidValue() Value { return Value{T: Type{Base: BaseVoid}} }
+
+func (v Value) String() string {
+	switch {
+	case v.T.Base == BaseVoid:
+		return "void"
+	case !v.T.Parallel && v.T.Base == BaseInt:
+		return fmt.Sprintf("%d", v.SInt)
+	case !v.T.Parallel && v.T.Base == BaseLogical:
+		if v.SBool {
+			return "1"
+		}
+		return "0"
+	default:
+		return "<" + v.T.String() + ">"
+	}
+}
+
+// runtimeErr is an evaluation error with a source position.
+type runtimeErr struct {
+	pos Pos
+	msg string
+}
+
+func (e *runtimeErr) Error() string { return fmt.Sprintf("%s: %s", e.pos, e.msg) }
+
+func errAt(pos Pos, format string, args ...interface{}) error {
+	return &runtimeErr{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// conversions
+
+// asScalarInt converts a scalar value to int64 (logical -> 0/1).
+func asScalarInt(pos Pos, v Value) (int64, error) {
+	if v.T.Parallel {
+		return 0, errAt(pos, "expected a scalar value, got %s", v.T)
+	}
+	switch v.T.Base {
+	case BaseInt:
+		return v.SInt, nil
+	case BaseLogical:
+		if v.SBool {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, errAt(pos, "void value in expression")
+}
+
+// asScalarBool converts a scalar value to bool (int -> nonzero).
+func asScalarBool(pos Pos, v Value) (bool, error) {
+	if v.T.Parallel {
+		return false, errAt(pos, "expected a scalar condition, got %s (use any() to reduce)", v.T)
+	}
+	switch v.T.Base {
+	case BaseInt:
+		return v.SInt != 0, nil
+	case BaseLogical:
+		return v.SBool, nil
+	}
+	return false, errAt(pos, "void value in condition")
+}
+
+// asParallelInt promotes v to a parallel int on arr.
+func asParallelInt(pos Pos, arr *par.Array, v Value) (*par.Var, error) {
+	switch {
+	case v.T.Parallel && v.T.Base == BaseInt:
+		return v.PInt, nil
+	case v.T.Parallel && v.T.Base == BaseLogical:
+		return v.PBool.ToVar(), nil
+	case v.T.Base == BaseVoid:
+		return nil, errAt(pos, "void value in expression")
+	default:
+		s, err := asScalarInt(pos, v)
+		if err != nil {
+			return nil, err
+		}
+		if s < 0 || ppa.Word(s) > arr.Machine().Inf() {
+			return nil, errAt(pos, "scalar %d not representable on the %d-bit array", s, arr.Machine().Bits())
+		}
+		return arr.Lit(ppa.Word(s)), nil
+	}
+}
+
+// asParallelBool promotes v to a parallel logical on arr.
+func asParallelBool(pos Pos, arr *par.Array, v Value) (*par.Bool, error) {
+	switch {
+	case v.T.Parallel && v.T.Base == BaseLogical:
+		return v.PBool, nil
+	case v.T.Parallel && v.T.Base == BaseInt:
+		return v.PInt.NeConst(0), nil
+	case v.T.Base == BaseVoid:
+		return nil, errAt(pos, "void value in expression")
+	default:
+		b, err := asScalarBool(pos, v)
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			return arr.True(), nil
+		}
+		return arr.False(), nil
+	}
+}
+
+// convertTo coerces v to the declared type t (C-style int<->logical
+// conversions; scalar->parallel promotion; parallel->scalar is an error).
+func convertTo(pos Pos, arr *par.Array, v Value, t Type) (Value, error) {
+	if v.T.Parallel && !t.Parallel {
+		return Value{}, errAt(pos, "cannot assign %s to %s (reduce with any() first)", v.T, t)
+	}
+	switch {
+	case t.Parallel && t.Base == BaseInt:
+		p, err := asParallelInt(pos, arr, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return parallelInt(p), nil
+	case t.Parallel && t.Base == BaseLogical:
+		p, err := asParallelBool(pos, arr, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return parallelBool(p), nil
+	case t.Base == BaseInt:
+		s, err := asScalarInt(pos, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarInt(s), nil
+	case t.Base == BaseLogical:
+		b, err := asScalarBool(pos, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarBool(b), nil
+	}
+	return Value{}, errAt(pos, "cannot convert %s to %s", v.T, t)
+}

@@ -1,0 +1,85 @@
+package ppclang
+
+import (
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+	"ppamcp/internal/virt"
+)
+
+// TestPaperProgramOnVirtualFabric runs the paper's PPC program on a
+// block-mapped virtual machine: the whole language layer is
+// fabric-agnostic, so an 8x8 logical program executes unchanged on a 2x2
+// physical array with identical outputs (and physical cycle counts scaled
+// by k, measured).
+func TestPaperProgramOnVirtualFabric(t *testing.T) {
+	prog, err := Compile(PaperMCPSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	g := graph.GenRandomConnected(n, 0.3, 9, 88)
+	const dest = 3
+	native, err := core.Solve(g, dest, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(m ppa.Fabric) ([]ppa.Word, ppa.Metrics) {
+		in, err := NewInterp(prog, par.New(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf := m.Inf()
+		w := make([]ppa.Word, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				switch wt := g.At(i, j); {
+				case i == j:
+					w[i*n+j] = 0
+				case wt == graph.NoEdge:
+					w[i*n+j] = inf
+				default:
+					w[i*n+j] = ppa.Word(wt)
+				}
+			}
+		}
+		if err := in.SetParallelInt("W", w); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.SetInt("d", dest); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Call("minimum_cost_path"); err != nil {
+			t.Fatal(err)
+		}
+		sow, err := in.GetParallelInt("SOW")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sow, m.Metrics()
+	}
+
+	direct, directMetrics := run(ppa.New(n, native.Bits))
+	for _, phys := range []int{4, 2} {
+		vm, err := virt.New(n, phys, native.Bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		virtual, virtualMetrics := run(vm)
+		if !reflect.DeepEqual(direct, virtual) {
+			t.Fatalf("phys=%d: PPC program output diverged on the virtual fabric", phys)
+		}
+		k := int64(n / phys)
+		if virtualMetrics.BusCycles != k*directMetrics.BusCycles ||
+			virtualMetrics.WiredOrCycles != k*directMetrics.WiredOrCycles {
+			t.Errorf("phys=%d: cycles bus=%d wOR=%d, want %dx of bus=%d wOR=%d",
+				phys, virtualMetrics.BusCycles, virtualMetrics.WiredOrCycles,
+				k, directMetrics.BusCycles, directMetrics.WiredOrCycles)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package ppclang
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// widestSource aliases the exported program under test.
+const widestSource = WidestPathSource
+
+func TestWidestPathInPPC(t *testing.T) {
+	prog, err := Compile(widestSource)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(9)
+		g := graph.GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(20)), rng.Int63())
+		dest := rng.Intn(n)
+		want, _, err := core.SolveWidest(g, dest, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Match the native solver's word width.
+		h := uint(1)
+		for int64(1)<<h-1 <= g.MaxWeight() || int64(1)<<h-1 <= int64(n-1) {
+			h++
+		}
+		m := ppa.New(n, h)
+		in, err := NewInterp(prog, par.New(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf := m.Inf()
+		w := make([]ppa.Word, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				switch wt := g.At(i, j); {
+				case i == j:
+					w[i*n+j] = inf
+				case wt == graph.NoEdge:
+					w[i*n+j] = 0
+				default:
+					w[i*n+j] = ppa.Word(wt)
+				}
+			}
+		}
+		if err := in.SetParallelInt("W", w); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.SetInt("d", int64(dest)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Call("widest_path"); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cap, _ := in.GetParallelInt("CAP")
+		ptn, _ := in.GetParallelInt("PTN")
+		for i := 0; i < n; i++ {
+			gotCap := int64(cap[dest*n+i])
+			switch {
+			case i == dest:
+				if cap[dest*n+i] != inf {
+					t.Fatalf("trial %d: CAP[d][d] = %d, want MAXINT", trial, cap[dest*n+i])
+				}
+			case want.Cap[i] == 0:
+				if gotCap != 0 {
+					t.Fatalf("trial %d vertex %d: PPC cap %d, want unreachable", trial, i, gotCap)
+				}
+			default:
+				if gotCap != want.Cap[i] || int(ptn[dest*n+i]) != want.Next[i] {
+					t.Fatalf("trial %d vertex %d: PPC (%d via %d), native (%d via %d)",
+						trial, i, gotCap, ptn[dest*n+i], want.Cap[i], want.Next[i])
+				}
+			}
+		}
+	}
+}

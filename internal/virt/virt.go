@@ -1,0 +1,331 @@
+// Package virt lifts the paper's one-matrix-element-per-PE assumption: a
+// Machine presents an n x n *logical* PPA (the ppa.Fabric interface) while
+// executing on an m x m *physical* ppa.Machine, with each physical PE
+// owning a k x k block of logical PEs (k = n/m) in its local memory —
+// the classic block-mapped virtualization of SIMD arrays.
+//
+// Every logical bus transaction decomposes into k physical passes (one
+// per within-block plane), each costing one physical bus transaction plus
+// O(k) local work per physical PE; a logical wired-OR additionally needs
+// two one-bit physical shifts per plane to stitch clusters that span
+// block boundaries. The resulting cost law — logical comm cycle ≈ k
+// physical comm cycles — is the virtualization ablation measured in
+// EXPERIMENTS.md.
+//
+// Results are bit-identical to running a real n x n machine
+// (property-tested against ppa.Machine on random inputs).
+package virt
+
+import (
+	"fmt"
+
+	"ppamcp/internal/ppa"
+)
+
+// Machine is an n x n logical fabric simulated on an m x m physical PPA.
+type Machine struct {
+	phys *ppa.Machine
+	n    int // logical side
+	m    int // physical side
+	k    int // block side, n/m
+
+	// lanes[d][t*m*m+P] lists, for direction d and plane t, physical PE
+	// P's k logical flat indices in flow order.
+	lanes [4][][]int
+}
+
+// Machine implements the logical fabric contract.
+var _ ppa.Fabric = (*Machine)(nil)
+
+// New returns an n x n logical machine with h-bit words backed by an
+// m x m physical machine. n must be a positive multiple of m.
+func New(n, m int, h uint, opts ...ppa.Option) (*Machine, error) {
+	if m < 1 || n < m || n%m != 0 {
+		return nil, fmt.Errorf("virt: logical side %d must be a positive multiple of physical side %d", n, m)
+	}
+	v := &Machine{phys: ppa.New(m, h, opts...), n: n, m: m, k: n / m}
+	v.buildLanes()
+	return v, nil
+}
+
+// buildLanes precomputes the logical lane order of every (direction,
+// plane, physical PE) triple.
+func (v *Machine) buildLanes() {
+	n, m, k := v.n, v.m, v.k
+	for d := 0; d < 4; d++ {
+		dir := ppa.Direction(d)
+		v.lanes[d] = make([][]int, k*m*m)
+		for t := 0; t < k; t++ {
+			for R := 0; R < m; R++ {
+				for C := 0; C < m; C++ {
+					P := R*m + C
+					seq := make([]int, k)
+					for j := 0; j < k; j++ {
+						var r, c int
+						if dir.Horizontal() {
+							// Plane t fixes the within-block row; flow
+							// traverses within-block columns.
+							b := j
+							if dir == ppa.West {
+								b = k - 1 - j
+							}
+							r, c = R*k+t, C*k+b
+						} else {
+							a := j
+							if dir == ppa.North {
+								a = k - 1 - j
+							}
+							r, c = R*k+a, C*k+t
+						}
+						seq[j] = r*n + c
+					}
+					v.lanes[d][t*m*m+P] = seq
+				}
+			}
+		}
+	}
+}
+
+// N returns the logical side.
+func (v *Machine) N() int { return v.n }
+
+// PhysicalSide returns the physical side m.
+func (v *Machine) PhysicalSide() int { return v.m }
+
+// BlockSide returns k = n/m, the number of logical PEs per physical PE
+// along one axis.
+func (v *Machine) BlockSide() int { return v.k }
+
+// Bits returns the word width h.
+func (v *Machine) Bits() uint { return v.phys.Bits() }
+
+// Inf returns the MAXINT sentinel.
+func (v *Machine) Inf() ppa.Word { return v.phys.Inf() }
+
+// Metrics returns the *physical* machine's accumulated cost: this is the
+// whole point of the virtualization ablation.
+func (v *Machine) Metrics() ppa.Metrics { return v.phys.Metrics() }
+
+// ResetMetrics zeroes the physical counters.
+func (v *Machine) ResetMetrics() { v.phys.ResetMetrics() }
+
+// CountPE forwards local-operation charges to the physical machine.
+func (v *Machine) CountPE(ops int64) { v.phys.CountPE(ops) }
+
+// CountInstr forwards an instruction charge to the physical machine.
+func (v *Machine) CountInstr() { v.phys.CountInstr() }
+
+func (v *Machine) checkLen(name string, got int) {
+	if got != v.n*v.n {
+		panic(fmt.Sprintf("virt: %s has length %d, want %d", name, got, v.n*v.n))
+	}
+}
+
+// chargeLocal charges steps SIMD instructions each executed by all
+// physical PEs (the per-plane local scans).
+func (v *Machine) chargeLocal(steps int) {
+	for i := 0; i < steps; i++ {
+		v.phys.CountInstr()
+		v.phys.CountPE(int64(v.m * v.m))
+	}
+}
+
+// Broadcast implements the logical segmented-bus transaction. Per plane:
+// one local scan finds each physical PE's last logical Open lane, one
+// physical bus cycle moves those injections between blocks, and one local
+// scan walks the carry through each block. Cost: k physical bus cycles.
+func (v *Machine) Broadcast(d ppa.Direction, open []bool, src, dst []ppa.Word) {
+	v.checkLen("open", len(open))
+	v.checkLen("src", len(src))
+	v.checkLen("dst", len(dst))
+	mm := v.m * v.m
+	pOpen := make([]bool, mm)
+	pInject := make([]ppa.Word, mm)
+	pRecv := make([]ppa.Word, mm)
+	const floating = ppa.Word(-1)
+	for t := 0; t < v.k; t++ {
+		planes := v.lanes[d][t*mm : (t+1)*mm]
+		for P := 0; P < mm; P++ {
+			pOpen[P] = false
+			for _, L := range planes[P] {
+				if open[L] {
+					pOpen[P] = true
+					pInject[P] = src[L]
+				}
+			}
+			pRecv[P] = floating
+		}
+		v.chargeLocal(v.k)
+		v.phys.Broadcast(d, pOpen, pInject, pRecv)
+		for P := 0; P < mm; P++ {
+			carry := pRecv[P]
+			for _, L := range planes[P] {
+				val := src[L] // read before the (possibly aliased) write
+				if carry != floating {
+					dst[L] = carry
+				}
+				if open[L] {
+					carry = val
+				}
+			}
+		}
+		v.chargeLocal(v.k)
+	}
+}
+
+// WiredOr implements the logical wired-OR. Per plane: a local scan splits
+// each block's drives into head/tail/internal cluster contributions, a
+// one-bit physical shift hands each block's head contribution to its
+// upstream neighbour, one physical wired-OR resolves the clusters that
+// span block boundaries, a second shift hands the result downstream for
+// the blocks' head lanes, and a local scan distributes. Cost: k physical
+// wired-OR cycles + 2k one-bit physical shifts.
+func (v *Machine) WiredOr(d ppa.Direction, open, drive, dst []bool) {
+	v.checkLen("open", len(open))
+	v.checkLen("drive", len(drive))
+	v.checkLen("dst", len(dst))
+	mm := v.m * v.m
+	hasOpen := make([]bool, mm)
+	headDrive := make([]ppa.Word, mm) // OR of drives before the first open (as 0/1 words)
+	tailDrive := make([]bool, mm)     // OR of drives from the last open onward
+	fullDrive := make([]bool, mm)
+	shiftedHead := make([]ppa.Word, mm)
+	pDrive := make([]bool, mm)
+	pOr := make([]bool, mm)
+	pOrW := make([]ppa.Word, mm)
+	shiftedOr := make([]ppa.Word, mm)
+	for t := 0; t < v.k; t++ {
+		planes := v.lanes[d][t*mm : (t+1)*mm]
+		for P := 0; P < mm; P++ {
+			hasOpen[P], tailDrive[P], fullDrive[P] = false, false, false
+			headDrive[P] = 0
+			seenOpen := false
+			for _, L := range planes[P] {
+				if open[L] {
+					seenOpen = true
+					tailDrive[P] = false
+				}
+				if drive[L] {
+					fullDrive[P] = true
+					if !seenOpen {
+						headDrive[P] = 1
+					}
+					if seenOpen {
+						tailDrive[P] = true
+					}
+				}
+			}
+			hasOpen[P] = seenOpen
+		}
+		v.chargeLocal(v.k)
+		// Hand each block's head contribution to its upstream neighbour
+		// (the spanning cluster it belongs to ends there).
+		v.phys.Shift(d.Opposite(), headDrive, shiftedHead)
+		for P := 0; P < mm; P++ {
+			own := fullDrive[P]
+			if hasOpen[P] {
+				own = tailDrive[P]
+			}
+			pDrive[P] = own || shiftedHead[P] != 0
+		}
+		v.chargeLocal(1)
+		v.phys.WiredOr(d, hasOpen, pDrive, pOr)
+		for P := 0; P < mm; P++ {
+			if pOr[P] {
+				pOrW[P] = 1
+			} else {
+				pOrW[P] = 0
+			}
+		}
+		v.chargeLocal(1)
+		// Hand each physical cluster's OR downstream by one block, so a
+		// block's pre-first-open lanes can read their (upstream) cluster.
+		v.phys.Shift(d, pOrW, shiftedOr)
+		for P := 0; P < mm; P++ {
+			seq := planes[P]
+			if !hasOpen[P] {
+				for _, L := range seq {
+					dst[L] = pOr[P]
+				}
+				continue
+			}
+			// Prefix lanes belong to the upstream spanning cluster.
+			j := 0
+			for ; j < len(seq) && !open[seq[j]]; j++ {
+				dst[seq[j]] = shiftedOr[P] != 0
+			}
+			// Internal clusters are fully local; the final cluster spans
+			// into downstream blocks and reads the physical wired-OR.
+			for j < len(seq) {
+				start := j
+				j++
+				for j < len(seq) && !open[seq[j]] {
+					j++
+				}
+				if j < len(seq) {
+					or := false
+					for q := start; q < j; q++ {
+						or = or || drive[seq[q]]
+					}
+					for q := start; q < j; q++ {
+						dst[seq[q]] = or
+					}
+				} else {
+					for q := start; q < len(seq); q++ {
+						dst[seq[q]] = pOr[P]
+					}
+				}
+			}
+		}
+		v.chargeLocal(2 * v.k)
+	}
+}
+
+// Shift implements the logical one-step shift: per plane, the lane
+// leaving each block crosses on one physical shift and the rest move
+// locally. Cost: k physical shift steps.
+func (v *Machine) Shift(d ppa.Direction, src, dst []ppa.Word) {
+	v.checkLen("src", len(src))
+	v.checkLen("dst", len(dst))
+	mm := v.m * v.m
+	boundary := make([]ppa.Word, mm)
+	incoming := make([]ppa.Word, mm)
+	for t := 0; t < v.k; t++ {
+		planes := v.lanes[d][t*mm : (t+1)*mm]
+		for P := 0; P < mm; P++ {
+			boundary[P] = src[planes[P][v.k-1]]
+		}
+		v.chargeLocal(1)
+		v.phys.Shift(d, boundary, incoming)
+		for P := 0; P < mm; P++ {
+			seq := planes[P]
+			for j := v.k - 1; j >= 1; j-- {
+				dst[seq[j]] = src[seq[j-1]]
+			}
+			dst[seq[0]] = incoming[P]
+		}
+		v.chargeLocal(v.k)
+	}
+}
+
+// GlobalOr reduces each block locally, then uses the physical global-OR
+// line once.
+func (v *Machine) GlobalOr(pred []bool) bool {
+	v.checkLen("pred", len(pred))
+	mm := v.m * v.m
+	k2 := v.k * v.k
+	pPred := make([]bool, mm)
+	n := v.n
+	for P := 0; P < mm; P++ {
+		R, C := P/v.m, P%v.m
+		for a := 0; a < v.k; a++ {
+			for b := 0; b < v.k; b++ {
+				if pred[(R*v.k+a)*n+C*v.k+b] {
+					pPred[P] = true
+				}
+			}
+		}
+	}
+	v.chargeLocal(k2)
+	return v.phys.GlobalOr(pPred)
+}

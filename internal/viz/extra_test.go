@@ -1,0 +1,36 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+func TestRenderSwitchesAllDirections(t *testing.T) {
+	open := make([]bool, 4)
+	for _, c := range []struct {
+		d     ppa.Direction
+		arrow string
+	}{
+		{ppa.North, "^"}, {ppa.East, ">"}, {ppa.South, "v"}, {ppa.West, "<"},
+	} {
+		out := RenderSwitches(2, open, c.d)
+		if !strings.Contains(out, c.d.String()) || !strings.Contains(out, "("+c.arrow+")") {
+			t.Errorf("%v: header wrong:\n%s", c.d, out)
+		}
+	}
+}
+
+func TestRenderWordGridWideValues(t *testing.T) {
+	out := RenderWordGrid(2, []ppa.Word{123456, 1, 2, 3}, 1<<40)
+	if !strings.Contains(out, "123456") {
+		t.Errorf("wide value missing:\n%s", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length did not panic")
+		}
+	}()
+	RenderWordGrid(3, []ppa.Word{1}, 10)
+}

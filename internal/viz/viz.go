@@ -1,0 +1,172 @@
+// Package viz renders PPA machine configurations and grid-world solutions
+// as ASCII diagrams. RenderSwitches reproduces the role of the paper's
+// Figure 1 (the two bus sets and the per-PE Open/Short switch boxes);
+// RenderGridPath draws robot-navigation solutions for the examples.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// RenderSwitches draws an n x n switch-box configuration for a bus
+// transaction in direction dir: `[O]` marks an Open (injecting) switch
+// box, `[-]` a Short (pass-through) one. The header shows the global data
+// movement direction selected by the SIMD controller.
+func RenderSwitches(n int, open []bool, dir ppa.Direction) string {
+	if len(open) != n*n {
+		panic(fmt.Sprintf("viz: open has length %d, want %d", len(open), n*n))
+	}
+	var sb strings.Builder
+	arrow := map[ppa.Direction]string{
+		ppa.North: "^", ppa.South: "v", ppa.East: ">", ppa.West: "<",
+	}[dir]
+	fmt.Fprintf(&sb, "PPA %dx%d  data movement: %s (%s)\n", n, n, dir, arrow)
+	sb.WriteString("      ")
+	for c := 0; c < n; c++ {
+		fmt.Fprintf(&sb, "%3d ", c)
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < n; r++ {
+		fmt.Fprintf(&sb, "row%2d ", r)
+		for c := 0; c < n; c++ {
+			if open[r*n+c] {
+				sb.WriteString("[O] ")
+			} else {
+				sb.WriteString("[-] ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("[O] = Open switch box (injects onto the bus)   [-] = Short (passes through)\n")
+	return sb.String()
+}
+
+// RenderWordGrid draws an n x n parallel variable, printing MAXINT-valued
+// lanes (>= inf) as "inf".
+func RenderWordGrid(n int, vals []ppa.Word, inf ppa.Word) string {
+	if len(vals) != n*n {
+		panic(fmt.Sprintf("viz: vals has length %d, want %d", len(vals), n*n))
+	}
+	width := 3
+	for _, v := range vals {
+		if v < inf {
+			if w := len(fmt.Sprintf("%d", v)); w > width {
+				width = w
+			}
+		}
+	}
+	var sb strings.Builder
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c > 0 {
+				sb.WriteByte(' ')
+			}
+			v := vals[r*n+c]
+			if v >= inf {
+				fmt.Fprintf(&sb, "%*s", width, "inf")
+			} else {
+				fmt.Fprintf(&sb, "%*d", width, v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderGridPath draws a rows x cols grid world: 'S' start, 'G' goal,
+// '#' obstacles, '*' the path cells, '.' free cells. path is a vertex
+// sequence over the grid graph (vertex = r*cols + c); blocked may be nil.
+func RenderGridPath(rows, cols int, path []int, blocked []bool) string {
+	cell := make([]byte, rows*cols)
+	for i := range cell {
+		cell[i] = '.'
+	}
+	if blocked != nil {
+		for i, b := range blocked {
+			if b {
+				cell[i] = '#'
+			}
+		}
+	}
+	for _, v := range path {
+		if v >= 0 && v < len(cell) {
+			cell[v] = '*'
+		}
+	}
+	if len(path) > 0 {
+		cell[path[0]] = 'S'
+		cell[path[len(path)-1]] = 'G'
+	}
+	var sb strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			sb.WriteByte(cell[r*cols+c])
+			if c+1 < cols {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderTree draws the shortest-path tree of a single-destination result
+// as an indented forest rooted at the destination: each vertex hangs
+// under its Next pointer (children sorted by index), with its distance in
+// parentheses. Unreachable vertices are listed at the end.
+func RenderTree(r *graph.Result) string {
+	n := len(r.Dist)
+	children := make([][]int, n)
+	var unreachable []int
+	for v := 0; v < n; v++ {
+		switch {
+		case v == r.Dest:
+		case r.Dist[v] == graph.NoEdge:
+			unreachable = append(unreachable, v)
+		default:
+			children[r.Next[v]] = append(children[r.Next[v]], v)
+		}
+	}
+	var sb strings.Builder
+	var walk func(v, depth int)
+	walk = func(v, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		if v == r.Dest {
+			fmt.Fprintf(&sb, "%d (destination)\n", v)
+		} else {
+			fmt.Fprintf(&sb, "%d (cost %d)\n", v, r.Dist[v])
+		}
+		for _, c := range children[v] {
+			walk(c, depth+1)
+		}
+	}
+	walk(r.Dest, 0)
+	if len(unreachable) > 0 {
+		fmt.Fprintf(&sb, "unreachable: %v\n", unreachable)
+	}
+	return sb.String()
+}
+
+// RenderDistances prints a single-destination result as a table of
+// vertex / distance / next-hop lines.
+func RenderDistances(r *graph.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "destination: %d\n", r.Dest)
+	fmt.Fprintf(&sb, "%8s %10s %6s\n", "vertex", "cost", "next")
+	for i := range r.Dist {
+		cost := "inf"
+		next := "-"
+		if r.Dist[i] != graph.NoEdge {
+			cost = fmt.Sprintf("%d", r.Dist[i])
+			if r.Next[i] >= 0 {
+				next = fmt.Sprintf("%d", r.Next[i])
+			}
+		}
+		fmt.Fprintf(&sb, "%8d %10s %6s\n", i, cost, next)
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+func TestRenderSwitches(t *testing.T) {
+	open := make([]bool, 9)
+	open[4] = true // center
+	out := RenderSwitches(3, open, ppa.South)
+	if !strings.Contains(out, "South") || !strings.Contains(out, "[O]") {
+		t.Errorf("missing elements:\n%s", out)
+	}
+	if strings.Count(out, "[O]") != 2 { // one in grid + one in legend
+		t.Errorf("open count wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + col header + 3 rows + legend
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderSwitchesPanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RenderSwitches(3, make([]bool, 4), ppa.North)
+}
+
+func TestRenderWordGrid(t *testing.T) {
+	out := RenderWordGrid(2, []ppa.Word{1, 255, 12, 3}, 255)
+	if !strings.Contains(out, "inf") || !strings.Contains(out, "12") {
+		t.Errorf("grid:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("row count wrong:\n%s", out)
+	}
+}
+
+func TestRenderGridPath(t *testing.T) {
+	blocked := make([]bool, 12)
+	blocked[5] = true
+	out := RenderGridPath(3, 4, []int{0, 1, 2, 6, 10, 11}, blocked)
+	if !strings.Contains(out, "S") || !strings.Contains(out, "G") ||
+		!strings.Contains(out, "#") || !strings.Contains(out, "*") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	// Start cell is S, not *.
+	if strings.HasPrefix(out, "*") {
+		t.Errorf("start not marked S:\n%s", out)
+	}
+}
+
+func TestRenderGridPathEmpty(t *testing.T) {
+	out := RenderGridPath(2, 2, nil, nil)
+	if strings.Count(out, ".") != 4 {
+		t.Errorf("empty grid:\n%s", out)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	// Tree: dest 3 <- {1 <- {0}, 2}; 4 unreachable.
+	r := &graph.Result{
+		Dest: 3,
+		Dist: []int64{4, 2, 3, 0, graph.NoEdge},
+		Next: []int{1, 3, 3, -1, -1},
+	}
+	out := RenderTree(r)
+	want := "3 (destination)\n  1 (cost 2)\n    0 (cost 4)\n  2 (cost 3)\nunreachable: [4]\n"
+	if out != want {
+		t.Errorf("RenderTree =\n%q\nwant\n%q", out, want)
+	}
+}
+
+func TestRenderTreeTrivial(t *testing.T) {
+	r := &graph.Result{Dest: 0, Dist: []int64{0}, Next: []int{-1}}
+	if out := RenderTree(r); !strings.Contains(out, "0 (destination)") || strings.Contains(out, "unreachable") {
+		t.Errorf("trivial tree:\n%s", out)
+	}
+}
+
+func TestRenderDistances(t *testing.T) {
+	r := &graph.Result{
+		Dest: 1,
+		Dist: []int64{5, 0, graph.NoEdge},
+		Next: []int{1, -1, -1},
+	}
+	out := RenderDistances(r)
+	if !strings.Contains(out, "destination: 1") || !strings.Contains(out, "inf") {
+		t.Errorf("table:\n%s", out)
+	}
+	if !strings.Contains(out, "5") {
+		t.Errorf("missing cost:\n%s", out)
+	}
+}

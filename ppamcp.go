@@ -1,0 +1,314 @@
+// Package ppamcp is a faithful reproduction of "A Parallel Algorithm for
+// Minimum Cost Path Computation on Polymorphic Processor Array"
+// (Baglietto, Maresca, Migliardi — IPPS 1998): a cycle-counting simulator
+// of the Polymorphic Processor Array, the paper's single-destination
+// minimum-cost-path algorithm on it, the Polymorphic Parallel C language
+// the paper expressed it in, and the comparator architectures the paper
+// claims complexity parity with (Connection Machine hypercube, Gated
+// Connection Network) or improves on (the plain mesh).
+//
+// This file is the public facade: build a Graph, call Solve with the
+// backend of your choice, and read distances, next-hop pointers, and the
+// abstract machine cost of the computation.
+//
+//	g := ppamcp.NewGraph(4)
+//	g.SetEdge(0, 1, 2)
+//	g.SetEdge(1, 3, 2)
+//	res, err := ppamcp.Solve(g, 3, ppamcp.WithBackend(ppamcp.PPA))
+//	path, ok := res.PathFrom(0) // [0 1 3]
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's complexity claims.
+package ppamcp
+
+import (
+	"fmt"
+
+	"ppamcp/internal/apsp"
+	"ppamcp/internal/core"
+	"ppamcp/internal/gcn"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/hypercube"
+	"ppamcp/internal/mesh"
+	"ppamcp/internal/ppa"
+)
+
+// Graph is a dense weighted directed graph (see NewGraph).
+type Graph = graph.Graph
+
+// Result carries per-vertex distances and next-hop pointers.
+type SolutionBase = graph.Result
+
+// Metrics is the abstract machine cost accounting shared by all backends.
+type Metrics = ppa.Metrics
+
+// NoEdge marks a missing edge in Graph.
+const NoEdge = graph.NoEdge
+
+// NewGraph returns an n-vertex graph with no edges.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Generators re-exported for building workloads.
+var (
+	// GenRandom builds a random directed graph (n, edge density, max
+	// weight, seed).
+	GenRandom = graph.GenRandom
+	// GenRandomConnected additionally guarantees strong connectivity.
+	GenRandomConnected = graph.GenRandomConnected
+	// GenChain builds the path 0 -> 1 -> ... -> n-1.
+	GenChain = graph.GenChain
+	// GenGrid builds a 4-connected grid world.
+	GenGrid = graph.GenGrid
+	// GenDiameter builds a graph with exact MCP diameter p to vertex 0.
+	GenDiameter = graph.GenDiameter
+	// GenSmallWorld builds a Watts-Strogatz network (n, k, beta, maxW, seed).
+	GenSmallWorld = graph.GenSmallWorld
+	// GenScaleFree builds a Barabasi-Albert network (n, m, maxW, seed).
+	GenScaleFree = graph.GenScaleFree
+)
+
+// Backend selects the architecture Solve runs on.
+type Backend int
+
+// Available backends.
+const (
+	// PPA is the paper's Polymorphic Processor Array (the default).
+	PPA Backend = iota
+	// GCN is the Gated Connection Network comparator.
+	GCN
+	// Hypercube is the Connection Machine comparator.
+	Hypercube
+	// Mesh is the plain (non-reconfigurable) mesh baseline.
+	Mesh
+	// Sequential is host-side Bellman-Ford (the paper's DP, serialized).
+	Sequential
+	// SequentialDijkstra is the fast host-side baseline.
+	SequentialDijkstra
+)
+
+func (b Backend) String() string {
+	switch b {
+	case PPA:
+		return "ppa"
+	case GCN:
+		return "gcn"
+	case Hypercube:
+		return "hypercube"
+	case Mesh:
+		return "mesh"
+	case Sequential:
+		return "bellman-ford"
+	case SequentialDijkstra:
+		return "dijkstra"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend converts a name ("ppa", "gcn", "hypercube", "mesh",
+// "bellman-ford", "dijkstra") to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "ppa", "PPA":
+		return PPA, nil
+	case "gcn", "GCN":
+		return GCN, nil
+	case "hypercube", "cube", "cm":
+		return Hypercube, nil
+	case "mesh":
+		return Mesh, nil
+	case "bellman-ford", "bf", "sequential":
+		return Sequential, nil
+	case "dijkstra":
+		return SequentialDijkstra, nil
+	}
+	return 0, fmt.Errorf("ppamcp: unknown backend %q", s)
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	graph.Result
+	// Backend that produced the result.
+	Backend Backend
+	// Metrics is the abstract machine cost (zero for sequential backends;
+	// their work shows up in Result.Relaxations instead).
+	Metrics Metrics
+	// Bits is the machine word width used (0 for sequential backends).
+	Bits uint
+}
+
+// options collects Solve configuration.
+type options struct {
+	backend  Backend
+	bits     uint
+	workers  int
+	physSide int
+}
+
+// Option configures Solve.
+type Option func(*options)
+
+// WithBackend selects the architecture (default PPA).
+func WithBackend(b Backend) Option { return func(o *options) { o.backend = b } }
+
+// WithBits fixes the machine word width h (default: smallest width that
+// fits every path cost).
+func WithBits(h uint) Option { return func(o *options) { o.bits = h } }
+
+// WithWorkers sets simulator goroutine fan-out for the PPA and mesh
+// backends (results are identical for any value).
+func WithWorkers(w int) Option { return func(o *options) { o.workers = w } }
+
+// WithPhysicalSide runs the PPA backend block-mapped on an m x m physical
+// array (m must divide the vertex count): identical answers, communication
+// cost scaled by k = n/m. Ignored by other backends.
+func WithPhysicalSide(m int) Option { return func(o *options) { o.physSide = m } }
+
+// Solve computes minimum cost paths from every vertex of g to dest.
+func Solve(g *Graph, dest int, opts ...Option) (*Result, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	switch o.backend {
+	case PPA:
+		r, err := core.Solve(g, dest, core.Options{Bits: o.bits, Workers: o.workers, PhysicalSide: o.physSide})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: r.Result, Backend: PPA, Metrics: r.Metrics, Bits: r.Bits}, nil
+	case GCN:
+		r, err := gcn.SolveMCP(g, dest, gcn.Options{Bits: o.bits})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: r.Result, Backend: GCN, Metrics: r.Metrics, Bits: r.Bits}, nil
+	case Hypercube:
+		r, err := hypercube.SolveMCP(g, dest, hypercube.Options{Bits: o.bits})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: r.Result, Backend: Hypercube, Metrics: r.Metrics, Bits: r.Bits}, nil
+	case Mesh:
+		r, err := mesh.SolveMCP(g, dest, mesh.Options{Bits: o.bits, Workers: o.workers})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: r.Result, Backend: Mesh, Metrics: r.Metrics, Bits: r.Bits}, nil
+	case Sequential:
+		r, err := graph.BellmanFord(g, dest)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: *r, Backend: Sequential}, nil
+	case SequentialDijkstra:
+		r, err := graph.Dijkstra(g, dest)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Result: *r, Backend: SequentialDijkstra}, nil
+	}
+	return nil, fmt.Errorf("ppamcp: unknown backend %v", o.backend)
+}
+
+// Verify certifies that res is a correct and optimal solution for g
+// without trusting the solver (witness paths plus no-relaxable-edge).
+func Verify(g *Graph, res *Result) error {
+	return graph.CheckResult(g, &res.Result)
+}
+
+// Session amortizes machine construction and weight loading across many
+// solves on the same graph. Use it when solving several destinations
+// (SolveAllPairs does this internally, one session per worker goroutine).
+// Not safe for concurrent use.
+type Session struct {
+	inner *core.Session
+}
+
+// NewSession builds a reusable solving session for g (PPA backend).
+func NewSession(g *Graph, opts ...Option) (*Session, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	inner, err := core.NewSession(g, core.Options{Bits: o.bits, Workers: o.workers, PhysicalSide: o.physSide})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner}, nil
+}
+
+// Solve runs the DP for one destination on the session's machine.
+func (s *Session) Solve(dest int) (*Result, error) {
+	r, err := s.inner.Solve(dest)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: r.Result, Backend: PPA, Metrics: r.Metrics, Bits: r.Bits}, nil
+}
+
+// WidestResult is the widest-path solution (see SolveWidest).
+type WidestResult = graph.WidestResult
+
+// Unbounded is the destination's own capacity in a WidestResult.
+const Unbounded = graph.Unbounded
+
+// SolveWidest computes single-destination widest (maximum-bottleneck)
+// paths on the PPA — the (max, min) semiring dual of Solve, for
+// capacity/bandwidth routing. Cap[v] is the best achievable bottleneck
+// from v to dest (0 if unreachable, Unbounded for dest itself).
+func SolveWidest(g *Graph, dest int, opts ...Option) (*WidestResult, Metrics, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return core.SolveWidest(g, dest, core.Options{Bits: o.bits, Workers: o.workers})
+}
+
+// VerifyWidest certifies a widest-path solution without trusting the
+// solver (witness bottlenecks plus no-improving-edge).
+func VerifyWidest(g *Graph, r *WidestResult) error {
+	return graph.CheckWidestResult(g, r)
+}
+
+// AllPairs is the all-pairs solution (see SolveAllPairs).
+type AllPairs = core.AllPairs
+
+// SolveAllPairs computes the complete distance and next-hop matrices by
+// running the PPA algorithm once per destination (the routing-table use
+// case). Options other than the backend apply; the backend is always PPA.
+func SolveAllPairs(g *Graph, opts ...Option) (*AllPairs, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return core.SolveAllPairs(g, core.Options{Bits: o.bits, Workers: o.workers, PhysicalSide: o.physSide})
+}
+
+// SquaringResult is the matrix-squaring all-pairs solution (see
+// SolveAllPairsSquaring).
+type SquaringResult = apsp.Result
+
+// SolveAllPairsSquaring computes all-pairs distances with min-plus matrix
+// squaring (Cannon products on the torus) instead of n runs of the
+// paper's DP — the shift-fabric alternative measured by experiment E8.
+// It produces distances only; use SolveAllPairs for next-hop matrices.
+func SolveAllPairsSquaring(g *Graph, opts ...Option) (*SquaringResult, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return apsp.Solve(g, apsp.Options{Bits: o.bits, Workers: o.workers})
+}
+
+// SourceResult is the single-source solution (see SolveFromSource).
+type SourceResult = core.SourceResult
+
+// SolveFromSource computes minimum cost paths *from* one source to every
+// vertex (the paper's algorithm run on the transposed weight matrix).
+func SolveFromSource(g *Graph, source int, opts ...Option) (*SourceResult, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return core.SolveFromSource(g, source, core.Options{Bits: o.bits, Workers: o.workers, PhysicalSide: o.physSide})
+}

@@ -1,0 +1,234 @@
+package ppamcp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSolveQuickstart(t *testing.T) {
+	g := NewGraph(4)
+	g.SetEdge(0, 1, 2)
+	g.SetEdge(1, 3, 2)
+	g.SetEdge(0, 3, 9)
+	res, err := Solve(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != PPA || res.Dist[0] != 4 {
+		t.Errorf("res = %+v", res)
+	}
+	path, ok := res.PathFrom(0)
+	if !ok || !reflect.DeepEqual(path, []int{0, 1, 3}) {
+		t.Errorf("path = %v, %v", path, ok)
+	}
+	if err := Verify(g, res); err != nil {
+		t.Error(err)
+	}
+	if res.Metrics.CommCycles() == 0 {
+		t.Error("no cycles counted")
+	}
+}
+
+// TestAllBackendsAgree is the facade-level cross-check: every backend
+// produces identical distances on random graphs (and the parallel ones
+// identical Next/Iterations too).
+func TestAllBackendsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	backends := []Backend{PPA, GCN, Hypercube, Mesh, Sequential, SequentialDijkstra}
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(11)
+		g := GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(12)), rng.Int63())
+		dest := rng.Intn(n)
+		ref, err := Solve(g, dest, WithBackend(PPA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backends[1:] {
+			r, err := Solve(g, dest, WithBackend(b))
+			if err != nil {
+				t.Fatalf("trial %d backend %v: %v", trial, b, err)
+			}
+			if !reflect.DeepEqual(ref.Dist, r.Dist) {
+				t.Fatalf("trial %d: %v distances diverge\nppa: %v\n%v: %v",
+					trial, b, ref.Dist, b, r.Dist)
+			}
+			if b != SequentialDijkstra {
+				if !reflect.DeepEqual(ref.Next, r.Next) || ref.Iterations != r.Iterations {
+					t.Fatalf("trial %d: %v Next/Iterations diverge", trial, b)
+				}
+			}
+			if err := Verify(g, r); err != nil {
+				t.Fatalf("trial %d backend %v: %v", trial, b, err)
+			}
+		}
+	}
+}
+
+func TestSolveOptions(t *testing.T) {
+	g := GenChain(6, 2)
+	r, err := Solve(g, 5, WithBits(16), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bits != 16 {
+		t.Errorf("Bits = %d", r.Bits)
+	}
+	if _, err := Solve(g, 9); err == nil {
+		t.Error("bad dest accepted")
+	}
+	if _, err := Solve(g, 0, WithBackend(Backend(99))); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestBackendStringAndParse(t *testing.T) {
+	for _, b := range []Backend{PPA, GCN, Hypercube, Mesh, Sequential, SequentialDijkstra} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Errorf("round trip %v: %v %v", b, got, err)
+		}
+	}
+	if _, err := ParseBackend("quantum"); err == nil {
+		t.Error("unknown backend name accepted")
+	}
+	if Backend(42).String() == "" {
+		t.Error("unknown backend String empty")
+	}
+	for _, alias := range []string{"bf", "sequential", "cube", "cm", "PPA", "GCN"} {
+		if _, err := ParseBackend(alias); err != nil {
+			t.Errorf("alias %q rejected", alias)
+		}
+	}
+}
+
+func TestSolveAllPairsFacade(t *testing.T) {
+	g := GenRandomConnected(6, 0.3, 9, 2)
+	ap, err := SolveAllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			path, ok := ap.Path(i, j)
+			if !ok || path[0] != i || path[len(path)-1] != j {
+				t.Fatalf("path %d->%d: %v %v", i, j, path, ok)
+			}
+		}
+	}
+}
+
+func TestSessionFacade(t *testing.T) {
+	g := GenRandomConnected(8, 0.3, 9, 10)
+	s, err := NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dest := 0; dest < g.N; dest++ {
+		fromSession, err := s.Solve(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, err := Solve(g, dest, WithBits(fromSession.Bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fromSession.Dist, oneShot.Dist) {
+			t.Fatalf("dest %d: session diverged", dest)
+		}
+		if err := Verify(g, fromSession); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Solve(99); err == nil {
+		t.Error("bad dest accepted")
+	}
+	bad := NewGraph(2)
+	bad.W[1] = -1
+	if _, err := NewSession(bad); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestSolveWidestFacade(t *testing.T) {
+	g := NewGraph(3)
+	g.SetEdge(0, 2, 2)
+	g.SetEdge(0, 1, 9)
+	g.SetEdge(1, 2, 8)
+	r, metrics, err := SolveWidest(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap[0] != 8 || r.Cap[2] != Unbounded {
+		t.Errorf("Cap = %v", r.Cap)
+	}
+	if metrics.CommCycles() == 0 {
+		t.Error("no cycles counted")
+	}
+	if err := VerifyWidest(g, r); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := SolveWidest(g, 9); err == nil {
+		t.Error("bad dest accepted")
+	}
+}
+
+func TestSolveAllPairsSquaringFacade(t *testing.T) {
+	g := GenRandomConnected(7, 0.3, 9, 6)
+	sq, err := SolveAllPairsSquaring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := SolveAllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sq.Dist {
+		if i/7 != i%7 && sq.Dist[i] != ap.Dist[i] {
+			t.Fatalf("index %d: squaring %d, DP %d", i, sq.Dist[i], ap.Dist[i])
+		}
+	}
+}
+
+func TestSolveFromSourceFacade(t *testing.T) {
+	g := GenChain(5, 2)
+	r, err := SolveFromSource(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist[4] != 8 {
+		t.Errorf("Dist[4] = %d, want 8", r.Dist[4])
+	}
+	path, ok := r.PathTo(4)
+	if !ok || !reflect.DeepEqual(path, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("PathTo(4) = %v, %v", path, ok)
+	}
+}
+
+func TestWithPhysicalSideFacade(t *testing.T) {
+	g := GenRandomConnected(8, 0.3, 9, 4)
+	direct, err := Solve(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Solve(g, 2, WithPhysicalSide(4), WithBits(direct.Bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Dist, v.Dist) {
+		t.Error("virtualized facade solve diverged")
+	}
+	if v.Metrics.BusCycles != 2*direct.Metrics.BusCycles {
+		t.Errorf("bus cycles %d, want 2x %d", v.Metrics.BusCycles, direct.Metrics.BusCycles)
+	}
+}
+
+func TestSequentialBackendsError(t *testing.T) {
+	g := NewGraph(3)
+	if _, err := Solve(g, -1, WithBackend(Sequential)); err == nil {
+		t.Error("BF bad dest accepted")
+	}
+	if _, err := Solve(g, 5, WithBackend(SequentialDijkstra)); err == nil {
+		t.Error("Dijkstra bad dest accepted")
+	}
+}
