@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench tables fuzz examples clean
+.PHONY: all build vet test race cover bench bench-json tables fuzz examples clean
 
 all: build vet test
 
@@ -23,6 +23,10 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable snapshot: E1-E6 cycle tables + wall-clock solve cost.
+bench-json:
+	$(GO) run ./cmd/benchtab -json > BENCH_PR1.json
 
 # Regenerate every experiment table (E1-E8); see EXPERIMENTS.md.
 tables:

@@ -6,27 +6,88 @@
 //
 //	benchtab           # all experiments
 //	benchtab -only E3  # one experiment
+//	benchtab -json     # E1-E6 cycle tables + wall-clock benchmarks as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 
 	"ppamcp/internal/bench"
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
 )
+
+// wallClock is one simulator host-performance measurement: the same
+// workload as the repo's BenchmarkSolveWallClock (n=64 random connected
+// graph, density 0.3, seed 5, destination 1), timed with
+// testing.Benchmark so the numbers land in a machine-readable report.
+type wallClock struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	N           int     `json:"iterations"`
+	MsPerOp     float64 `json:"msPerOp"`
+}
+
+// report is the -json document: the abstract cycle tables (host-
+// independent, golden-pinned) plus the simulator's own wall-clock cost
+// (host-dependent, tracked across PRs in BENCH_*.json snapshots).
+type report struct {
+	Tables    []bench.Table `json:"tables"`
+	WallClock []wallClock   `json:"wallClock"`
+}
+
+func runWallClock() []wallClock {
+	g := graph.GenRandomConnected(64, 0.3, 9, 5)
+	var out []wallClock
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		out = append(out, wallClock{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		add(fmt.Sprintf("SolveWallClock/n=64/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(g, 1, core.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	add("SolveWallClock/n=64/session", func(b *testing.B) {
+		s, err := core.NewSession(g, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return out
+}
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: E1..E9")
 	format := flag.String("format", "text", "output format: text|markdown")
+	jsonOut := flag.Bool("json", false, "emit E1-E6 tables and wall-clock benchmarks as JSON")
 	flag.Parse()
-
-	render := func(t bench.Table) string {
-		if *format == "markdown" {
-			return t.Markdown()
-		}
-		return t.Format()
-	}
 
 	runners := map[string]func() bench.Table{
 		"E1": bench.RunE1,
@@ -38,6 +99,28 @@ func main() {
 		"E7": bench.RunE7,
 		"E8": bench.RunE8,
 		"E9": bench.RunE9,
+	}
+
+	if *jsonOut {
+		rep := report{}
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6"} {
+			rep.Tables = append(rep.Tables, runners[id]())
+		}
+		rep.WallClock = runWallClock()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	render := func(t bench.Table) string {
+		if *format == "markdown" {
+			return t.Markdown()
+		}
+		return t.Format()
 	}
 	if *only != "" {
 		r, ok := runners[*only]

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"ppamcp/internal/graph"
+)
+
+// TestSolveSteadyStateAllocs is the allocation-regression guard for the
+// free-list pooling introduced with the packed lane engine: once a
+// Session's pools are warm, a Solve must not allocate per-plane or
+// per-iteration temporaries — only the Result itself and a handful of
+// fixed-size host buffers. The bound has headroom over the measured
+// steady state (~160 allocs at n=64) but sits far below the unpooled
+// implementation (~1450), so a leak of even one temporary per DP
+// iteration trips it.
+func TestSolveSteadyStateAllocs(t *testing.T) {
+	g := graph.GenRandomConnected(64, 0.3, 9, 5)
+	s, err := NewSession(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: first solve grows the pools to the peak live-variable count.
+	if _, err := s.Solve(1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := s.Solve(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 400
+	if allocs > maxAllocs {
+		t.Fatalf("steady-state Session.Solve allocates %.0f objects, want <= %d", allocs, maxAllocs)
+	}
+}

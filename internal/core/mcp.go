@@ -249,12 +249,16 @@ func (s *Session) Solve(dest int) (*Result, error) {
 			SOW.Assign(ontoRowD)
 			PTN.AssignConst(ppa.Word(dest))
 		})
+		ontoRowD.Release()
+		acrossRows.Release()
 	}
 	// SOW[d][d] = 0: the empty path from d to itself (w_dd is 0 on the
 	// machine copy of W, so the paper's init gives the same).
-	a.Where(rowIsD.And(colIsD), func() {
+	atDD := rowIsD.And(colIsD)
+	a.Where(atDD, func() {
 		SOW.AssignConst(0)
 	})
+	atDD.Release()
 
 	// Step 2 — RMCP computation (statements 8-20).
 	iterations := 0
@@ -266,10 +270,13 @@ func (s *Session) Solve(dest int) (*Result, error) {
 
 		// Statement 10: SOW = broadcast(SOW, SOUTH, ROW == d) + W,
 		// assigned where ROW != d. PE (i, j) now holds SOW[j->d] + w_ij.
-		cand := a.Broadcast(SOW, ppa.South, rowIsD).AddSat(W)
+		down := a.Broadcast(SOW, ppa.South, rowIsD)
+		cand := down.AddSat(W)
+		down.Release()
 		a.Where(notD, func() {
 			SOW.Assign(cand)
 		})
+		cand.Release()
 
 		// Statement 11: MIN_SOW = min(SOW, WEST, COL == n-1).
 		var rowMin *par.Var
@@ -281,19 +288,21 @@ func (s *Session) Solve(dest int) (*Result, error) {
 		a.Where(notD, func() {
 			MinSOW.Assign(rowMin)
 		})
-
 		// Statement 12: PTN = selected_min(COL, WEST, COL == n-1,
 		// MIN_SOW == SOW): the smallest column index attaining the minimum.
 		sel := rowMin.Eq(SOW)
+		rowMin.Release()
 		var argMin *par.Var
 		if opt.SwitchOnlyBus {
 			argMin = a.SelectedMinViaSwitches(col, ppa.West, rowHead, sel)
 		} else {
 			argMin = a.SelectedMin(col, ppa.West, rowHead, sel)
 		}
+		sel.Release()
 		a.Where(notD, func() {
 			PTN.Assign(argMin)
 		})
+		argMin.Release()
 
 		// Statements 14-19: fold the per-row results back into row d via
 		// the diagonal and update PTN only where the cost improved.
@@ -302,13 +311,22 @@ func (s *Session) Solve(dest int) (*Result, error) {
 		a.Where(rowIsD, func() {
 			OldSOW.Assign(SOW)
 			SOW.Assign(newRow)
-			a.Where(SOW.Ne(OldSOW), func() {
+			changed := SOW.Ne(OldSOW)
+			a.Where(changed, func() {
 				PTN.Assign(newPTN)
 			})
+			changed.Release()
 		})
+		newPTN.Release()
+		newRow.Release()
 
 		// Statement 20: while at least one SOW in row d has changed.
-		if a.None(rowIsD.And(SOW.Ne(OldSOW))) {
+		ne := SOW.Ne(OldSOW)
+		pred := rowIsD.And(ne)
+		done := a.None(pred)
+		pred.Release()
+		ne.Release()
+		if done {
 			break
 		}
 	}
@@ -337,6 +355,13 @@ func (s *Session) Solve(dest int) (*Result, error) {
 			res.Next[i] = int(PTN.At(dest, i))
 		}
 	}
+	OldSOW.Release()
+	MinSOW.Release()
+	PTN.Release()
+	SOW.Release()
+	notD.Release()
+	colIsD.Release()
+	rowIsD.Release()
 	return res, nil
 }
 

@@ -1,0 +1,30 @@
+package par
+
+import (
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+// TestMinSteadyStateAllocs pins the pooling of the bit-serial minimum's
+// h-plane loop: with warm pools, one Min issues h wired-OR cycles and two
+// broadcasts without allocating any of its per-plane temporaries (bit
+// plane, drive, cluster OR, withdraw condition) or its staging variable.
+// What remains is one escaping closure per bus transaction in the
+// machine's ring dispatcher (h + 2 = 12 here); the bound adds headroom
+// on top of that but stays a fraction of one pooled temporary per plane,
+// so any lost Release in the loop trips it.
+func TestMinSteadyStateAllocs(t *testing.T) {
+	m := ppa.New(64, 10)
+	a := New(m)
+	src := a.Row()
+	head := a.Col().EqConst(63)
+	a.Min(src, ppa.West, head).Release() // warm-up fills the pools
+	allocs := testing.AllocsPerRun(5, func() {
+		a.Min(src, ppa.West, head).Release()
+	})
+	const maxAllocs = 20
+	if allocs > maxAllocs {
+		t.Fatalf("steady-state Min allocates %.0f objects, want <= %d", allocs, maxAllocs)
+	}
+}

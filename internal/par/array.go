@@ -8,6 +8,13 @@
 // operations store only where the activity mask is set — exactly the
 // store-enable semantics of a SIMD controller.
 //
+// Parallel logicals and the activity mask itself are stored bit-packed
+// (ppa.Bitset, 64 lanes per host word), so every parallel logical
+// instruction and every masked store runs as a word-op loop on the host.
+// The packing is pure representation: results, metrics and tie-breaking
+// are bit-identical to the unpacked reference semantics (property-tested
+// in packedref_test.go).
+//
 // Communication primitives mirror PPC's: Shift, Broadcast, the wired-OR
 // reduction Or, the bit-serial Min and SelectedMin of the paper, and the
 // global-OR line Any used for loop termination.
@@ -23,17 +30,24 @@ import (
 // activity-mask stack. It is not safe for concurrent use.
 type Array struct {
 	m    ppa.Fabric
-	mask []bool
+	mask *ppa.Bitset
+
+	// Free-lists recycle variable storage. Temporaries in the hot loops
+	// (the h-plane walk of Min/Max, where-mask narrowing, broadcast
+	// staging) release their storage back here instead of garbage; the
+	// pools only grow to the program's peak live-variable count.
+	freeBools []*Bool
+	freeVars  []*Var
+	freeBits  []*ppa.Bitset
+	freeWords [][]ppa.Word
 }
 
 // New returns a context on fabric m with all PEs active. The fabric is
 // usually a *ppa.Machine; pass a *virt.Machine to run the same program
 // block-mapped onto a smaller physical array.
 func New(m ppa.Fabric) *Array {
-	mask := make([]bool, m.N()*m.N())
-	for i := range mask {
-		mask[i] = true
-	}
+	mask := ppa.NewBitset(m.N() * m.N())
+	mask.Fill(true)
 	return &Array{m: m, mask: mask}
 }
 
@@ -60,37 +74,28 @@ func (a *Array) WhereElse(c *Bool, then, els func()) {
 	a.check(c.a)
 	saved := a.mask
 	if then != nil {
-		narrowed := make([]bool, len(saved))
-		for i := range narrowed {
-			narrowed[i] = saved[i] && c.v[i]
-		}
+		narrowed := a.getBits()
+		narrowed.And(saved, c.v)
 		a.mask = narrowed
 		then()
+		a.mask = saved
+		a.putBits(narrowed)
 	}
 	if els != nil {
-		narrowed := make([]bool, len(saved))
-		for i := range narrowed {
-			narrowed[i] = saved[i] && !c.v[i]
-		}
+		narrowed := a.getBits()
+		narrowed.AndNot(saved, c.v)
 		a.mask = narrowed
 		els()
+		a.mask = saved
+		a.putBits(narrowed)
 	}
-	a.mask = saved
 }
 
 // Active reports whether PE i is enabled under the current mask.
-func (a *Array) Active(i int) bool { return a.mask[i] }
+func (a *Array) Active(i int) bool { return a.mask.Get(i) }
 
 // ActiveCount returns the number of enabled PEs.
-func (a *Array) ActiveCount() int {
-	n := 0
-	for _, b := range a.mask {
-		if b {
-			n++
-		}
-	}
-	return n
-}
+func (a *Array) ActiveCount() int { return a.mask.Count() }
 
 // check panics if a parallel value from a different context is mixed in;
 // this is always a programming error.
@@ -105,6 +110,32 @@ func (a *Array) instr() {
 	a.m.CountInstr()
 	a.m.CountPE(int64(a.size()))
 }
+
+// getBits returns a (possibly dirty) n*n bitset from the scratch pool.
+func (a *Array) getBits() *ppa.Bitset {
+	if k := len(a.freeBits); k > 0 {
+		b := a.freeBits[k-1]
+		a.freeBits = a.freeBits[:k-1]
+		return b
+	}
+	return ppa.NewBitset(a.size())
+}
+
+// putBits returns a bitset to the scratch pool.
+func (a *Array) putBits(b *ppa.Bitset) { a.freeBits = append(a.freeBits, b) }
+
+// getWords returns a (possibly dirty) n*n word slice from the scratch pool.
+func (a *Array) getWords() []ppa.Word {
+	if k := len(a.freeWords); k > 0 {
+		w := a.freeWords[k-1]
+		a.freeWords = a.freeWords[:k-1]
+		return w
+	}
+	return make([]ppa.Word, a.size())
+}
+
+// putWords returns a word slice to the scratch pool.
+func (a *Array) putWords(w []ppa.Word) { a.freeWords = append(a.freeWords, w) }
 
 // Row returns the parallel variable holding each PE's row coordinate
 // (PPC's ROW). The values are materialized by the controller at program
@@ -130,11 +161,27 @@ func (a *Array) Col() *Var {
 }
 
 func (a *Array) newVar() *Var {
+	if k := len(a.freeVars); k > 0 {
+		x := a.freeVars[k-1]
+		a.freeVars = a.freeVars[:k-1]
+		x.released = false
+		for i := range x.v {
+			x.v[i] = 0
+		}
+		return x
+	}
 	return &Var{a: a, v: make([]ppa.Word, a.size())}
 }
 
 func (a *Array) newBool() *Bool {
-	return &Bool{a: a, v: make([]bool, a.size())}
+	if k := len(a.freeBools); k > 0 {
+		x := a.freeBools[k-1]
+		a.freeBools = a.freeBools[:k-1]
+		x.released = false
+		x.v.Fill(false)
+		return x
+	}
+	return &Bool{a: a, v: ppa.NewBitset(a.size())}
 }
 
 // Zeros allocates a parallel word variable initialized to 0 on all PEs.
@@ -178,7 +225,7 @@ func (a *Array) FromBools(data []bool) *Bool {
 		panic(fmt.Sprintf("par: FromBools length %d, want %d", len(data), a.size()))
 	}
 	b := a.newBool()
-	copy(b.v, data)
+	b.v.FromBools(data)
 	return b
 }
 
@@ -188,9 +235,7 @@ func (a *Array) False() *Bool { return a.newBool() }
 // True allocates a parallel logical initialized to true (one instruction).
 func (a *Array) True() *Bool {
 	b := a.newBool()
-	for i := range b.v {
-		b.v[i] = true
-	}
+	b.v.Fill(true)
 	a.instr()
 	return b
 }

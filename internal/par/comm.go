@@ -1,6 +1,10 @@
 package par
 
-import "ppamcp/internal/ppa"
+import (
+	"math/bits"
+
+	"ppamcp/internal/ppa"
+)
 
 // Broadcast is PPC's broadcast(src, dir, L): the parallel logical L
 // partitions each ring of the array into clusters (true = Open switch box);
@@ -14,7 +18,7 @@ func (a *Array) Broadcast(src *Var, dir ppa.Direction, open *Bool) *Var {
 	a.check(src.a)
 	a.check(open.a)
 	dst := a.newVar()
-	a.m.Broadcast(dir, open.v, src.v, dst.v)
+	a.m.BroadcastBits(dir, open.v, src.v, dst.v)
 	return dst
 }
 
@@ -25,13 +29,11 @@ func (a *Array) BroadcastInto(dst, src *Var, dir ppa.Direction, open *Bool) {
 	a.check(dst.a)
 	a.check(src.a)
 	a.check(open.a)
-	tmp := append([]ppa.Word(nil), dst.v...)
-	a.m.Broadcast(dir, open.v, src.v, tmp)
-	for i := range dst.v {
-		if a.mask[i] {
-			dst.v[i] = tmp[i]
-		}
-	}
+	tmp := a.getWords()
+	copy(tmp, dst.v)
+	a.m.BroadcastBits(dir, open.v, src.v, tmp)
+	assignWordsMasked(dst.v, tmp, a.mask)
+	a.putWords(tmp)
 }
 
 // BroadcastBool broadcasts a parallel logical over the segmented bus
@@ -39,18 +41,26 @@ func (a *Array) BroadcastInto(dst, src *Var, dir ppa.Direction, open *Bool) {
 func (a *Array) BroadcastBool(src *Bool, dir ppa.Direction, open *Bool) *Bool {
 	a.check(src.a)
 	a.check(open.a)
-	in := make([]ppa.Word, a.size())
-	out := make([]ppa.Word, a.size())
-	for i, b := range src.v {
-		if b {
-			in[i] = 1
+	in := a.getWords()
+	out := a.getWords()
+	for i := range in {
+		in[i] = 0
+	}
+	for wi, w := range src.v.Words() {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			in[base+bits.TrailingZeros64(w)] = 1
 		}
 	}
-	a.m.Broadcast(dir, open.v, in, out)
+	a.m.BroadcastBits(dir, open.v, in, out)
 	dst := a.newBool()
 	for i, w := range out {
-		dst.v[i] = w != 0
+		if w != 0 {
+			dst.v.Set(i)
+		}
 	}
+	a.putWords(in)
+	a.putWords(out)
 	return dst
 }
 
@@ -60,7 +70,7 @@ func (a *Array) Or(x *Bool, dir ppa.Direction, open *Bool) *Bool {
 	a.check(x.a)
 	a.check(open.a)
 	dst := a.newBool()
-	a.m.WiredOr(dir, open.v, x.v, dst.v)
+	a.m.WiredOrBits(dir, open.v, x.v, dst.v)
 	return dst
 }
 
@@ -77,18 +87,26 @@ func (a *Array) Shift(src *Var, dir ppa.Direction) *Var {
 // ShiftBool shifts a parallel logical one step in direction dir.
 func (a *Array) ShiftBool(src *Bool, dir ppa.Direction) *Bool {
 	a.check(src.a)
-	in := make([]ppa.Word, a.size())
-	for i, b := range src.v {
-		if b {
-			in[i] = 1
+	in := a.getWords()
+	out := a.getWords()
+	for i := range in {
+		in[i] = 0
+	}
+	for wi, w := range src.v.Words() {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			in[base+bits.TrailingZeros64(w)] = 1
 		}
 	}
-	out := make([]ppa.Word, a.size())
 	a.m.Shift(dir, in, out)
 	dst := a.newBool()
 	for i, w := range out {
-		dst.v[i] = w != 0
+		if w != 0 {
+			dst.v.Set(i)
+		}
 	}
+	a.putWords(in)
+	a.putWords(out)
 	return dst
 }
 
@@ -98,7 +116,7 @@ func (a *Array) ShiftBool(src *Bool, dir ppa.Direction) *Bool {
 // explicit parallel predicate.
 func (a *Array) Any(b *Bool) bool {
 	a.check(b.a)
-	return a.m.GlobalOr(b.v)
+	return a.m.GlobalOrBits(b.v)
 }
 
 // None is the negation of Any.

@@ -58,12 +58,19 @@ func (a *Array) minimumOn(src *Var, orientation ppa.Direction, open, enable *Boo
 	h := a.m.Bits()
 	for j := int(h) - 1; j >= 0; j-- {
 		bit := src.BitPlane(uint(j))
-		drive := bit.Not().And(enable)
+		nb := bit.Not()
+		drive := nb.And(enable)
 		seenZero := orFn(a, drive, orientation, open)
 		// where (seenZero && bit) enable = 0
-		a.Where(seenZero.And(bit), func() {
+		cond := seenZero.And(bit)
+		a.Where(cond, func() {
 			enable.AssignConst(false)
 		})
+		cond.Release()
+		seenZero.Release()
+		drive.Release()
+		nb.Release()
+		bit.Release()
 	}
 	// Statements 11-12: send a surviving minimum to the cluster heads.
 	// On a cluster whose enabled subset is empty the bus floats and the
@@ -72,8 +79,11 @@ func (a *Array) minimumOn(src *Var, orientation ppa.Direction, open, enable *Boo
 	a.Where(open, func() {
 		a.BroadcastInto(result, src, orientation.Opposite(), enable)
 	})
+	enable.Release()
 	// Statement 13: spread the head's value over the cluster.
-	return a.Broadcast(result, orientation, open)
+	out := a.Broadcast(result, orientation, open)
+	result.Release()
+	return out
 }
 
 // Max is the dual of Min: within each bus cluster defined by open it
@@ -101,15 +111,25 @@ func (a *Array) maximum(src *Var, orientation ppa.Direction, open, enable *Bool)
 		drive := bit.And(enable)
 		seenOne := a.Or(drive, orientation, open)
 		// where (seenOne && !bit) enable = 0
-		a.Where(seenOne.And(bit.Not()), func() {
+		nb := bit.Not()
+		cond := seenOne.And(nb)
+		a.Where(cond, func() {
 			enable.AssignConst(false)
 		})
+		cond.Release()
+		nb.Release()
+		seenOne.Release()
+		drive.Release()
+		bit.Release()
 	}
 	result := src.Copy()
 	a.Where(open, func() {
 		a.BroadcastInto(result, src, orientation.Opposite(), enable)
 	})
-	return a.Broadcast(result, orientation, open)
+	enable.Release()
+	out := a.Broadcast(result, orientation, open)
+	result.Release()
+	return out
 }
 
 // MinCost returns the exact number of bus transactions one Min/SelectedMin

@@ -19,12 +19,27 @@ func (a *Array) RankRows(src *Var) *Var {
 		pivot := a.Broadcast(src, ppa.East, pivotOpen)
 		// The pivot (column k's value) ranks before this PE's value if it
 		// is smaller, or equal but from a smaller column.
-		kBeforeMe := col.LtConst(ppa.Word(k + 1)).Not() // k < COL
-		before := pivot.Lt(src).Or(pivot.Eq(src).And(kBeforeMe))
+		le := col.LtConst(ppa.Word(k + 1))
+		kBeforeMe := le.Not() // k < COL
+		smaller := pivot.Lt(src)
+		equal := pivot.Eq(src)
+		tie := equal.And(kBeforeMe)
+		before := smaller.Or(tie)
 		a.Where(before, func() {
-			rank.Assign(rank.AddSatConst(1))
+			bumped := rank.AddSatConst(1)
+			rank.Assign(bumped)
+			bumped.Release()
 		})
+		before.Release()
+		tie.Release()
+		equal.Release()
+		smaller.Release()
+		kBeforeMe.Release()
+		le.Release()
+		pivot.Release()
+		pivotOpen.Release()
 	}
+	col.Release()
 	return rank
 }
 
@@ -39,10 +54,17 @@ func (a *Array) SortRows(src *Var) *Var {
 	rank := a.RankRows(src)
 	out := a.Zeros()
 	for k := 0; k < n; k++ {
-		fromRank := a.Broadcast(src, ppa.East, rank.EqConst(ppa.Word(k)))
-		a.Where(col.EqConst(ppa.Word(k)), func() {
+		atRank := rank.EqConst(ppa.Word(k))
+		fromRank := a.Broadcast(src, ppa.East, atRank)
+		atCol := col.EqConst(ppa.Word(k))
+		a.Where(atCol, func() {
 			out.Assign(fromRank)
 		})
+		atCol.Release()
+		fromRank.Release()
+		atRank.Release()
 	}
+	rank.Release()
+	col.Release()
 	return out
 }

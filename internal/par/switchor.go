@@ -27,13 +27,20 @@ func (a *Array) OrViaSwitches(x *Bool, dir ppa.Direction, open *Bool) *Bool {
 	a.check(x.a)
 	a.check(open.a)
 	inject := x.ToVar()
-	collected := a.Broadcast(inject, dir, open.Or(x))
+	cuts := open.Or(x)
+	collected := a.Broadcast(inject, dir, cuts)
 	hold := a.Zeros()
 	a.Where(open, func() {
 		hold.Assign(collected)
 	})
 	distributed := a.Broadcast(hold, dir.Opposite(), open)
-	return distributed.NeConst(0)
+	out := distributed.NeConst(0)
+	distributed.Release()
+	hold.Release()
+	collected.Release()
+	cuts.Release()
+	inject.Release()
+	return out
 }
 
 // MinViaSwitches is Min implemented on the switch-only bus model: each
@@ -75,6 +82,15 @@ func (a *Array) FirstSet(x *Bool, dir ppa.Direction, open *Bool) *Bool {
 	a.check(x.a)
 	a.check(open.a)
 	inject := x.ToVar()
-	upstream := a.Broadcast(inject, dir, open.Or(x))
-	return x.And(open.Or(upstream.EqConst(0)))
+	cuts := open.Or(x)
+	upstream := a.Broadcast(inject, dir, cuts)
+	silent := upstream.EqConst(0)
+	excused := open.Or(silent)
+	out := x.And(excused)
+	excused.Release()
+	silent.Release()
+	upstream.Release()
+	cuts.Release()
+	inject.Release()
+	return out
 }

@@ -2,18 +2,32 @@ package par
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ppamcp/internal/ppa"
 )
 
 // Var is a parallel h-bit word variable: one copy per PE, row-major.
 type Var struct {
-	a *Array
-	v []ppa.Word
+	a        *Array
+	v        []ppa.Word
+	released bool
 }
 
 // Array returns the context the variable belongs to.
 func (x *Var) Array() *Array { return x.a }
+
+// Release returns the variable's storage to its Array's scratch pool.
+// The variable must not be used afterwards. Purely a host-side
+// optimization for temporaries in hot loops; it charges nothing and does
+// not exist on the machine. Releasing twice panics.
+func (x *Var) Release() {
+	if x.released {
+		panic("par: Var released twice")
+	}
+	x.released = true
+	x.a.freeVars = append(x.a.freeVars, x)
+}
 
 // Slice copies the variable out to the host (DMA path; no cycles charged).
 func (x *Var) Slice() []ppa.Word {
@@ -34,25 +48,49 @@ func (x *Var) Copy() *Var {
 	return y
 }
 
+// assignWordsMasked stores src into dst on the lanes where mask is set:
+// whole 64-lane blocks move with copy, partial blocks walk their set bits.
+func assignWordsMasked(dst, src []ppa.Word, mask *ppa.Bitset) {
+	for wi, w := range mask.Words() {
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		if w == ^uint64(0) {
+			copy(dst[base:base+64], src[base:base+64])
+			continue
+		}
+		for ; w != 0; w &= w - 1 {
+			i := base + bits.TrailingZeros64(w)
+			dst[i] = src[i]
+		}
+	}
+}
+
+// assignConstMasked stores the scalar c into dst where mask is set.
+func assignConstMasked(dst []ppa.Word, c ppa.Word, mask *ppa.Bitset) {
+	for wi, w := range mask.Words() {
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			dst[base+bits.TrailingZeros64(w)] = c
+		}
+	}
+}
+
 // Assign stores u into x where the activity mask is set (x = u).
 func (x *Var) Assign(u *Var) {
 	x.a.check(u.a)
-	for i := range x.v {
-		if x.a.mask[i] {
-			x.v[i] = u.v[i]
-		}
-	}
+	assignWordsMasked(x.v, u.v, x.a.mask)
 	x.a.instr()
 }
 
 // AssignConst stores the scalar w into x where the mask is set.
 func (x *Var) AssignConst(w ppa.Word) {
 	ppa.CheckWord(w, x.a.m.Bits())
-	for i := range x.v {
-		if x.a.mask[i] {
-			x.v[i] = w
-		}
-	}
+	assignConstMasked(x.v, w, x.a.mask)
 	x.a.instr()
 }
 
@@ -123,12 +161,26 @@ func (x *Var) MaxWith(u *Var) *Var {
 	})
 }
 
-// compare builds a Bool from a lanewise predicate.
+// compare builds a Bool from a lanewise predicate, accumulating 64 lanes
+// into each packed word.
 func (x *Var) compare(u *Var, pred func(a, b ppa.Word) bool) *Bool {
 	x.a.check(u.a)
 	b := x.a.newBool()
-	for i := range b.v {
-		b.v[i] = pred(x.v[i], u.v[i])
+	words := b.v.Words()
+	n := len(x.v)
+	for wi := range words {
+		base := wi << 6
+		lim := n - base
+		if lim > 64 {
+			lim = 64
+		}
+		var w uint64
+		for k := 0; k < lim; k++ {
+			if pred(x.v[base+k], u.v[base+k]) {
+				w |= 1 << uint(k)
+			}
+		}
+		words[wi] = w
 	}
 	x.a.instr()
 	return b
@@ -149,8 +201,21 @@ func (x *Var) Le(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { 
 // compareConst builds a Bool from a lanewise predicate against a scalar.
 func (x *Var) compareConst(w ppa.Word, pred func(a, b ppa.Word) bool) *Bool {
 	b := x.a.newBool()
-	for i := range b.v {
-		b.v[i] = pred(x.v[i], w)
+	words := b.v.Words()
+	n := len(x.v)
+	for wi := range words {
+		base := wi << 6
+		lim := n - base
+		if lim > 64 {
+			lim = 64
+		}
+		var acc uint64
+		for k := 0; k < lim; k++ {
+			if pred(x.v[base+k], w) {
+				acc |= 1 << uint(k)
+			}
+		}
+		words[wi] = acc
 	}
 	x.a.instr()
 	return b
@@ -172,38 +237,62 @@ func (x *Var) LtConst(w ppa.Word) *Bool {
 }
 
 // BitPlane returns the parallel logical holding bit j of x (PPC's
-// bit(x, j)).
+// bit(x, j)), packed 64 lanes per word with a branch-free gather.
 func (x *Var) BitPlane(j uint) *Bool {
 	if j >= x.a.m.Bits() {
 		panic(fmt.Sprintf("par: bit plane %d out of range for %d-bit machine", j, x.a.m.Bits()))
 	}
 	b := x.a.newBool()
-	for i := range b.v {
-		b.v[i] = ppa.Bit(x.v[i], j)
+	words := b.v.Words()
+	n := len(x.v)
+	for wi := range words {
+		base := wi << 6
+		lim := n - base
+		if lim > 64 {
+			lim = 64
+		}
+		var w uint64
+		for k := 0; k < lim; k++ {
+			w |= uint64(x.v[base+k]>>j&1) << uint(k)
+		}
+		words[wi] = w
 	}
 	x.a.instr()
 	return b
 }
 
-// Bool is a parallel logical variable: one bit per PE.
+// Bool is a parallel logical variable: one bit per PE, packed 64 lanes
+// per host word (ppa.Bitset).
 type Bool struct {
-	a *Array
-	v []bool
+	a        *Array
+	v        *ppa.Bitset
+	released bool
 }
 
 // Array returns the context the logical belongs to.
 func (x *Bool) Array() *Array { return x.a }
 
+// Release returns the logical's storage to its Array's scratch pool.
+// The logical must not be used afterwards. Host-side only; charges
+// nothing. Releasing twice panics.
+func (x *Bool) Release() {
+	if x.released {
+		panic("par: Bool released twice")
+	}
+	x.released = true
+	x.a.freeBools = append(x.a.freeBools, x)
+}
+
 // Slice copies the logical out to the host.
-func (x *Bool) Slice() []bool { return append([]bool(nil), x.v...) }
+func (x *Bool) Slice() []bool { return x.v.Bools() }
 
 // At returns the value held by PE (row, col).
-func (x *Bool) At(row, col int) bool { return x.v[row*x.a.N()+col] }
+func (x *Bool) At(row, col int) bool { return x.v.Get(row*x.a.N() + col) }
 
 // Copy returns a fresh logical with the same contents.
 func (x *Bool) Copy() *Bool {
 	y := x.a.newBool()
-	copy(y.v, x.v)
+	y.v.CopyFrom(x.v)
 	x.a.instr()
 	return y
 }
@@ -211,19 +300,23 @@ func (x *Bool) Copy() *Bool {
 // Assign stores u into x where the mask is set.
 func (x *Bool) Assign(u *Bool) {
 	x.a.check(u.a)
-	for i := range x.v {
-		if x.a.mask[i] {
-			x.v[i] = u.v[i]
-		}
+	xw, uw, mw := x.v.Words(), u.v.Words(), x.a.mask.Words()
+	for i, m := range mw {
+		xw[i] = xw[i]&^m | uw[i]&m
 	}
 	x.a.instr()
 }
 
 // AssignConst stores the scalar b into x where the mask is set.
 func (x *Bool) AssignConst(b bool) {
-	for i := range x.v {
-		if x.a.mask[i] {
-			x.v[i] = b
+	xw, mw := x.v.Words(), x.a.mask.Words()
+	if b {
+		for i, m := range mw {
+			xw[i] |= m
+		}
+	} else {
+		for i, m := range mw {
+			xw[i] &^= m
 		}
 	}
 	x.a.instr()
@@ -233,9 +326,7 @@ func (x *Bool) AssignConst(b bool) {
 func (x *Bool) And(u *Bool) *Bool {
 	x.a.check(u.a)
 	y := x.a.newBool()
-	for i := range y.v {
-		y.v[i] = x.v[i] && u.v[i]
-	}
+	y.v.And(x.v, u.v)
 	x.a.instr()
 	return y
 }
@@ -244,9 +335,7 @@ func (x *Bool) And(u *Bool) *Bool {
 func (x *Bool) Or(u *Bool) *Bool {
 	x.a.check(u.a)
 	y := x.a.newBool()
-	for i := range y.v {
-		y.v[i] = x.v[i] || u.v[i]
-	}
+	y.v.Or(x.v, u.v)
 	x.a.instr()
 	return y
 }
@@ -254,9 +343,7 @@ func (x *Bool) Or(u *Bool) *Bool {
 // Not returns !x.
 func (x *Bool) Not() *Bool {
 	y := x.a.newBool()
-	for i := range y.v {
-		y.v[i] = !x.v[i]
-	}
+	y.v.Not(x.v)
 	x.a.instr()
 	return y
 }
@@ -265,9 +352,7 @@ func (x *Bool) Not() *Bool {
 func (x *Bool) Xor(u *Bool) *Bool {
 	x.a.check(u.a)
 	y := x.a.newBool()
-	for i := range y.v {
-		y.v[i] = x.v[i] != u.v[i]
-	}
+	y.v.Xor(x.v, u.v)
 	x.a.instr()
 	return y
 }
@@ -275,9 +360,10 @@ func (x *Bool) Xor(u *Bool) *Bool {
 // ToVar converts the logical to a word variable holding 0 or 1.
 func (x *Bool) ToVar() *Var {
 	y := x.a.newVar()
-	for i := range y.v {
-		if x.v[i] {
-			y.v[i] = 1
+	for wi, w := range x.v.Words() {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			y.v[base+bits.TrailingZeros64(w)] = 1
 		}
 	}
 	x.a.instr()
@@ -286,12 +372,4 @@ func (x *Bool) ToVar() *Var {
 
 // Count returns the number of true lanes (host-side read-back, used by
 // instrumentation and tests; charges nothing).
-func (x *Bool) Count() int {
-	n := 0
-	for _, b := range x.v {
-		if b {
-			n++
-		}
-	}
-	return n
-}
+func (x *Bool) Count() int { return x.v.Count() }

@@ -26,6 +26,14 @@ type Fabric interface {
 	Shift(d Direction, src, dst []Word)
 	// GlobalOr reports whether pred holds anywhere.
 	GlobalOr(pred []bool) bool
+	// BroadcastBits, WiredOrBits and GlobalOrBits are the same three
+	// transactions with the boolean lane sets packed 64-per-word (see
+	// Bitset) — the allocation-free representation the programming
+	// layers keep all parallel logicals in. Identical results and
+	// identical charges to their []bool counterparts.
+	BroadcastBits(d Direction, open *Bitset, src, dst []Word)
+	WiredOrBits(d Direction, open, drive, dst *Bitset)
+	GlobalOrBits(pred *Bitset) bool
 	// CountPE charges local ALU operations; CountInstr one SIMD
 	// instruction.
 	CountPE(ops int64)

@@ -45,16 +45,18 @@ func (m *Machine) ClearFaults() { m.faults = nil }
 // Faulty reports whether any fault is currently injected.
 func (m *Machine) Faulty() bool { return len(m.faults) > 0 }
 
-// effectiveOpen applies the injected faults to a requested switch
+// effectiveOpenBits applies the injected faults to a requested switch
 // configuration, returning the configuration the damaged hardware
-// actually realizes (the input is never modified).
-func (m *Machine) effectiveOpen(open []bool) []bool {
+// actually realizes (the input is never modified; the result is a cached
+// scratch Bitset valid until the next transaction).
+func (m *Machine) effectiveOpenBits(open *Bitset) *Bitset {
 	if len(m.faults) == 0 {
 		return open
 	}
-	eff := append([]bool(nil), open...)
+	eff := m.scratch(&m.faultBits)
+	eff.CopyFrom(open)
 	for pe, kind := range m.faults {
-		eff[pe] = kind == StuckOpen
+		eff.SetTo(pe, kind == StuckOpen)
 	}
 	return eff
 }
@@ -107,12 +109,12 @@ func (m *Machine) observe(op OpKind, d Direction, opens int) {
 	}
 }
 
-func countOpens(open []bool) int {
-	n := 0
-	for _, b := range open {
-		if b {
-			n++
-		}
+// observeOpens delivers an event for a switch-configured transaction.
+// The O(n²) Open-count (a word popcount over the packed configuration)
+// and the Event build are skipped entirely unless an observer is
+// attached.
+func (m *Machine) observeOpens(op OpKind, d Direction, open *Bitset) {
+	if m.observer != nil {
+		m.observer(Event{Op: op, Dir: d, Opens: open.Count()})
 	}
-	return n
 }

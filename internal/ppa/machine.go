@@ -11,6 +11,12 @@ import (
 // communication fabric that moves them around, charging every transaction
 // to its Metrics.
 //
+// Boolean lane sets (switch configurations, wired-OR planes, predicates)
+// travel as packed Bitsets — 64 lanes per machine word — so one bus
+// transaction costs O(n²/64) host word operations on its logical parts.
+// The []bool entry points remain as conversion shims over the same packed
+// kernels.
+//
 // A Machine is not safe for concurrent use by multiple goroutines; it *may*
 // internally fan independent ring operations out over a worker pool (see
 // WithWorkers), which never changes results.
@@ -24,6 +30,22 @@ type Machine struct {
 	observer func(Event)
 
 	wg sync.WaitGroup
+
+	// rings precomputes the geometry of every (direction, ring) pair —
+	// it depends only on n, so the per-transaction inner loops never
+	// re-derive it.
+	rings [4][]ring
+	// ringAlign is the smallest ring-count granule at which consecutive
+	// horizontal rings start on a 64-bit word boundary of a packed lane
+	// set (64/gcd(n,64)); parallel workers split packed ring walks only
+	// at such boundaries so they never write the same word.
+	ringAlign int
+
+	// Cached scratch for the packed kernels (lazily allocated, reused
+	// across transactions; a Machine is single-transaction at a time).
+	packOpen, packDrive, packDst *Bitset // []bool-API conversions
+	faultBits                    *Bitset // post-fault switch configuration
+	tOpen, tDrive, tDst          *Bitset // transposed planes for N/S wired-OR
 }
 
 // Option configures a Machine.
@@ -51,10 +73,24 @@ func New(n int, h uint, opts ...Option) *Machine {
 		panic(fmt.Sprintf("ppa: word width %d out of range [1,%d]", h, MaxBits))
 	}
 	m := &Machine{n: n, h: h, workers: 1}
+	for d := range m.rings {
+		m.rings[d] = make([]ring, n)
+		for i := 0; i < n; i++ {
+			m.rings[d][i] = ringGeometry(Direction(d), i, n)
+		}
+	}
+	m.ringAlign = 64 / gcd(n, 64)
 	for _, o := range opts {
 		o(m)
 	}
 	return m
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // N returns the side of the array; the machine has N*N PEs.
@@ -95,25 +131,44 @@ type ring struct {
 	base, stride int
 }
 
-// ringFor returns ring geometry for the i-th ring (0 <= i < n) carrying
-// data in direction d. East/West rings are rows; North/South rings are
-// columns. Flow order follows the data movement direction.
-func (m *Machine) ringFor(d Direction, i int) ring {
+// ringGeometry derives the i-th ring of direction d on an n-sided array.
+// East/West rings are rows; North/South rings are columns. Flow order
+// follows the data movement direction.
+func ringGeometry(d Direction, i, n int) ring {
 	switch d {
 	case East:
-		return ring{base: i * m.n, stride: 1}
+		return ring{base: i * n, stride: 1}
 	case West:
-		return ring{base: i*m.n + m.n - 1, stride: -1}
+		return ring{base: i*n + n - 1, stride: -1}
 	case South:
-		return ring{base: i, stride: m.n}
+		return ring{base: i, stride: n}
 	case North:
-		return ring{base: i + (m.n-1)*m.n, stride: -m.n}
+		return ring{base: i + (n-1)*n, stride: -n}
 	}
 	panic(fmt.Sprintf("ppa: invalid direction %d", d))
 }
 
+// ringFor returns the precomputed geometry of the i-th ring (0 <= i < n)
+// carrying data in direction d.
+func (m *Machine) ringFor(d Direction, i int) ring {
+	return m.rings[d][i]
+}
+
+// scratch returns (allocating on first use) a cached n*n-lane Bitset.
+func (m *Machine) scratch(p **Bitset) *Bitset {
+	if *p == nil {
+		*p = NewBitset(m.n * m.n)
+	}
+	return *p
+}
+
 // runRings invokes fn(i) for every ring index i, possibly in parallel.
-func (m *Machine) runRings(fn func(i int)) {
+func (m *Machine) runRings(fn func(i int)) { m.runRingsAligned(1, fn) }
+
+// runRingsAligned is runRings with worker-chunk boundaries restricted to
+// multiples of align (used when rings write a shared packed word unless
+// split on word boundaries).
+func (m *Machine) runRingsAligned(align int, fn func(i int)) {
 	if m.workers <= 1 || m.n == 1 {
 		for i := 0; i < m.n; i++ {
 			fn(i)
@@ -125,13 +180,13 @@ func (m *Machine) runRings(fn func(i int)) {
 		w = m.n
 	}
 	chunk := (m.n + w - 1) / w
-	for g := 0; g < w; g++ {
+	if align > 1 {
+		chunk = (chunk + align - 1) / align * align
+	}
+	for g := 0; g*chunk < m.n; g++ {
 		lo, hi := g*chunk, (g+1)*chunk
 		if hi > m.n {
 			hi = m.n
-		}
-		if lo >= hi {
-			break
 		}
 		m.wg.Add(1)
 		go func(lo, hi int) {
@@ -150,6 +205,12 @@ func (m *Machine) checkLen(name string, got int) {
 	}
 }
 
+func (m *Machine) checkBits(name string, b *Bitset) {
+	if b.Len() != m.n*m.n {
+		panic(fmt.Sprintf("ppa: %s has length %d, want %d", name, b.Len(), m.n*m.n))
+	}
+}
+
 // Broadcast performs one segmented-bus transaction in direction d.
 // PEs with open[i] == true cut the ring and inject src[i] downstream;
 // every PE receives into dst the operand of the nearest Open PE strictly
@@ -157,18 +218,41 @@ func (m *Machine) checkLen(name string, got int) {
 // dst is left unchanged there. dst may alias src. Cost: one bus cycle.
 func (m *Machine) Broadcast(d Direction, open []bool, src, dst []Word) {
 	m.checkLen("open", len(open))
+	b := m.scratch(&m.packOpen)
+	b.FromBools(open)
+	m.BroadcastBits(d, b, src, dst)
+}
+
+// BroadcastBits is Broadcast with the switch configuration as a packed
+// Bitset — the allocation-free fast path the programming layers use.
+// dst must not alias the packed configuration's storage.
+func (m *Machine) BroadcastBits(d Direction, open *Bitset, src, dst []Word) {
+	m.checkBits("open", open)
 	m.checkLen("src", len(src))
 	m.checkLen("dst", len(dst))
-	open = m.effectiveOpen(open)
-	m.observe(OpBroadcast, d, countOpens(open))
+	open = m.effectiveOpenBits(open)
+	m.observeOpens(OpBroadcast, d, open)
 	m.metrics.BusCycles++
 	m.runRings(func(i int) {
-		rg := m.ringFor(d, i)
+		rg := m.rings[d][i]
 		n := m.n
+		// Find the last Open PE in flow order; for the stride-1
+		// horizontal rings this is a single word scan of the bitset.
 		last := -1
-		for k := 0; k < n; k++ {
-			if open[rg.base+k*rg.stride] {
-				last = k
+		switch d {
+		case East:
+			if p := open.PrevSet(rg.base, rg.base+n); p >= 0 {
+				last = p - rg.base
+			}
+		case West:
+			if p := open.NextSet(rg.base-n+1, rg.base+1); p >= 0 {
+				last = rg.base - p
+			}
+		default:
+			for k := 0; k < n; k++ {
+				if open.Get(rg.base + k*rg.stride) {
+					last = k
+				}
 			}
 		}
 		if last == -1 {
@@ -183,7 +267,7 @@ func (m *Machine) Broadcast(d Direction, open []bool, src, dst []Word) {
 			p := rg.base + k*rg.stride
 			v := src[p] // read before the (possibly aliased) write
 			dst[p] = lastVal
-			if open[p] {
+			if open.Get(p) {
 				lastVal = v
 			}
 		}
@@ -201,64 +285,88 @@ func (m *Machine) WiredOr(d Direction, open, drive, dst []bool) {
 	m.checkLen("open", len(open))
 	m.checkLen("drive", len(drive))
 	m.checkLen("dst", len(dst))
-	open = m.effectiveOpen(open)
-	m.observe(OpWiredOr, d, countOpens(open))
+	bo := m.scratch(&m.packOpen)
+	bo.FromBools(open)
+	bd := m.scratch(&m.packDrive)
+	bd.FromBools(drive)
+	bz := m.scratch(&m.packDst)
+	m.WiredOrBits(d, bo, bd, bz)
+	bz.ToBools(dst)
+}
+
+// WiredOrBits is WiredOr on packed lane sets — the fast path. Horizontal
+// (stride-1) rings reduce in place with word OR and trailing-zero scans;
+// vertical rings run the same kernel through a cached bit-matrix
+// transpose. dst may alias drive; it must not alias open.
+func (m *Machine) WiredOrBits(d Direction, open, drive, dst *Bitset) {
+	m.checkBits("open", open)
+	m.checkBits("drive", drive)
+	m.checkBits("dst", dst)
+	open = m.effectiveOpenBits(open)
+	m.observeOpens(OpWiredOr, d, open)
 	m.metrics.WiredOrCycles++
-	m.runRings(func(i int) {
-		rg := m.ringFor(d, i)
-		n := m.n
-		first := -1
-		for k := 0; k < n; k++ {
-			if open[rg.base+k*rg.stride] {
-				first = k
-				break
+	if d.Horizontal() {
+		m.wiredOrRows(open, drive, dst, d == West)
+		return
+	}
+	// South rings read top-to-bottom: in the transposed matrix that is
+	// the East kernel; North maps to West.
+	to, td, tz := m.scratch(&m.tOpen), m.scratch(&m.tDrive), m.scratch(&m.tDst)
+	TransposeBits(to, open, m.n)
+	TransposeBits(td, drive, m.n)
+	m.wiredOrRows(to, td, tz, d == North)
+	TransposeBits(dst, tz, m.n)
+}
+
+// wiredOrRows resolves every row ring of a packed wired-OR plane. Each
+// ring occupies the contiguous bit range [i*n, (i+1)*n); rev selects
+// decreasing-bit flow order (West). Cluster heads are found with bit
+// scans and each cluster's OR/fill is a masked word-range operation.
+func (m *Machine) wiredOrRows(open, drive, dst *Bitset, rev bool) {
+	n := m.n
+	m.runRingsAligned(m.ringAlign, func(i int) {
+		base := i * n
+		end := base + n
+		if rev {
+			first := open.PrevSet(base, end)
+			if first < 0 {
+				dst.FillRange(base, end, drive.AnyRange(base, end))
+				return
+			}
+			start := first
+			for {
+				next := open.PrevSet(base, start)
+				if next < 0 {
+					// Final cluster wraps: [base, start] then the lanes
+					// above the flow-first head.
+					or := drive.AnyRange(base, start+1) || drive.AnyRange(first+1, end)
+					dst.FillRange(base, start+1, or)
+					dst.FillRange(first+1, end, or)
+					return
+				}
+				or := drive.AnyRange(next+1, start+1)
+				dst.FillRange(next+1, start+1, or)
+				start = next
 			}
 		}
-		if first == -1 {
-			or := false
-			for k := 0; k < n; k++ {
-				or = or || drive[rg.base+k*rg.stride]
-			}
-			for k := 0; k < n; k++ {
-				dst[rg.base+k*rg.stride] = or
-			}
+		first := open.NextSet(base, end)
+		if first < 0 {
+			dst.FillRange(base, end, drive.AnyRange(base, end))
 			return
 		}
-		// Walk clusters starting at the first head.
 		start := first
-		for covered := 0; covered < n; {
-			// Segment: head at start, extends until next open (exclusive).
-			segLen := 1
-			for segLen < n {
-				k := start + segLen
-				if k >= n {
-					k -= n
-				}
-				if open[rg.base+k*rg.stride] {
-					break
-				}
-				segLen++
+		for {
+			next := open.NextSet(start+1, end)
+			if next < 0 {
+				// Final cluster wraps: [start, end) then [base, first).
+				or := drive.AnyRange(start, end) || drive.AnyRange(base, first)
+				dst.FillRange(start, end, or)
+				dst.FillRange(base, first, or)
+				return
 			}
-			or := false
-			for t := 0; t < segLen; t++ {
-				k := start + t
-				if k >= n {
-					k -= n
-				}
-				or = or || drive[rg.base+k*rg.stride]
-			}
-			for t := 0; t < segLen; t++ {
-				k := start + t
-				if k >= n {
-					k -= n
-				}
-				dst[rg.base+k*rg.stride] = or
-			}
-			covered += segLen
-			start += segLen
-			if start >= n {
-				start -= n
-			}
+			or := drive.AnyRange(start, next)
+			dst.FillRange(start, next, or)
+			start = next
 		}
 	})
 }
@@ -272,7 +380,7 @@ func (m *Machine) Shift(d Direction, src, dst []Word) {
 	m.observe(OpShift, d, 0)
 	m.metrics.ShiftSteps++
 	m.runRings(func(i int) {
-		rg := m.ringFor(d, i)
+		rg := m.rings[d][i]
 		n := m.n
 		tmp := src[rg.base+(n-1)*rg.stride]
 		for k := n - 1; k >= 1; k-- {
@@ -294,4 +402,12 @@ func (m *Machine) GlobalOr(pred []bool) bool {
 		}
 	}
 	return false
+}
+
+// GlobalOrBits is GlobalOr on a packed predicate.
+func (m *Machine) GlobalOrBits(pred *Bitset) bool {
+	m.checkBits("pred", pred)
+	m.observe(OpGlobalOr, North, 0)
+	m.metrics.GlobalOrOps++
+	return pred.Any()
 }

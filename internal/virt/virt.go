@@ -32,6 +32,12 @@ type Machine struct {
 	// lanes[d][t*m*m+P] lists, for direction d and plane t, physical PE
 	// P's k logical flat indices in flow order.
 	lanes [4][][]int
+
+	// Cached unpacking scratch for the packed (Bitset) fabric entry
+	// points; the block-mapped decomposition itself works lane-at-a-time,
+	// so packed arguments are unpacked once per transaction here instead
+	// of allocating.
+	sOpen, sDrive, sDst []bool
 }
 
 // Machine implements the logical fabric contract.
@@ -119,6 +125,40 @@ func (v *Machine) checkLen(name string, got int) {
 	if got != v.n*v.n {
 		panic(fmt.Sprintf("virt: %s has length %d, want %d", name, got, v.n*v.n))
 	}
+}
+
+// boolScratch returns (allocating on first use) a cached n*n []bool.
+func (v *Machine) boolScratch(p *[]bool) []bool {
+	if *p == nil {
+		*p = make([]bool, v.n*v.n)
+	}
+	return *p
+}
+
+// BroadcastBits is the packed-configuration Broadcast of the Fabric
+// contract. Results and charged cycles are identical to Broadcast; the
+// unpacking is host-side glue and costs nothing on the machine.
+func (v *Machine) BroadcastBits(d ppa.Direction, open *ppa.Bitset, src, dst []ppa.Word) {
+	s := v.boolScratch(&v.sOpen)
+	open.ToBools(s)
+	v.Broadcast(d, s, src, dst)
+}
+
+// WiredOrBits is the packed-plane WiredOr of the Fabric contract.
+// dst may alias drive or open (the planes are unpacked up front).
+func (v *Machine) WiredOrBits(d ppa.Direction, open, drive, dst *ppa.Bitset) {
+	so, sd, sz := v.boolScratch(&v.sOpen), v.boolScratch(&v.sDrive), v.boolScratch(&v.sDst)
+	open.ToBools(so)
+	drive.ToBools(sd)
+	v.WiredOr(d, so, sd, sz)
+	dst.FromBools(sz)
+}
+
+// GlobalOrBits is the packed-predicate GlobalOr of the Fabric contract.
+func (v *Machine) GlobalOrBits(pred *ppa.Bitset) bool {
+	s := v.boolScratch(&v.sOpen)
+	pred.ToBools(s)
+	return v.GlobalOr(s)
 }
 
 // chargeLocal charges steps SIMD instructions each executed by all
