@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json tables fuzz examples clean
+.PHONY: all build vet test race cover bench bench-json tables fuzz examples serve loadtest loadtest-json clean
 
 all: build vet test
 
@@ -27,6 +27,20 @@ bench:
 # Machine-readable snapshot: E1-E6 cycle tables + wall-clock solve cost.
 bench-json:
 	$(GO) run ./cmd/benchtab -json > BENCH_PR1.json
+
+# Run the solver service on :8080 (see README "Serving").
+serve:
+	$(GO) run ./cmd/ppaserved
+
+# Closed-loop load test against an in-process server; every response is
+# verified against Bellman-Ford. Point at a live server with
+#   go run ./cmd/ppaload -url http://localhost:8080 ...
+loadtest:
+	$(GO) run ./cmd/ppaload -selfserve -gen connected -n 64 -seed 7 -c 32 -requests 10
+
+# Machine-readable serving throughput snapshot.
+loadtest-json:
+	$(GO) run ./cmd/ppaload -selfserve -gen connected -n 64 -seed 7 -c 32 -requests 10 -json > BENCH_PR2.json
 
 # Regenerate every experiment table (E1-E8); see EXPERIMENTS.md.
 tables:

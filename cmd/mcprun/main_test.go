@@ -101,3 +101,32 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBadGeneratorParams: malformed generator parameters used to
+// escape as raw panics out of the generators; they must surface as clean
+// errors so main can print one line and exit non-zero.
+func TestRunBadGeneratorParams(t *testing.T) {
+	cases := [][]string{
+		{"-gen", "random", "-n", "0"},
+		{"-gen", "connected", "-n", "-3"},
+		{"-gen", "random", "-n", "8", "-density", "5"},
+		{"-gen", "chain", "-n", "8", "-maxw", "0"},
+		{"-gen", "diameter", "-n", "4", "-p", "9"},
+		{"-gen", "grid", "-rows", "-1", "-cols", "2"},
+		{"-gen", "complete", "-n", "100000"},
+	}
+	for _, args := range cases {
+		args := args
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("run(%v) panicked: %v", args, r)
+				}
+			}()
+			var sb strings.Builder
+			if err := run(args, &sb); err == nil {
+				t.Errorf("run(%v) succeeded, want parameter error", args)
+			}
+		}()
+	}
+}

@@ -1,0 +1,339 @@
+// Command ppaload is a closed-loop load generator for ppaserved: C
+// concurrent clients each issue R solve requests back-to-back against
+// the same workload (selected with the shared -gen/-graph flags), verify
+// every response against the sequential reference, honor Retry-After
+// backoff on 429, and report latency percentiles and throughput — the
+// numbers behind BENCH_PR2.json.
+//
+// Examples:
+//
+//	ppaload -url http://localhost:8080 -gen connected -n 64 -c 32 -requests 10
+//	ppaload -selfserve -gen connected -n 32 -c 16 -requests 8 -json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ppamcp/internal/cli"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ppaload:", err)
+		os.Exit(1)
+	}
+}
+
+// Summary is the machine-readable report (-json).
+type Summary struct {
+	Target          string       `json:"target"`
+	Gen             cli.Workload `json:"gen"`
+	N               int          `json:"n"`
+	Clients         int          `json:"clients"`
+	PerClient       int          `json:"requests_per_client"`
+	DestsPerRequest int          `json:"dests_per_request"`
+
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Shed429    int     `json:"shed_429"`
+	Deadline   int     `json:"deadline_504"`
+	Errors     int     `json:"errors"`
+	Verified   int     `json:"verified"`
+	DurationS  float64 `json:"duration_s"`
+	Throughput float64 `json:"throughput_rps"`
+	Solves     int64   `json:"dest_solves"`
+	PoolHits   int     `json:"pool_hits"`
+	Coalesced  int     `json:"coalesced_requests"` // responses with batched > 1
+
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppaload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var w cli.Workload
+	w.Register(fs)
+	url := fs.String("url", "", "target server (e.g. http://localhost:8080)")
+	selfserve := fs.Bool("selfserve", false, "spin up an in-process server on an ephemeral port and load it")
+	clients := fs.Int("c", 32, "concurrent closed-loop clients")
+	perClient := fs.Int("requests", 10, "requests per client")
+	destsPer := fs.Int("dests", 2, "destinations per request")
+	timeoutMS := fs.Int64("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
+	bits := fs.Uint("bits", 0, "machine word width h forced on the server (0 = auto)")
+	inline := fs.Bool("inline", false, "send the graph inline instead of as a generator spec")
+	verify := fs.Bool("verify", true, "check every response against Bellman-Ford")
+	asJSON := fs.Bool("json", false, "emit the machine-readable summary")
+	workers := fs.Int("workers", 0, "selfserve: solver workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*url == "") == !*selfserve {
+		return fmt.Errorf("need exactly one of -url or -selfserve")
+	}
+	if *clients < 1 || *perClient < 1 || *destsPer < 1 {
+		return fmt.Errorf("-c, -requests and -dests must be positive")
+	}
+
+	g, err := w.Build()
+	if err != nil {
+		return err
+	}
+	if *destsPer > g.N {
+		*destsPer = g.N
+	}
+
+	target := *url
+	if *selfserve {
+		svc := serve.New(serve.Config{Workers: *workers, MaxVertices: g.N})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: svc.Handler()}
+		go httpSrv.Serve(ln)
+		target = "http://" + ln.Addr().String()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			httpSrv.Shutdown(ctx)
+			svc.Shutdown(ctx)
+		}()
+	}
+
+	// Sequential references, computed lazily once per destination.
+	var refMu sync.Mutex
+	refs := make(map[int]*graph.Result)
+	reference := func(dest int) (*graph.Result, error) {
+		refMu.Lock()
+		defer refMu.Unlock()
+		if r, ok := refs[dest]; ok {
+			return r, nil
+		}
+		r, err := graph.BellmanFord(g, dest)
+		if err == nil {
+			refs[dest] = r
+		}
+		return r, err
+	}
+
+	graphJSON, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	specJSON, err := json.Marshal(&w)
+	if err != nil {
+		return err
+	}
+
+	sum := Summary{
+		Target: target, Gen: w, N: g.N,
+		Clients: *clients, PerClient: *perClient, DestsPerRequest: *destsPer,
+	}
+	var mu sync.Mutex // guards sum tallies and latencies
+	var latencies []float64
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < *perClient; r++ {
+				dests := make([]int, *destsPer)
+				for i := range dests {
+					dests[i] = (c*31 + r*7 + i*13) % g.N
+				}
+				req := serve.SolveRequest{Dests: dests, Bits: *bits, TimeoutMS: *timeoutMS}
+				if *inline {
+					req.Graph = graphJSON
+				} else {
+					req.Gen = specJSON
+				}
+				body, _ := json.Marshal(req)
+
+				var code int
+				var sr serve.SolveResponse
+				var reqErr error
+				var elapsed time.Duration
+				for attempt := 0; attempt < 5; attempt++ {
+					t0 := time.Now()
+					code, sr, reqErr = post(httpClient, target, body)
+					elapsed = time.Since(t0)
+					if code != http.StatusTooManyRequests {
+						break
+					}
+					mu.Lock()
+					sum.Shed429++
+					mu.Unlock()
+					time.Sleep(50 * time.Millisecond) // closed-loop backoff
+				}
+
+				mu.Lock()
+				sum.Requests++
+				latencies = append(latencies, float64(elapsed.Milliseconds()))
+				switch {
+				case reqErr != nil:
+					sum.Errors++
+				case code == http.StatusOK:
+					sum.OK++
+					sum.Solves += int64(len(sr.Results))
+					if sr.PoolHit {
+						sum.PoolHits++
+					}
+					if sr.Batched > 1 {
+						sum.Coalesced++
+					}
+				case code == http.StatusGatewayTimeout:
+					sum.Deadline++
+				default:
+					sum.Errors++
+				}
+				mu.Unlock()
+
+				if code == http.StatusOK && *verify {
+					if err := verifyResponse(g, &sr, dests, reference); err != nil {
+						mu.Lock()
+						sum.Errors++
+						sum.OK--
+						mu.Unlock()
+						fmt.Fprintf(out, "VERIFY FAILED (client %d req %d): %v\n", c, r, err)
+					} else {
+						mu.Lock()
+						sum.Verified++
+						mu.Unlock()
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	sum.DurationS = time.Since(start).Seconds()
+	if sum.DurationS > 0 {
+		sum.Throughput = float64(sum.OK) / sum.DurationS
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	sum.LatencyMS.P50 = pct(0.50)
+	sum.LatencyMS.P90 = pct(0.90)
+	sum.LatencyMS.P99 = pct(0.99)
+	if n := len(latencies); n > 0 {
+		sum.LatencyMS.Max = latencies[n-1]
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "target %s  graph n=%d (%s)\n", sum.Target, sum.N, describe(&w))
+		fmt.Fprintf(out, "%d clients x %d requests x %d dests: %d ok, %d shed(429), %d deadline, %d errors\n",
+			sum.Clients, sum.PerClient, sum.DestsPerRequest, sum.OK, sum.Shed429, sum.Deadline, sum.Errors)
+		fmt.Fprintf(out, "throughput %.1f req/s over %.2fs  (%d dest solves; pool hits %d, coalesced %d)\n",
+			sum.Throughput, sum.DurationS, sum.Solves, sum.PoolHits, sum.Coalesced)
+		fmt.Fprintf(out, "latency ms: p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+			sum.LatencyMS.P50, sum.LatencyMS.P90, sum.LatencyMS.P99, sum.LatencyMS.Max)
+		if *verify {
+			fmt.Fprintf(out, "verified %d/%d responses against Bellman-Ford\n", sum.Verified, sum.OK)
+		}
+	}
+	if *verify && sum.Verified != sum.OK {
+		return fmt.Errorf("%d of %d responses failed verification", sum.OK-sum.Verified, sum.OK)
+	}
+	if sum.Errors > 0 {
+		return fmt.Errorf("%d requests failed", sum.Errors)
+	}
+	return nil
+}
+
+func describe(w *cli.Workload) string {
+	if w.File != "" {
+		return "file " + w.File
+	}
+	gen := w.Gen
+	if gen == "" {
+		gen = "random"
+	}
+	return "gen " + gen + " seed " + strconv.FormatInt(w.Seed, 10)
+}
+
+// post issues one solve request; non-2xx bodies are decoded for their
+// error text but reported via the status code.
+func post(c *http.Client, target string, body []byte) (int, serve.SolveResponse, error) {
+	var sr serve.SolveResponse
+	resp, err := c.Post(target+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, sr, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, sr, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, sr, nil
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return resp.StatusCode, sr, err
+	}
+	return resp.StatusCode, sr, nil
+}
+
+// verifyResponse checks distances against Bellman-Ford and certifies the
+// returned next-hop pointers by walking them.
+func verifyResponse(g *graph.Graph, sr *serve.SolveResponse, dests []int, reference func(int) (*graph.Result, error)) error {
+	if len(sr.Results) != len(dests) {
+		return fmt.Errorf("%d results for %d dests", len(sr.Results), len(dests))
+	}
+	for k, dr := range sr.Results {
+		if dr.Dest != dests[k] {
+			return fmt.Errorf("result %d is for dest %d, want %d", k, dr.Dest, dests[k])
+		}
+		want, err := reference(dr.Dest)
+		if err != nil {
+			return err
+		}
+		res := graph.Result{Dest: dr.Dest, Dist: make([]int64, g.N), Next: dr.Next, Iterations: dr.Iterations}
+		for i, d := range dr.Dist {
+			if d < 0 {
+				res.Dist[i] = graph.NoEdge
+			} else {
+				res.Dist[i] = d
+			}
+		}
+		if !graph.SameDistances(&res, want) {
+			return fmt.Errorf("dest %d: distances diverge from Bellman-Ford", dr.Dest)
+		}
+		if err := graph.CheckResult(g, &res); err != nil {
+			return fmt.Errorf("dest %d: %v", dr.Dest, err)
+		}
+	}
+	return nil
+}

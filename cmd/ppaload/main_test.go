@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSelfServeSmoke runs the full closed loop in-process: spin up a
+// server, hammer it with a handful of clients, and require every
+// response verified against Bellman-Ford.
+func TestSelfServeSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-selfserve", "-gen", "connected", "-n", "16", "-seed", "11",
+		"-c", "8", "-requests", "3", "-dests", "2", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(buf.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\noutput:\n%s", err, buf.String())
+	}
+	if sum.Requests != 24 || sum.OK != 24 || sum.Verified != 24 {
+		t.Errorf("requests/ok/verified = %d/%d/%d, want 24/24/24",
+			sum.Requests, sum.OK, sum.Verified)
+	}
+	if sum.Errors != 0 {
+		t.Errorf("errors = %d, want 0", sum.Errors)
+	}
+	if sum.Solves != 48 {
+		t.Errorf("dest solves = %d, want 48", sum.Solves)
+	}
+	if sum.Throughput <= 0 {
+		t.Errorf("throughput = %v, want > 0", sum.Throughput)
+	}
+	if sum.N != 16 {
+		t.Errorf("n = %d, want 16", sum.N)
+	}
+}
+
+// TestSelfServeInline sends the graph inline rather than as a spec; the
+// human-readable report should show full verification.
+func TestSelfServeInline(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-selfserve", "-gen", "grid", "-rows", "3", "-cols", "4", "-seed", "2",
+		"-c", "4", "-requests", "2", "-inline",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "verified 8/8 responses") {
+		t.Errorf("output missing full verification:\n%s", out)
+	}
+	if !strings.Contains(out, "8 ok, ") {
+		t.Errorf("output missing ok count:\n%s", out)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                    // neither -url nor -selfserve
+		{"-url", "http://x", "-selfserve"},    // both
+		{"-selfserve", "-c", "0"},             // bad client count
+		{"-selfserve", "-requests", "-1"},     // bad request count
+		{"-selfserve", "-n", "0"},             // bad workload (via Build)
+		{"-url", "http://x", "-density", "7"}, // bad workload (via Build)
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ppamcp/internal/serve"
+)
+
+// syncBuffer lets the daemon goroutine and the test share the output log.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonServesAndDrains boots the real daemon on an ephemeral port,
+// solves over HTTP, then delivers the shutdown signal (via ctx, as
+// signal.NotifyContext would) and expects a clean drain.
+func TestDaemonServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v\noutput:\n%s", err, out)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	body := `{"gen":{"gen":"connected","n":12,"seed":5},"dests":[0,7]}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d, body %s", resp.StatusCode, data)
+	}
+	var sr serve.SolveResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("solve response: %v", err)
+	}
+	if sr.N != 12 || len(sr.Results) != 2 {
+		t.Fatalf("solve response n=%d results=%d, want n=12 results=2", sr.N, len(sr.Results))
+	}
+
+	cancel() // what SIGINT/SIGTERM does in main
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\noutput:\n%s", err, out)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not drain\noutput:\n%s", out)
+	}
+	log := out.String()
+	for _, want := range []string{"ppaserved listening on", "ppaserved: draining", "ppaserved: drained"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("output missing %q:\n%s", want, log)
+		}
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-queue", "not-a-number"}, &buf, nil)
+	if err == nil {
+		t.Fatal("run accepted a malformed flag")
+	}
+}
+
+func TestDaemonListenFailure(t *testing.T) {
+	// Grab a port with one daemon, then ask a second to bind the same one.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first daemon never became ready")
+	}
+
+	err := run(context.Background(), []string{"-addr", addr}, io.Discard, nil)
+	if err == nil {
+		t.Fatalf("second daemon bound %s twice", addr)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first daemon did not drain")
+	}
+}

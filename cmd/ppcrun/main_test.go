@@ -123,3 +123,28 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing main accepted")
 	}
 }
+
+// TestRunBadGeneratorParams mirrors the mcprun test: bad generator
+// parameters must come back as errors, not panics.
+func TestRunBadGeneratorParams(t *testing.T) {
+	cases := [][]string{
+		{"-gen", "random", "-n", "0"},
+		{"-gen", "random", "-n", "8", "-density", "-1"},
+		{"-gen", "chain", "-n", "8", "-maxw", "0"},
+		{"-gen", "diameter", "-n", "4", "-p", "9"},
+	}
+	for _, args := range cases {
+		args := args
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("run(%v) panicked: %v", args, r)
+				}
+			}()
+			var sb strings.Builder
+			if err := run(args, &sb); err == nil {
+				t.Errorf("run(%v) succeeded, want parameter error", args)
+			}
+		}()
+	}
+}

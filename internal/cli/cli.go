@@ -1,6 +1,10 @@
 // Package cli holds the workload-selection flags shared by the command
-// line tools (cmd/mcprun, cmd/ppcrun): every tool accepts either a graph
-// file or a named generator with its parameters.
+// line tools (cmd/mcprun, cmd/ppcrun, cmd/ppaload): every tool accepts
+// either a graph file or a named generator with its parameters. The same
+// struct doubles as the JSON generator spec the solver service accepts
+// (internal/serve), which is why every generator field carries a json tag
+// — and why File deliberately does not: a remote request must never be
+// able to read files off the server.
 package cli
 
 import (
@@ -13,15 +17,15 @@ import (
 
 // Workload is the parsed graph-selection configuration.
 type Workload struct {
-	File    string
-	Gen     string
-	N       int
-	Density float64
-	MaxW    int64
-	Seed    int64
-	P       int
-	Rows    int
-	Cols    int
+	File    string  `json:"-"`
+	Gen     string  `json:"gen,omitempty"`
+	N       int     `json:"n,omitempty"`
+	Density float64 `json:"density,omitempty"`
+	MaxW    int64   `json:"maxw,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	P       int     `json:"p,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+	Cols    int     `json:"cols,omitempty"`
 }
 
 // Register installs the workload flags on fs.
@@ -37,7 +41,16 @@ func (w *Workload) Register(fs *flag.FlagSet) {
 	fs.IntVar(&w.Cols, "cols", 0, "grid cols for -gen grid")
 }
 
-// Build loads or generates the graph.
+// Default returns the generator defaults the flags advertise. It is the
+// base a JSON generator spec is unmarshalled over, so an omitted field
+// means "the default", exactly as an omitted flag does.
+func Default() Workload {
+	return Workload{Gen: "random", N: 8, Density: 0.3, MaxW: 9, Seed: 1}
+}
+
+// Build loads or generates the graph. Parameters are validated here —
+// not left to the generators' panics — so every caller (one-shot CLI or
+// long-running server) gets a clean error for bad input.
 func (w *Workload) Build() (*graph.Graph, error) {
 	if w.File != "" {
 		f, err := os.Open(w.File)
@@ -47,7 +60,23 @@ func (w *Workload) Build() (*graph.Graph, error) {
 		defer f.Close()
 		return graph.Parse(f)
 	}
-	switch w.Gen {
+	if w.N < 1 {
+		return nil, fmt.Errorf("vertex count %d < 1", w.N)
+	}
+	if w.N > graph.MaxParseVertices {
+		return nil, fmt.Errorf("vertex count %d exceeds %d", w.N, graph.MaxParseVertices)
+	}
+	if w.Density < 0 || w.Density > 1 {
+		return nil, fmt.Errorf("density %v outside [0,1]", w.Density)
+	}
+	if w.MaxW < 1 {
+		return nil, fmt.Errorf("maximum weight %d < 1", w.MaxW)
+	}
+	gen := w.Gen
+	if gen == "" {
+		gen = "random"
+	}
+	switch gen {
 	case "random":
 		return graph.GenRandom(w.N, w.Density, w.MaxW, w.Seed), nil
 	case "connected":
@@ -65,6 +94,9 @@ func (w *Workload) Build() (*graph.Graph, error) {
 		if p <= 0 {
 			p = w.N - 1
 		}
+		if w.N < 2 || p > w.N-1 {
+			return nil, fmt.Errorf("diameter p=%d needs 1 <= p <= n-1 (n=%d)", p, w.N)
+		}
 		return graph.GenDiameter(w.N, p), nil
 	case "smallworld":
 		k := 2
@@ -80,14 +112,20 @@ func (w *Workload) Build() (*graph.Graph, error) {
 		return graph.GenScaleFree(w.N, m, w.MaxW, w.Seed), nil
 	case "grid":
 		rows, cols := w.Rows, w.Cols
-		if rows <= 0 {
+		if rows < 0 || cols < 0 {
+			return nil, fmt.Errorf("grid dims %dx%d must be non-negative", rows, cols)
+		}
+		if rows == 0 {
 			rows = 4
 		}
-		if cols <= 0 {
+		if cols == 0 {
 			cols = rows
+		}
+		if rows*cols > graph.MaxParseVertices {
+			return nil, fmt.Errorf("grid %dx%d exceeds %d vertices", rows, cols, graph.MaxParseVertices)
 		}
 		g, _ := graph.GenGrid(graph.GridSpec{Rows: rows, Cols: cols, MaxW: w.MaxW, Seed: w.Seed})
 		return g, nil
 	}
-	return nil, fmt.Errorf("unknown generator %q", w.Gen)
+	return nil, fmt.Errorf("unknown generator %q", gen)
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -89,5 +90,79 @@ func TestBuildFromMalformedFile(t *testing.T) {
 	}
 	if _, err := parse(t, "-graph", path).Build(); err == nil {
 		t.Error("malformed file accepted")
+	}
+}
+
+// TestBuildBadParameters covers the Build error paths: invalid generator
+// parameters must come back as errors, not generator panics (these reach
+// long-running servers via JSON specs, where a panic would be an outage).
+func TestBuildBadParameters(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Workload
+	}{
+		{"zero n", Workload{Gen: "random", N: 0, Density: 0.3, MaxW: 9}},
+		{"negative n", Workload{Gen: "chain", N: -4, MaxW: 9}},
+		{"huge n", Workload{Gen: "random", N: 1 << 20, Density: 0.1, MaxW: 9}},
+		{"density above 1", Workload{Gen: "random", N: 8, Density: 1.5, MaxW: 9}},
+		{"negative density", Workload{Gen: "random", N: 8, Density: -0.1, MaxW: 9}},
+		{"zero maxw", Workload{Gen: "chain", N: 8, MaxW: 0}},
+		{"diameter p too large", Workload{Gen: "diameter", N: 8, MaxW: 9, P: 8}},
+		{"diameter n=1", Workload{Gen: "diameter", N: 1, MaxW: 9}},
+		{"negative grid dims", Workload{Gen: "grid", Rows: -2, Cols: 3, N: 8, MaxW: 9}},
+		{"huge grid", Workload{Gen: "grid", Rows: 5000, Cols: 5000, N: 8, MaxW: 9}},
+		{"unknown generator", Workload{Gen: "hypergraph", N: 8, MaxW: 9}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: Build panicked: %v", c.name, r)
+				}
+			}()
+			if _, err := c.w.Build(); err == nil {
+				t.Errorf("%s: Build accepted %+v", c.name, c.w)
+			}
+		}()
+	}
+}
+
+func TestBuildEmptyGenDefaultsToRandom(t *testing.T) {
+	w := Default()
+	w.Gen = ""
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 8 {
+		t.Errorf("n = %d, want the default 8", g.N)
+	}
+}
+
+// TestWorkloadJSONSpec checks the wire-spec reading of Workload: fields
+// unmarshal over Default() so omitted ones keep flag defaults, and File
+// is not settable remotely.
+func TestWorkloadJSONSpec(t *testing.T) {
+	w := Default()
+	if err := json.Unmarshal([]byte(`{"gen":"chain","n":5,"maxw":2,"file":"/etc/passwd"}`), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.File != "" {
+		t.Fatalf("File = %q set via JSON; must be unreachable from the wire", w.File)
+	}
+	g, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 5 || g.Edges() != 4 {
+		t.Errorf("chain spec built %v", g)
+	}
+	// Omitted fields keep defaults.
+	w2 := Default()
+	if err := json.Unmarshal([]byte(`{"gen":"connected"}`), &w2); err != nil {
+		t.Fatal(err)
+	}
+	if w2.N != 8 || w2.MaxW != 9 || w2.Density != 0.3 {
+		t.Errorf("defaults lost: %+v", w2)
 	}
 }

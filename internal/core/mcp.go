@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ppamcp/internal/graph"
@@ -137,6 +138,11 @@ type Session struct {
 	diag     *par.Bool
 	rowHead  *par.Bool
 	W        *par.Var
+
+	// wbuf is the reusable host staging buffer for Reload: converting a
+	// new weight matrix to machine words must not allocate once the
+	// session is warm (the session-pool hot path of internal/serve).
+	wbuf []ppa.Word
 }
 
 // NewSession builds a session with a fresh machine (Options as in Solve).
@@ -204,9 +210,49 @@ func NewSessionOn(m ppa.Fabric, g *graph.Graph, opt Options) (*Session, error) {
 // injection between solves).
 func (s *Session) Fabric() ppa.Fabric { return s.m }
 
+// N returns the vertex count (= array side) the session was built for.
+func (s *Session) N() int { return s.m.N() }
+
+// Bits returns the machine word width h the session runs with.
+func (s *Session) Bits() uint { return s.m.Bits() }
+
+// Reload replaces the session's graph with a new one of the same vertex
+// count, reusing the fabric, the coordinate masks and the weight plane's
+// storage — no re-allocation. This is what makes pooling sessions across
+// requests profitable: the expensive setup (machine construction, masks)
+// survives, only the weight DMA is repeated. The new graph must fit the
+// session's word width h; on error the session keeps its old graph.
+func (s *Session) Reload(g *graph.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if g.N != s.m.N() {
+		return fmt.Errorf("core: Reload vertex count %d != session size %d", g.N, s.m.N())
+	}
+	if s.wbuf == nil {
+		s.wbuf = make([]ppa.Word, g.N*g.N)
+	}
+	if err := loadWeightsInto(s.wbuf, g, s.m.Bits()); err != nil {
+		return err
+	}
+	s.W.Load(s.wbuf)
+	s.g = g
+	return nil
+}
+
 // Solve runs the DP for one destination. Result.Metrics covers only this
 // solve (the fabric's counters keep accumulating across the session).
 func (s *Session) Solve(dest int) (*Result, error) {
+	return s.SolveContext(context.Background(), dest)
+}
+
+// SolveContext is Solve with cooperative cancellation: the context is
+// checked between DP iterations, so a caller whose deadline has passed (or
+// whose client hung up) releases the session after at most one round
+// instead of pinning it for the rest of the computation. On cancellation
+// all machine temporaries are returned to the session's pools and the
+// context's error is returned.
+func (s *Session) SolveContext(ctx context.Context, dest int) (*Result, error) {
 	g, a, opt := s.g, s.a, s.opt
 	if dest < 0 || dest >= g.N {
 		return nil, fmt.Errorf("core: destination %d out of range [0,%d)", dest, g.N)
@@ -260,12 +306,21 @@ func (s *Session) Solve(dest int) (*Result, error) {
 	})
 	atDD.Release()
 
-	// Step 2 — RMCP computation (statements 8-20).
+	// Step 2 — RMCP computation (statements 8-20). Early exits
+	// (cancellation, non-convergence) break out with loopErr set so the
+	// temporaries below are still released — a cancelled request must not
+	// leak pool storage when its session is reused.
 	iterations := 0
+	var loopErr error
 	for {
+		if err := ctx.Err(); err != nil {
+			loopErr = err
+			break
+		}
 		iterations++
 		if iterations > maxIter {
-			return nil, fmt.Errorf("core: DP did not converge within %d rounds", maxIter)
+			loopErr = fmt.Errorf("core: DP did not converge within %d rounds", maxIter)
+			break
 		}
 
 		// Statement 10: SOW = broadcast(SOW, SOUTH, ROW == d) + W,
@@ -331,28 +386,31 @@ func (s *Session) Solve(dest int) (*Result, error) {
 		}
 	}
 
-	res := &Result{
-		Result: graph.Result{
-			Dest:       dest,
-			Dist:       make([]int64, n),
-			Next:       make([]int, n),
-			Iterations: iterations,
-		},
-		Metrics: m.Metrics().Sub(startMetrics),
-		Bits:    h,
-	}
-	for i := 0; i < n; i++ {
-		sow := SOW.At(dest, i)
-		switch {
-		case i == dest:
-			res.Dist[i] = 0
-			res.Next[i] = -1
-		case sow == inf:
-			res.Dist[i] = graph.NoEdge
-			res.Next[i] = -1
-		default:
-			res.Dist[i] = int64(sow)
-			res.Next[i] = int(PTN.At(dest, i))
+	var res *Result
+	if loopErr == nil {
+		res = &Result{
+			Result: graph.Result{
+				Dest:       dest,
+				Dist:       make([]int64, n),
+				Next:       make([]int, n),
+				Iterations: iterations,
+			},
+			Metrics: m.Metrics().Sub(startMetrics),
+			Bits:    h,
+		}
+		for i := 0; i < n; i++ {
+			sow := SOW.At(dest, i)
+			switch {
+			case i == dest:
+				res.Dist[i] = 0
+				res.Next[i] = -1
+			case sow == inf:
+				res.Dist[i] = graph.NoEdge
+				res.Next[i] = -1
+			default:
+				res.Dist[i] = int64(sow)
+				res.Next[i] = int(PTN.At(dest, i))
+			}
 		}
 	}
 	OldSOW.Release()
@@ -362,6 +420,9 @@ func (s *Session) Solve(dest int) (*Result, error) {
 	notD.Release()
 	colIsD.Release()
 	rowIsD.Release()
+	if loopErr != nil {
+		return nil, loopErr
+	}
 	return res, nil
 }
 
@@ -370,9 +431,19 @@ func (s *Session) Solve(dest int) (*Result, error) {
 // see DESIGN.md), and any finite weight or worst-case path cost that
 // collides with MAXINT is an error.
 func loadWeights(g *graph.Graph, h uint) ([]ppa.Word, error) {
+	w := make([]ppa.Word, g.N*g.N)
+	if err := loadWeightsInto(w, g, h); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// loadWeightsInto is loadWeights writing into caller-owned storage (the
+// allocation-free Reload path). len(dst) must be g.N*g.N.
+func loadWeightsInto(dst []ppa.Word, g *graph.Graph, h uint) error {
 	n := g.N
 	inf := ppa.Infinity(h)
-	w := make([]ppa.Word, n*n)
+	w := dst
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			switch wt := g.At(i, j); {
@@ -383,7 +454,7 @@ func loadWeights(g *graph.Graph, h uint) ([]ppa.Word, error) {
 			case n > 1 && wt > (int64(inf)-1)/int64(n-1):
 				// Overflow-safe form of (n-1)*wt >= inf: a worst-case
 				// simple path could saturate and masquerade as "no path".
-				return nil, fmt.Errorf(
+				return fmt.Errorf(
 					"core: %d-bit words cannot distinguish worst-case path cost (%d * %d) from MAXINT; raise Options.Bits",
 					h, n-1, wt)
 			default:
@@ -391,7 +462,7 @@ func loadWeights(g *graph.Graph, h uint) ([]ppa.Word, error) {
 			}
 		}
 	}
-	return w, nil
+	return nil
 }
 
 // PredictedCost returns the analytical cycle model of one Solve run for an

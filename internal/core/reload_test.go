@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ppamcp/internal/graph"
+)
+
+// checkAgainstBF verifies a session solve against Bellman-Ford.
+func checkAgainstBF(t *testing.T, s *Session, g *graph.Graph, dest int) {
+	t.Helper()
+	got, err := s.Solve(dest)
+	if err != nil {
+		t.Fatalf("Solve(%d): %v", dest, err)
+	}
+	want, err := graph.BellmanFord(g, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SameDistances(&got.Result, want) {
+		t.Fatalf("dest %d: distances diverge from Bellman-Ford", dest)
+	}
+	if err := graph.CheckResult(g, &got.Result); err != nil {
+		t.Fatalf("dest %d: %v", dest, err)
+	}
+}
+
+func TestSessionReload(t *testing.T) {
+	const n = 12
+	g1 := graph.GenRandomConnected(n, 0.3, 9, 1)
+	g2 := graph.GenRandomConnected(n, 0.5, 9, 2)
+	g3 := graph.GenChain(n, 3)
+
+	// Fix h wide enough for all three graphs so the pool-key contract
+	// (same n, same h) holds.
+	s, err := NewSession(g1, Options{Bits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBF(t, s, g1, 0)
+	for _, g := range []*graph.Graph{g2, g3, g1} {
+		if err := s.Reload(g); err != nil {
+			t.Fatal(err)
+		}
+		for _, dest := range []int{0, n / 2, n - 1} {
+			checkAgainstBF(t, s, g, dest)
+		}
+	}
+}
+
+func TestSessionReloadErrors(t *testing.T) {
+	g := graph.GenChain(8, 3)
+	s, err := NewSession(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(graph.GenChain(9, 3)); err == nil {
+		t.Error("Reload accepted a graph of a different size")
+	}
+	// Weights too large for the session's word width.
+	big := graph.GenChain(8, 1)
+	big.SetEdge(0, 1, 1<<20)
+	if err := s.Reload(big); err == nil {
+		t.Error("Reload accepted weights exceeding the session word width")
+	}
+	// A failed Reload must leave the old graph solvable.
+	checkAgainstBF(t, s, g, 7)
+
+	bad := graph.GenChain(8, 3)
+	bad.W[5] = -4 // bypass SetEdge's panic to exercise Validate
+	if err := s.Reload(bad); err == nil {
+		t.Error("Reload accepted a negative weight")
+	}
+}
+
+// TestReloadSteadyStateAllocs pins the allocation-free Reload contract:
+// once the session's staging buffer exists, swapping in a new same-size
+// graph must not allocate at all, and a Reload+Solve cycle must stay
+// within the same budget as a plain warm Solve (alloc_test.go).
+func TestReloadSteadyStateAllocs(t *testing.T) {
+	const n = 64
+	g1 := graph.GenRandomConnected(n, 0.3, 9, 5)
+	g2 := graph.GenRandomConnected(n, 0.3, 9, 6)
+	s, err := NewSession(g1, Options{Bits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(g2); err != nil { // allocates wbuf once
+		t.Fatal(err)
+	}
+	gs := [2]*graph.Graph{g1, g2}
+	i := 0
+	reloadOnly := testing.AllocsPerRun(5, func() {
+		i++
+		if err := s.Reload(gs[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if reloadOnly > 0 {
+		t.Errorf("warm Reload allocates %.0f objects, want 0", reloadOnly)
+	}
+	cycle := testing.AllocsPerRun(3, func() {
+		i++
+		if err := s.Reload(gs[i%2]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 400 // same budget as TestSolveSteadyStateAllocs
+	if cycle > maxAllocs {
+		t.Errorf("steady-state Reload+Solve allocates %.0f objects, want <= %d", cycle, maxAllocs)
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	g := graph.GenChain(16, 3) // p = 15 rounds: plenty of cancellation points
+	s, err := NewSession(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveContext(ctx, 15); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The aborted solve must have returned its temporaries: the session
+	// stays usable and a subsequent solve is still correct.
+	checkAgainstBF(t, s, g, 15)
+
+	// Deadline form.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+	if _, err := s.SolveContext(expired, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveContext past deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	checkAgainstBF(t, s, g, 0)
+}
+
+// TestSolveContextCancelReleasesStorage runs many cancelled solves and
+// checks the pool does not grow without bound: an aborted solve must not
+// leak its planes (each leak would force fresh allocations next solve).
+func TestSolveContextCancelReleasesStorage(t *testing.T) {
+	g := graph.GenChain(32, 3)
+	s, err := NewSession(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(31); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	baseline := testing.AllocsPerRun(3, func() {
+		if _, err := s.Solve(31); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cancelled := testing.AllocsPerRun(5, func() {
+		if _, err := s.SolveContext(ctx, 31); err == nil {
+			t.Fatal("cancelled solve succeeded")
+		}
+	})
+	if cancelled > 8 {
+		t.Errorf("cancelled solve allocates %.0f objects, want a handful", cancelled)
+	}
+	after := testing.AllocsPerRun(3, func() {
+		if _, err := s.Solve(31); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A leaked plane would force the pool to re-allocate it every solve;
+	// allow only noise over the measured warm baseline.
+	if after > baseline+16 {
+		t.Errorf("solve after cancelled solves allocates %.0f objects, baseline %.0f (leaked temporaries?)", after, baseline)
+	}
+}

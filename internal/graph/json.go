@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the wire shape of a Graph: the vertex count plus a sparse
+// edge list of [from, to, weight] triples. It is the JSON twin of the
+// line-oriented text format (Format/Parse) and is what the solver service
+// (internal/serve) accepts and the load generator emits.
+// Edges is [][]int64 rather than [][3]int64 so that a wrong-arity triple
+// is rejected (a fixed-size array would silently zero-fill it).
+type graphJSON struct {
+	N     int       `json:"n"`
+	Edges [][]int64 `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"n": <count>, "edges": [[i,j,w], ...]}
+// with edges in row-major order; absent edges (NoEdge) are omitted.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	wire := graphJSON{N: g.N, Edges: make([][]int64, 0, g.Edges())}
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			if wt := g.At(i, j); wt != NoEdge {
+				wire.Edges = append(wire.Edges, []int64{int64(i), int64(j), wt})
+			}
+		}
+	}
+	return json.Marshal(wire)
+}
+
+// UnmarshalJSON decodes the MarshalJSON representation, applying the same
+// admission checks as the text Parse: the vertex count must lie in
+// [1, MaxParseVertices] (the dense matrix allocates n^2 cells, so an
+// untrusted request must not be able to demand an absurd allocation),
+// vertices must be in range, and weights must be non-negative. As in the
+// text format, a repeated edge keeps the last weight.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var wire graphJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return fmt.Errorf("graph: %v", err)
+	}
+	if wire.N < 1 {
+		return fmt.Errorf("graph: n = %d < 1", wire.N)
+	}
+	if wire.N > MaxParseVertices {
+		return fmt.Errorf("graph: n = %d exceeds MaxParseVertices (%d)", wire.N, MaxParseVertices)
+	}
+	n := wire.N
+	w := make([]int64, n*n)
+	for i := range w {
+		w[i] = NoEdge
+	}
+	for k, e := range wire.Edges {
+		if len(e) != 3 {
+			return fmt.Errorf("graph: edge %d: want [from, to, weight], got %d elements", k, len(e))
+		}
+		i, j, wt := e[0], e[1], e[2]
+		if i < 0 || i >= int64(n) || j < 0 || j >= int64(n) {
+			return fmt.Errorf("graph: edge %d: vertex out of range", k)
+		}
+		if wt < 0 {
+			return fmt.Errorf("graph: edge %d: negative weight %d", k, wt)
+		}
+		w[i*int64(n)+j] = wt
+	}
+	g.N = n
+	g.W = w
+	return nil
+}

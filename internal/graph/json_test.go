@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.N != b.N {
+		return false
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJSONRoundTripAgainstText is the property test for the wire codec:
+// for random graphs, JSON marshal -> unmarshal and text Format -> Parse
+// must both reproduce the graph exactly, so the two formats are
+// interchangeable descriptions of the same object.
+func TestJSONRoundTripAgainstText(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		g := GenRandom(n, rng.Float64(), 1+rng.Int63n(50), rng.Int63())
+		// Sprinkle in the edge cases the generator avoids: zero-weight
+		// edges and self-loops.
+		if n > 1 {
+			g.SetEdge(rng.Intn(n), rng.Intn(n), 0)
+		}
+		g.SetEdge(rng.Intn(n), rng.Intn(n), 7)
+
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		var fromJSON Graph
+		if err := json.Unmarshal(data, &fromJSON); err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		if !graphsEqual(g, &fromJSON) {
+			t.Fatalf("trial %d: JSON round trip diverged", trial)
+		}
+
+		var buf bytes.Buffer
+		if err := g.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fromText, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		if !graphsEqual(&fromJSON, fromText) {
+			t.Fatalf("trial %d: JSON and text decodings disagree", trial)
+		}
+	}
+}
+
+func TestJSONMarshalShape(t *testing.T) {
+	g := New(3)
+	g.SetEdge(0, 1, 5)
+	g.SetEdge(2, 0, 0)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":3,"edges":[[0,1,5],[2,0,0]]}`
+	if string(data) != want {
+		t.Errorf("marshal = %s, want %s", data, want)
+	}
+	// Edgeless graph keeps an explicit empty list, not null.
+	data, err = json.Marshal(New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"n":1,"edges":[]}` {
+		t.Errorf("edgeless marshal = %s", data)
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"negative weight", `{"n":2,"edges":[[0,1,-3]]}`, "negative weight"},
+		{"from out of range", `{"n":2,"edges":[[2,1,3]]}`, "out of range"},
+		{"to out of range", `{"n":2,"edges":[[0,5,3]]}`, "out of range"},
+		{"negative vertex", `{"n":2,"edges":[[-1,0,3]]}`, "out of range"},
+		{"zero n", `{"n":0,"edges":[]}`, "n = 0 < 1"},
+		{"missing n", `{"edges":[[0,0,1]]}`, "n = 0 < 1"},
+		{"huge n", `{"n":99999999,"edges":[]}`, "MaxParseVertices"},
+		{"bad arity", `{"n":2,"edges":[[0,1]]}`, "want [from, to, weight]"},
+		{"not json", `{{`, "invalid character"},
+	}
+	for _, c := range cases {
+		var g Graph
+		err := json.Unmarshal([]byte(c.in), &g)
+		if err == nil {
+			t.Errorf("%s: accepted %s", c.name, c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestJSONUnmarshalLastEdgeWins(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"n":2,"edges":[[0,1,5],[0,1,9]]}`), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 1) != 9 {
+		t.Errorf("duplicate edge: At(0,1) = %d, want 9 (last wins, as in the text format)", g.At(0, 1))
+	}
+}

@@ -34,6 +34,22 @@ func (x *Var) Slice() []ppa.Word {
 	return append([]ppa.Word(nil), x.v...)
 }
 
+// Load overwrites the variable with host data (row-major, length N*N),
+// ignoring the activity mask: the host->array DMA path, the in-place
+// counterpart of Array.FromSlice. It allocates nothing, which is what lets
+// a pooled core.Session accept a new weight matrix without rebuilding its
+// fabric.
+func (x *Var) Load(data []ppa.Word) {
+	if len(data) != len(x.v) {
+		panic(fmt.Sprintf("par: Load length %d, want %d", len(data), len(x.v)))
+	}
+	h := x.a.m.Bits()
+	for i, w := range data {
+		ppa.CheckWord(w, h)
+		x.v[i] = w
+	}
+}
+
 // At returns the value held by PE (row, col) (host read-back).
 func (x *Var) At(row, col int) ppa.Word {
 	return x.v[row*x.a.N()+col]

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+)
+
+// poolKey identifies interchangeable sessions: same array side, same word
+// width. Any graph with n vertices whose costs fit in h bits can run on
+// any session with this key after a Reload.
+type poolKey struct {
+	n int
+	h uint
+}
+
+// Pool recycles warm core.Sessions across requests. A checkout either
+// pops an idle session and re-loads it with the request's weights (hit:
+// one weight DMA, no allocation) or builds a fresh machine (miss: the
+// cost the pool exists to amortize). Sessions are returned after use
+// unless the pool is full or the session is suspect (a panicked solve).
+type Pool struct {
+	mu    sync.Mutex
+	idle  map[poolKey][]*core.Session
+	total int
+	cap   int
+
+	hits, misses, discards int64
+}
+
+// PoolStats is a snapshot of pool behaviour for /metrics.
+type PoolStats struct {
+	Hits, Misses, Discards int64
+	Idle                   int
+}
+
+// NewPool returns a pool keeping at most cap idle sessions in total.
+func NewPool(cap int) *Pool {
+	return &Pool{idle: make(map[poolKey][]*core.Session), cap: cap}
+}
+
+// Get checks out a session for g at word width h, reporting whether it
+// was a pool hit. The caller owns the session until Put.
+func (p *Pool) Get(g *graph.Graph, h uint) (*core.Session, bool, error) {
+	key := poolKey{g.N, h}
+	p.mu.Lock()
+	if list := p.idle[key]; len(list) > 0 {
+		s := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.idle[key] = list[:len(list)-1]
+		p.total--
+		p.mu.Unlock()
+		if err := s.Reload(g); err != nil {
+			// The graph does not fit this width (e.g. weights too wide
+			// for h). A fresh build would fail identically; report it.
+			p.mu.Lock()
+			p.discards++
+			p.mu.Unlock()
+			return nil, false, err
+		}
+		p.mu.Lock()
+		p.hits++
+		p.mu.Unlock()
+		return s, true, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+	s, err := core.NewSession(g, core.Options{Bits: h})
+	if err != nil {
+		return nil, false, err
+	}
+	return s, false, nil
+}
+
+// Put returns a session to the pool; when the pool is full the session is
+// simply dropped for the GC.
+func (p *Pool) Put(s *core.Session) {
+	key := poolKey{s.N(), s.Bits()}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.total >= p.cap {
+		p.discards++
+		return
+	}
+	p.idle[key] = append(p.idle[key], s)
+	p.total++
+}
+
+// Stats returns a consistent snapshot.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Discards: p.discards, Idle: p.total}
+}

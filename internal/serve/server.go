@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppamcp/internal/core"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	// Workers is the solver goroutine count (default GOMAXPROCS). Each
+	// worker owns one session checkout at a time.
+	Workers int
+	// QueueDepth bounds the admission FIFO (default 64 batches); a full
+	// queue answers 429.
+	QueueDepth int
+	// PoolCap bounds the idle warm sessions kept across requests
+	// (default 64).
+	PoolCap int
+	// MaxVertices is the largest graph accepted (default 512; hard cap
+	// graph.MaxParseVertices). An n-vertex request simulates an n x n
+	// machine, so this is the primary admission knob.
+	MaxVertices int
+	// MaxDests bounds the destination list length (default 1024).
+	MaxDests int
+	// MaxBatch bounds how many requests one session checkout may serve
+	// (default 16).
+	MaxBatch int
+	// DefaultTimeout and MaxTimeout bound the per-request deadline
+	// (defaults 30s and 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the backoff hint sent with 429 (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PoolCap <= 0 {
+		c.PoolCap = 64
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 512
+	}
+	if c.MaxVertices > graph.MaxParseVertices {
+		c.MaxVertices = graph.MaxParseVertices
+	}
+	if c.MaxDests <= 0 {
+		c.MaxDests = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Server is the solver service. Create with New, mount Handler on an
+// http.Server, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	q       *queue
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+	down     atomic.Bool
+
+	// hookBeforeSolve, when non-nil, runs before every destination solve;
+	// tests use it to inject panics and verify request isolation.
+	hookBeforeSolve func(dest int)
+}
+
+// New builds the service and starts its worker goroutines.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.PoolCap),
+		q:       newQueue(cfg.QueueDepth),
+		metrics: NewMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the service's aggregate counters (shared, live).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains: admission stops (new solves get 503), queued and
+// in-flight batches complete, workers exit. It returns ctx's error if the
+// drain outlives it. Callers stop the http.Server first so no handler is
+// left waiting on a worker that has already exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.down.Store(true)
+	s.q.shutdown()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the batch FIFO until shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for b := range s.q.ch {
+		s.q.take(b)
+		s.inflight.Add(1)
+		s.runBatch(b)
+		s.inflight.Add(-1)
+	}
+}
+
+// runBatch serves every job queued against one graph with one session
+// checkout. Destinations shared between coalesced jobs are solved once.
+// A panic while solving fails only the offending job; the session is
+// assumed poisoned and dropped instead of repooled.
+func (s *Server) runBatch(b *batch) {
+	sess, hit, err := s.pool.Get(b.g, b.h)
+	if err != nil {
+		for _, j := range b.jobs {
+			j.finish(jobDone{err: err, status: http.StatusBadRequest})
+		}
+		return
+	}
+	healthy := true
+	cache := make(map[int]*core.Result, len(b.jobs[0].dests))
+	for _, j := range b.jobs {
+		if !healthy {
+			j.finish(jobDone{err: errors.New("serve: session poisoned by an earlier panic"), status: http.StatusInternalServerError})
+			continue
+		}
+		if err := j.ctx.Err(); err != nil {
+			j.finish(jobDone{err: err, status: http.StatusGatewayTimeout})
+			continue
+		}
+		results := make([]DestResult, 0, len(j.dests))
+		var cost ppa.Metrics
+		jerr := func() (jerr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					healthy = false
+					s.metrics.RecordPanic()
+					jerr = fmt.Errorf("serve: solve panicked: %v", r)
+				}
+			}()
+			for _, d := range j.dests {
+				r, ok := cache[d]
+				if !ok {
+					if s.hookBeforeSolve != nil {
+						s.hookBeforeSolve(d)
+					}
+					var err error
+					r, err = sess.SolveContext(j.ctx, d)
+					if err != nil {
+						return err
+					}
+					s.metrics.AddSolves(1, r.Metrics)
+					cache[d] = r
+				}
+				results = append(results, toDestResult(r))
+				cost = cost.Add(r.Metrics)
+			}
+			return nil
+		}()
+		switch {
+		case jerr == nil:
+			j.finish(jobDone{results: results, cost: cost, poolHit: hit, batched: len(b.jobs)})
+		case errors.Is(jerr, context.Canceled) || errors.Is(jerr, context.DeadlineExceeded):
+			j.finish(jobDone{err: jerr, status: http.StatusGatewayTimeout})
+		case !healthy:
+			j.finish(jobDone{err: jerr, status: http.StatusInternalServerError})
+		default:
+			j.finish(jobDone{err: jerr, status: http.StatusBadRequest})
+		}
+	}
+	if healthy {
+		s.pool.Put(sess)
+	}
+}
+
+func toDestResult(r *core.Result) DestResult {
+	out := DestResult{
+		Dest:       r.Dest,
+		Dist:       make([]int64, len(r.Dist)),
+		Next:       append([]int(nil), r.Next...),
+		Iterations: r.Iterations,
+	}
+	for i, d := range r.Dist {
+		if d == graph.NoEdge {
+			out.Dist[i] = -1
+		} else {
+			out.Dist[i] = d
+		}
+	}
+	return out
+}
+
+// handleSolve is POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := s.solve(w, r)
+	s.metrics.RecordRequest("/v1/solve", code)
+	s.metrics.ObserveLatency(time.Since(start))
+}
+
+// solve does the work and returns the status code it wrote.
+func (s *Server) solve(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	if s.down.Load() {
+		return writeError(w, http.StatusServiceUnavailable, "shutting down")
+	}
+	var req SolveRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	g, err := req.BuildGraph(s.cfg.MaxVertices)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	if err := g.Validate(); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	if len(req.Dests) == 0 {
+		return writeError(w, http.StatusBadRequest, "dests must name at least one destination")
+	}
+	if len(req.Dests) > s.cfg.MaxDests {
+		return writeError(w, http.StatusBadRequest, "%d dests exceeds server limit %d", len(req.Dests), s.cfg.MaxDests)
+	}
+	for _, d := range req.Dests {
+		if d < 0 || d >= g.N {
+			return writeError(w, http.StatusBadRequest, "dest %d out of range [0,%d)", d, g.N)
+		}
+	}
+	h, err := pickBits(g, req.Bits)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{ctx: ctx, dests: req.Dests, done: make(chan jobDone, 1)}
+	switch err := s.q.enqueue(j, g, h, s.cfg.MaxBatch); {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		return writeError(w, http.StatusTooManyRequests, "queue full; retry later")
+	case errors.Is(err, ErrShuttingDown):
+		return writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case err != nil:
+		return writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+
+	select {
+	case d := <-j.done:
+		if d.err != nil {
+			if d.status == http.StatusGatewayTimeout {
+				s.metrics.RecordDeadline()
+			}
+			return writeError(w, d.status, "%v", d.err)
+		}
+		return writeJSON(w, http.StatusOK, SolveResponse{
+			N: g.N, Bits: h, Results: d.results, Cost: d.cost,
+			PoolHit: d.poolHit, Batched: d.batched,
+		})
+	case <-ctx.Done():
+		// The worker will observe the same context and abandon the job;
+		// the buffered done channel lets it move on regardless.
+		s.metrics.RecordDeadline()
+		return writeError(w, http.StatusGatewayTimeout, "%v", ctx.Err())
+	}
+}
+
+// pickBits chooses the machine word width: an explicit request is taken
+// as-is (width experiments), otherwise the smallest sufficient width is
+// rounded up to a multiple of 8 so graphs of slightly different weight
+// scales still share pooled sessions.
+func pickBits(g *graph.Graph, reqBits uint) (uint, error) {
+	if reqBits > 0 {
+		if reqBits > ppa.MaxBits {
+			return 0, fmt.Errorf("bits %d exceeds machine maximum %d", reqBits, ppa.MaxBits)
+		}
+		return reqBits, nil
+	}
+	need := g.BitsNeeded()
+	h := (need + 7) / 8 * 8
+	if h > ppa.MaxBits {
+		h = ppa.MaxBits
+	}
+	if h < need {
+		return 0, fmt.Errorf("graph needs %d-bit words, machine maximum is %d", need, ppa.MaxBits)
+	}
+	return h, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.down.Load() {
+		s.metrics.RecordRequest("/healthz", http.StatusServiceUnavailable)
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.metrics.RecordRequest("/healthz", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.RecordRequest("/metrics", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	batches, coalesced := s.q.stats()
+	s.metrics.WritePrometheus(w, s.pool.Stats(), s.q.depth(), batches, coalesced)
+	fmt.Fprintf(w, "ppaserved_inflight_batches %d\n", s.inflight.Load())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) int {
+	return writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,130 @@
+// Package serve is the solver service: an HTTP/JSON daemon that amortizes
+// the paper's expensive per-graph setup (fabric construction, coordinate
+// masks, weight loading) across many minimum-cost-path queries.
+//
+// The core observation is that core.Session already splits the work the
+// way a server wants it split: building an n x n machine is costly, while
+// a warm Solve is cheap (~1.8 ms at n=64). The service therefore keeps a
+// pool of warm sessions keyed by array size n and word width h, re-loads
+// a checked-out session with each request's weights (Session.Reload, no
+// re-allocation), and coalesces queued requests for the *same* graph into
+// one session checkout (micro-batching), so a burst of routing queries
+// against one topology pays for one weight DMA.
+//
+// Around that core sits the production envelope: a bounded admission
+// queue that sheds load with 429 + Retry-After instead of collapsing,
+// per-request deadlines propagated via context.Context and observed
+// between DP iterations (a dead client cannot pin a session), panic
+// isolation per request (a poisoned session is discarded, not repooled),
+// graceful shutdown that drains in-flight solves, and an observability
+// surface (/healthz, /metrics) exposing request counts, latency
+// histograms, pool and queue behaviour, and the paper's cost-model
+// counters (bus cycles, wired-OR cycles, PE ops) aggregated per endpoint.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ppamcp/internal/cli"
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// SolveRequest is the body of POST /v1/solve. Exactly one of Graph (an
+// inline graph in the graph JSON wire format) or Gen (a named generator
+// spec, the JSON form of the CLI workload flags) must be set. Both are
+// kept as raw JSON so admission checks run before any n^2 allocation.
+type SolveRequest struct {
+	// Graph is an inline {"n": ..., "edges": [[i,j,w], ...]} graph.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Gen is a generator spec: {"gen":"connected","n":64,"seed":7,...}.
+	// Fields follow internal/cli flag names; omitted fields keep the CLI
+	// defaults. File-based workloads are not reachable from the wire.
+	Gen json.RawMessage `json:"gen,omitempty"`
+	// Dests lists the destination vertices to solve for.
+	Dests []int `json:"dests"`
+	// Bits forces the machine word width h (0 = auto, quantized upward
+	// so same-size requests share pooled sessions).
+	Bits uint `json:"bits,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds (0 = server
+	// default; capped at the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BuildGraph materializes the request's graph, enforcing maxN before the
+// dense matrix is allocated.
+func (r *SolveRequest) BuildGraph(maxN int) (*graph.Graph, error) {
+	switch {
+	case len(r.Graph) > 0 && len(r.Gen) > 0:
+		return nil, fmt.Errorf("request has both graph and gen; want exactly one")
+	case len(r.Graph) > 0:
+		// Probe the header first: an inline {"n": 8192} with no edges is a
+		// few bytes of JSON but an n^2 matrix on the heap.
+		var probe struct {
+			N int `json:"n"`
+		}
+		if err := json.Unmarshal(r.Graph, &probe); err != nil {
+			return nil, fmt.Errorf("graph: %v", err)
+		}
+		if probe.N > maxN {
+			return nil, fmt.Errorf("graph: n = %d exceeds server limit %d", probe.N, maxN)
+		}
+		g := new(graph.Graph)
+		if err := json.Unmarshal(r.Graph, g); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case len(r.Gen) > 0:
+		w := cli.Default()
+		if err := json.Unmarshal(r.Gen, &w); err != nil {
+			return nil, fmt.Errorf("gen: %v", err)
+		}
+		w.File = "" // defence in depth; the json tag already blocks it
+		if w.N > maxN || w.Rows*w.Cols > maxN {
+			return nil, fmt.Errorf("gen: n = %d exceeds server limit %d", w.N, maxN)
+		}
+		g, err := w.Build()
+		if err != nil {
+			return nil, fmt.Errorf("gen: %v", err)
+		}
+		if g.N > maxN {
+			return nil, fmt.Errorf("gen: built %d vertices, exceeds server limit %d", g.N, maxN)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("request needs a graph or a gen spec")
+	}
+}
+
+// DestResult is the solution for one destination: Dist[i] is the minimum
+// path cost from vertex i to Dest (-1 when unreachable), Next[i] the next
+// hop on that path (-1 at the destination and on unreachable vertices),
+// and Iterations the DP round count p+1 the solve converged in.
+type DestResult struct {
+	Dest       int     `json:"dest"`
+	Dist       []int64 `json:"dist"`
+	Next       []int   `json:"next"`
+	Iterations int     `json:"iterations"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve.
+type SolveResponse struct {
+	N       int          `json:"n"`
+	Bits    uint         `json:"bits"`
+	Results []DestResult `json:"results"`
+	// Cost is the abstract machine cost of the solves that produced this
+	// response. Solves shared with coalesced requests for the same graph
+	// are charged to every request that consumed them.
+	Cost ppa.Metrics `json:"cost"`
+	// PoolHit reports whether the request ran on a recycled warm session.
+	PoolHit bool `json:"pool_hit"`
+	// Batched is the number of requests served by the session checkout
+	// that served this one (1 = no coalescing happened).
+	Batched int `json:"batched"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
