@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json tables fuzz examples serve loadtest loadtest-json clean
+.PHONY: all build vet test race cover bench bench-json pprof tables fuzz examples serve loadtest loadtest-json clean
 
 all: build vet test
 
@@ -24,9 +24,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable snapshot: E1-E6 cycle tables + wall-clock solve cost.
+# Machine-readable snapshot: E1-E6 cycle tables + wall-clock solve cost
+# (including the workers-scaling curve and the fused-vs-reference session
+# ablation).
 bench-json:
-	$(GO) run ./cmd/benchtab -json > BENCH_PR1.json
+	$(GO) run ./cmd/benchtab -json > BENCH_PR3.json
+
+# CPU profile of the simulator's hot path (repeated n=64 session solves);
+# inspect with `go tool pprof solve.pprof`.
+pprof:
+	$(GO) test -run=NONE -bench=BenchmarkSolveWallClock/n=64/session$$ -benchtime=2s -cpuprofile=solve.pprof .
 
 # Run the solver service on :8080 (see README "Serving").
 serve:

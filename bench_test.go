@@ -199,7 +199,7 @@ func BenchmarkE6Virtualized(b *testing.B) {
 // with a reused Session.
 func BenchmarkSolveWallClock(b *testing.B) {
 	g := graph.GenRandomConnected(64, 0.3, 9, 5)
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("n=64/workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Solve(g, 1, core.Options{Workers: workers}); err != nil {
@@ -213,6 +213,22 @@ func BenchmarkSolveWallClock(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The interpretive-kernel ablation of the same session path: the gap
+	// to n=64/session is what the fused bit-sliced kernels buy.
+	b.Run("n=64/session-reference", func(b *testing.B) {
+		s, err := core.NewSession(g, core.Options{ReferenceKernels: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Solve(1); err != nil {

@@ -56,7 +56,7 @@ func runWallClock() []wallClock {
 			MsPerOp:     float64(r.NsPerOp()) / 1e6,
 		})
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		add(fmt.Sprintf("SolveWallClock/n=64/workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
@@ -67,19 +67,26 @@ func runWallClock() []wallClock {
 			}
 		})
 	}
-	add("SolveWallClock/n=64/session", func(b *testing.B) {
-		s, err := core.NewSession(g, core.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := s.Solve(1); err != nil {
+	session := func(name string, opt core.Options) {
+		add(name, func(b *testing.B) {
+			s, err := core.NewSession(g, opt)
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	session("SolveWallClock/n=64/session", core.Options{})
+	// Interpretive-kernel ablation: the gap to n=64/session is what the
+	// fused bit-sliced reduction kernels buy.
+	session("SolveWallClock/n=64/session-reference", core.Options{ReferenceKernels: true})
 	return out
 }
 

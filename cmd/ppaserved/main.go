@@ -48,6 +48,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	fs.SetOutput(out)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "solver workers (0 = GOMAXPROCS)")
+	ringWorkers := fs.Int("ring-workers", 1, "simulator ring goroutines per session (1 = serial)")
 	queueDepth := fs.Int("queue", 64, "admission queue depth (full queue answers 429)")
 	poolCap := fs.Int("pool", 64, "idle warm sessions kept across requests")
 	maxN := fs.Int("max-n", 512, "largest accepted graph (vertices)")
@@ -62,6 +63,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 
 	svc := serve.New(serve.Config{
 		Workers:        *workers,
+		RingWorkers:    *ringWorkers,
 		QueueDepth:     *queueDepth,
 		PoolCap:        *poolCap,
 		MaxVertices:    *maxN,

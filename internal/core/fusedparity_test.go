@@ -1,0 +1,39 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ppamcp/internal/graph"
+)
+
+// TestFusedSolveParity pins the contract the default (fused bit-sliced)
+// kernels are shipped under: for whole solves, every output *and* every
+// cycle counter is identical to the interpretive reference path, across
+// graph families, sizes and both initialization variants — so the paper's
+// experiment tables are byte-identical regardless of host kernel strategy.
+func TestFusedSolveParity(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"random-16":   graph.GenRandomConnected(16, 0.4, 30, 1),
+		"random-33":   graph.GenRandomConnected(33, 0.2, 100, 2),
+		"chain-20":    graph.GenChain(20, 3),
+		"diameter-24": graph.GenDiameter(24, 11),
+		"complete-12": graph.GenComplete(12, 50, 3),
+	}
+	for name, g := range graphs {
+		for _, workers := range []int{1, 4} {
+			fused, err := Solve(g, 1, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d fused: %v", name, workers, err)
+			}
+			ref, err := Solve(g, 1, Options{Workers: workers, ReferenceKernels: true})
+			if err != nil {
+				t.Fatalf("%s workers=%d reference: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(fused, ref) {
+				t.Errorf("%s workers=%d: fused and reference solves diverge:\nfused     %+v\nreference %+v",
+					name, workers, fused, ref)
+			}
+		}
+	}
+}

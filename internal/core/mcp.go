@@ -57,6 +57,11 @@ type Options struct {
 	// multiple of PhysicalSide. Results are identical; communication
 	// cycles scale by k = n/PhysicalSide (the virtualization ablation).
 	PhysicalSide int
+	// ReferenceKernels forces the interpretive bit-serial reduction path
+	// even where the fused bit-sliced kernels apply (they are on by
+	// default; results and cost-model counters are identical either way —
+	// this is a debugging/ablation knob, see par.Array.SetFused).
+	ReferenceKernels bool
 }
 
 // Result is the outcome of a PPA MCP computation: the host-side solution
@@ -106,7 +111,13 @@ func Solve(g *graph.Graph, dest int, opt Options) (*Result, error) {
 	} else {
 		m = ppa.New(n, h, mopts...)
 	}
-	return SolveOn(m, g, dest, opt)
+	r, err := SolveOn(m, g, dest, opt)
+	// One-shot solve on an internally built machine: stop any ring
+	// workers now rather than leaving them to the finalizer.
+	if c, ok := m.(interface{ Close() }); ok {
+		c.Close()
+	}
+	return r, err
 }
 
 // SolveOn runs the algorithm on a caller-supplied fabric — the entry
@@ -196,6 +207,9 @@ func NewSessionOn(m ppa.Fabric, g *graph.Graph, opt Options) (*Session, error) {
 		return nil, err
 	}
 	a := par.New(m)
+	if !opt.ReferenceKernels {
+		a.SetFused(true)
+	}
 	s := &Session{
 		g: g, m: m, a: a, opt: opt,
 		row: a.Row(), col: a.Col(),
@@ -209,6 +223,16 @@ func NewSessionOn(m ppa.Fabric, g *graph.Graph, opt Options) (*Session, error) {
 // Fabric returns the session's machine (for metrics inspection or fault
 // injection between solves).
 func (s *Session) Fabric() ppa.Fabric { return s.m }
+
+// Close releases resources tied to the session's fabric — today the
+// machine's persistent ring workers (see ppa.Machine.Close). Optional:
+// an abandoned session's workers are reclaimed by a finalizer; Close
+// makes the shutdown deterministic (tests, session pools).
+func (s *Session) Close() {
+	if c, ok := s.m.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
 
 // N returns the vertex count (= array side) the session was built for.
 func (s *Session) N() int { return s.m.N() }

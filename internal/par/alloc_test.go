@@ -8,23 +8,36 @@ import (
 
 // TestMinSteadyStateAllocs pins the pooling of the bit-serial minimum's
 // h-plane loop: with warm pools, one Min issues h wired-OR cycles and two
-// broadcasts without allocating any of its per-plane temporaries (bit
-// plane, drive, cluster OR, withdraw condition) or its staging variable.
-// What remains is one escaping closure per bus transaction in the
-// machine's ring dispatcher (h + 2 = 12 here); the bound adds headroom
-// on top of that but stays a fraction of one pooled temporary per plane,
-// so any lost Release in the loop trips it.
+// broadcasts without allocating at all — no per-plane temporaries (bit
+// plane, drive, cluster OR, withdraw condition), no staging variables, and
+// no per-transaction closures in the machine's ring dispatcher (job
+// parameters travel through the staged-job fields of the persistent worker
+// pool instead). The sweep covers the reference and fused kernels on both
+// the serial and the forced-parallel pooled path; the tiny headroom only
+// absorbs runtime noise, so a lost Release or a reintroduced dispatch
+// closure trips it immediately.
 func TestMinSteadyStateAllocs(t *testing.T) {
-	m := ppa.New(64, 10)
-	a := New(m)
-	src := a.Row()
-	head := a.Col().EqConst(63)
-	a.Min(src, ppa.West, head).Release() // warm-up fills the pools
-	allocs := testing.AllocsPerRun(5, func() {
-		a.Min(src, ppa.West, head).Release()
-	})
-	const maxAllocs = 20
-	if allocs > maxAllocs {
-		t.Fatalf("steady-state Min allocates %.0f objects, want <= %d", allocs, maxAllocs)
+	const maxAllocs = 2
+	for _, fused := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			var opts []ppa.Option
+			if workers > 1 {
+				opts = append(opts, ppa.WithWorkers(workers), ppa.WithForceParallel())
+			}
+			m := ppa.New(64, 10, opts...)
+			a := New(m)
+			a.SetFused(fused)
+			src := a.Row()
+			head := a.Col().EqConst(63)
+			a.Min(src, ppa.West, head).Release() // warm-up fills the pools
+			allocs := testing.AllocsPerRun(5, func() {
+				a.Min(src, ppa.West, head).Release()
+			})
+			if allocs > maxAllocs {
+				t.Errorf("fused=%v workers=%d: steady-state Min allocates %.0f objects, want <= %d",
+					fused, workers, allocs, maxAllocs)
+			}
+			m.Close()
+		}
 	}
 }

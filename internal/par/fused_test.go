@@ -1,0 +1,212 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppamcp/internal/ppa"
+	"ppamcp/internal/virt"
+)
+
+// randOpenPlane builds a switch plane stressing every cluster topology the
+// reductions must handle: whole-ring clusters (the paper's MCP case, one
+// Open PE per ring), multi-cluster rings (several heads), and floating
+// rings (no head at all).
+func randOpenPlane(rng *rand.Rand, n int) []bool {
+	open := make([]bool, n*n)
+	for r := 0; r < n; r++ {
+		switch rng.Intn(3) {
+		case 0: // single head: a whole-ring cluster
+			open[r*n+rng.Intn(n)] = true
+		case 1: // multi-cluster ring
+			for c := 0; c < n; c++ {
+				open[r*n+c] = rng.Intn(4) == 0
+			}
+		default: // floating ring (left all-Short)
+		}
+	}
+	// The row pattern doubles as a column pattern for vertical
+	// orientations; lane-wise it covers the same topologies.
+	return open
+}
+
+func randWords(rng *rand.Rand, n int, h uint) []ppa.Word {
+	flat := make([]ppa.Word, n*n)
+	for i := range flat {
+		flat[i] = ppa.Word(rng.Int63n(int64(ppa.Infinity(h)) + 1))
+	}
+	return flat
+}
+
+// runReduction executes one of the four bus reductions on a, loading fresh
+// operands so both the fused and the reference array see the identical
+// charged instruction sequence.
+func runReduction(a *Array, op int, flat []ppa.Word, openB, selB []bool, d ppa.Direction) []ppa.Word {
+	src := a.FromSlice(flat)
+	open := a.FromBools(openB)
+	var out *Var
+	switch op {
+	case 0:
+		out = a.Min(src, d, open)
+	case 1:
+		out = a.Max(src, d, open)
+	case 2:
+		sel := a.FromBools(selB)
+		out = a.SelectedMin(src, d, open, sel)
+		sel.Release()
+	default:
+		sel := a.FromBools(selB)
+		out = a.SelectedMax(src, d, open, sel)
+		sel.Release()
+	}
+	res := append([]ppa.Word(nil), out.Slice()...)
+	out.Release()
+	open.Release()
+	src.Release()
+	return res
+}
+
+// TestFusedMatchesReference is the fused-vs-reference property sweep the
+// fast path is gated on: across array sides, word widths, worker counts
+// (the forced-parallel pool path included), random operand planes, random
+// selections and random orientations, the fused bit-sliced kernels must
+// produce the same outputs as the interpretive reference path *and* charge
+// the same cost-model counters, for all four reductions.
+func TestFusedMatchesReference(t *testing.T) {
+	ops := []string{"Min", "Max", "SelectedMin", "SelectedMax"}
+	for _, n := range []int{4, 8, 32, 64} {
+		for _, h := range []uint{4, 8, 16, 32} {
+			for _, workers := range []int{1, 2, 4, 7} {
+				if testing.Short() && n > 8 && workers > 2 {
+					continue
+				}
+				rng := rand.New(rand.NewSource(int64(10000*n) + int64(100*h) + int64(workers)))
+				var opts []ppa.Option
+				if workers > 1 {
+					opts = append(opts, ppa.WithWorkers(workers), ppa.WithForceParallel())
+				}
+				mF := ppa.New(n, h, opts...)
+				mR := ppa.New(n, h)
+				aF := New(mF)
+				aF.SetFused(true)
+				aR := New(mR)
+				for round := 0; round < 2; round++ {
+					flat := randWords(rng, n, h)
+					openB := randOpenPlane(rng, n)
+					selB := make([]bool, n*n)
+					for i := range selB {
+						selB[i] = rng.Intn(2) == 0
+					}
+					d := ppa.Direction(rng.Intn(4))
+					for op := range ops {
+						got := runReduction(aF, op, flat, openB, selB, d)
+						want := runReduction(aR, op, flat, openB, selB, d)
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("n=%d h=%d workers=%d round=%d %s dir=%v lane %d: fused=%d reference=%d",
+									n, h, workers, round, ops[op], d, i, got[i], want[i])
+							}
+						}
+					}
+				}
+				if mF.Metrics() != mR.Metrics() {
+					t.Fatalf("n=%d h=%d workers=%d: counters diverge:\nfused     %+v\nreference %+v",
+						n, h, workers, mF.Metrics(), mR.Metrics())
+				}
+				mF.Close()
+			}
+		}
+	}
+}
+
+// TestSelectedReductionsNeverMutateSelection pins the lazy-copy contract:
+// SelectedMin and SelectedMax must never write through the caller's
+// selection mask, on both the fused and the reference path.
+func TestSelectedReductionsNeverMutateSelection(t *testing.T) {
+	const n, h = 8, 8
+	rng := rand.New(rand.NewSource(99))
+	for _, fused := range []bool{false, true} {
+		a := New(ppa.New(n, h))
+		a.SetFused(fused)
+		flat := randWords(rng, n, h)
+		openB := randOpenPlane(rng, n)
+		selB := make([]bool, n*n)
+		for i := range selB {
+			selB[i] = rng.Intn(2) == 0
+		}
+		src := a.FromSlice(flat)
+		open := a.FromBools(openB)
+		sel := a.FromBools(selB)
+		a.SelectedMin(src, ppa.East, open, sel).Release()
+		a.SelectedMax(src, ppa.West, open, sel).Release()
+		a.SelectedMinViaSwitches(src, ppa.East, open, sel).Release()
+		got := sel.Slice()
+		for i := range selB {
+			if got[i] != selB[i] {
+				t.Fatalf("fused=%v: selection lane %d mutated: now %v, was %v", fused, i, got[i], selB[i])
+			}
+		}
+	}
+}
+
+// TestFusedFallsBackToReference checks the gating: the fused kernels must
+// not engage on a faulty machine (the fault model is defined by the
+// reference ring walk), on a virtualized fabric, or when disabled.
+func TestFusedFallsBackToReference(t *testing.T) {
+	a := New(ppa.New(4, 8))
+	if a.Fused() {
+		t.Fatal("fused should be off by default")
+	}
+	if a.fusedOn() != nil {
+		t.Fatal("fusedOn should be nil with fused disabled")
+	}
+	a.SetFused(true)
+	if a.fusedOn() == nil {
+		t.Fatal("fusedOn should engage on a plain healthy machine")
+	}
+
+	mf := ppa.New(4, 8)
+	mf.InjectFault(5, ppa.StuckShort)
+	af := New(mf)
+	af.SetFused(true)
+	if af.fusedOn() != nil {
+		t.Fatal("fusedOn must be nil on a faulty machine")
+	}
+	mf.ClearFaults()
+	if af.fusedOn() == nil {
+		t.Fatal("fusedOn should re-engage after ClearFaults")
+	}
+
+	vm, err := virt.New(8, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := New(vm)
+	av.SetFused(true)
+	if av.fusedOn() != nil {
+		t.Fatal("fusedOn must be nil on a virtualized fabric")
+	}
+
+	// And the faulty-machine fallback must still compute correct results
+	// through the public entry points.
+	mf.InjectFault(9, ppa.StuckOpen)
+	rng := rand.New(rand.NewSource(7))
+	flat := randWords(rng, 4, 8)
+	openB := randOpenPlane(rng, 4)
+	selB := make([]bool, 16)
+	for i := range selB {
+		selB[i] = rng.Intn(2) == 0
+	}
+	ar := New(ppa.New(4, 8))
+	arM := ar.Machine().(*ppa.Machine)
+	arM.InjectFault(9, ppa.StuckOpen)
+	for op := 0; op < 4; op++ {
+		got := runReduction(af, op, flat, openB, selB, ppa.East)
+		want := runReduction(ar, op, flat, openB, selB, ppa.East)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("faulty fallback op=%d lane %d: %d vs %d", op, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -31,31 +31,38 @@ import "ppamcp/internal/ppa"
 // transactions — the paper's central complexity claim, measured by
 // experiment E1.
 func (a *Array) Min(src *Var, orientation ppa.Direction, open *Bool) *Var {
-	return a.minimum(src, orientation, open, a.True())
+	if m := a.fusedOn(); m != nil {
+		return a.fusedReduce(m, src, orientation, open, nil, true)
+	}
+	return a.minimumOn(src, orientation, open, a.True(), true, (*Array).Or)
 }
 
 // SelectedMin is PPC's selected_min(src, orientation, L, sel): identical to
 // Min except that only the PEs where sel holds compete; clusters whose
 // selected subset is empty float and return the head's original src value.
 // The MCP algorithm uses it with src = COL to extract the (smallest) column
-// index among the PEs that achieved the row minimum.
+// index among the PEs that achieved the row minimum. sel itself is never
+// written (a private enable set is copied off it).
 func (a *Array) SelectedMin(src *Var, orientation ppa.Direction, open, sel *Bool) *Var {
 	a.check(sel.a)
-	return a.minimum(src, orientation, open, sel.Copy())
-}
-
-func (a *Array) minimum(src *Var, orientation ppa.Direction, open, enable *Bool) *Var {
-	return a.minimumOn(src, orientation, open, enable, (*Array).Or)
+	if m := a.fusedOn(); m != nil {
+		return a.fusedReduce(m, src, orientation, open, sel, true)
+	}
+	return a.minimumOn(src, orientation, open, sel, false, (*Array).Or)
 }
 
 // minimumOn is the bit-serial minimum parameterized by the cluster-OR
 // primitive: (*Array).Or on the wired-OR bus model, (*Array).OrViaSwitches
-// on the switch-only model.
-func (a *Array) minimumOn(src *Var, orientation ppa.Direction, open, enable *Bool,
+// on the switch-only model. sel is the selection mask; owned says whether
+// the callee may mutate it directly (Min hands over a fresh all-true set).
+// When it may not, a private copy is taken lazily at the first withdrawal,
+// so the caller's selection is never written.
+func (a *Array) minimumOn(src *Var, orientation ppa.Direction, open, sel *Bool, owned bool,
 	orFn func(*Array, *Bool, ppa.Direction, *Bool) *Bool) *Var {
 	a.check(src.a)
 	a.check(open.a)
 	h := a.m.Bits()
+	enable := sel
 	for j := int(h) - 1; j >= 0; j-- {
 		bit := src.BitPlane(uint(j))
 		nb := bit.Not()
@@ -63,6 +70,10 @@ func (a *Array) minimumOn(src *Var, orientation ppa.Direction, open, enable *Boo
 		seenZero := orFn(a, drive, orientation, open)
 		// where (seenZero && bit) enable = 0
 		cond := seenZero.And(bit)
+		if !owned {
+			enable = sel.Copy()
+			owned = true
+		}
 		a.Where(cond, func() {
 			enable.AssignConst(false)
 		})
@@ -79,7 +90,9 @@ func (a *Array) minimumOn(src *Var, orientation ppa.Direction, open, enable *Boo
 	a.Where(open, func() {
 		a.BroadcastInto(result, src, orientation.Opposite(), enable)
 	})
-	enable.Release()
+	if owned {
+		enable.Release()
+	}
 	// Statement 13: spread the head's value over the cluster.
 	out := a.Broadcast(result, orientation, open)
 	result.Release()
@@ -93,19 +106,29 @@ func (a *Array) minimumOn(src *Var, orientation ppa.Direction, open, enable *Boo
 // withdraw). Not used by the paper's MCP, but part of the machine's
 // natural primitive set — same Θ(h) cost.
 func (a *Array) Max(src *Var, orientation ppa.Direction, open *Bool) *Var {
-	return a.maximum(src, orientation, open, a.True())
+	if m := a.fusedOn(); m != nil {
+		return a.fusedReduce(m, src, orientation, open, nil, false)
+	}
+	return a.maximum(src, orientation, open, a.True(), true)
 }
 
-// SelectedMax is Max restricted to the PEs where sel holds.
+// SelectedMax is Max restricted to the PEs where sel holds; like
+// SelectedMin it never writes sel.
 func (a *Array) SelectedMax(src *Var, orientation ppa.Direction, open, sel *Bool) *Var {
 	a.check(sel.a)
-	return a.maximum(src, orientation, open, sel.Copy())
+	if m := a.fusedOn(); m != nil {
+		return a.fusedReduce(m, src, orientation, open, sel, false)
+	}
+	return a.maximum(src, orientation, open, sel, false)
 }
 
-func (a *Array) maximum(src *Var, orientation ppa.Direction, open, enable *Bool) *Var {
+// maximum mirrors minimumOn (including the lazy selection copy) with the
+// bit roles flipped; only the wired-OR bus model is implemented for Max.
+func (a *Array) maximum(src *Var, orientation ppa.Direction, open, sel *Bool, owned bool) *Var {
 	a.check(src.a)
 	a.check(open.a)
 	h := a.m.Bits()
+	enable := sel
 	for j := int(h) - 1; j >= 0; j-- {
 		bit := src.BitPlane(uint(j))
 		drive := bit.And(enable)
@@ -113,6 +136,10 @@ func (a *Array) maximum(src *Var, orientation ppa.Direction, open, enable *Bool)
 		// where (seenOne && !bit) enable = 0
 		nb := bit.Not()
 		cond := seenOne.And(nb)
+		if !owned {
+			enable = sel.Copy()
+			owned = true
+		}
 		a.Where(cond, func() {
 			enable.AssignConst(false)
 		})
@@ -126,7 +153,9 @@ func (a *Array) maximum(src *Var, orientation ppa.Direction, open, enable *Bool)
 	a.Where(open, func() {
 		a.BroadcastInto(result, src, orientation.Opposite(), enable)
 	})
-	enable.Release()
+	if owned {
+		enable.Release()
+	}
 	out := a.Broadcast(result, orientation, open)
 	result.Release()
 	return out

@@ -49,13 +49,14 @@ func (a *Array) OrViaSwitches(x *Bool, dir ppa.Direction, open *Bool) *Bool {
 // result does not depend on which bus model the hardware provides
 // (ablation E7).
 func (a *Array) MinViaSwitches(src *Var, orientation ppa.Direction, open *Bool) *Var {
-	return a.minimumOn(src, orientation, open, a.True(), (*Array).OrViaSwitches)
+	return a.minimumOn(src, orientation, open, a.True(), true, (*Array).OrViaSwitches)
 }
 
 // SelectedMinViaSwitches is SelectedMin on the switch-only bus model.
+// Never fused: the switch-only OR is itself built from broadcasts.
 func (a *Array) SelectedMinViaSwitches(src *Var, orientation ppa.Direction, open, sel *Bool) *Var {
 	a.check(sel.a)
-	return a.minimumOn(src, orientation, open, sel.Copy(), (*Array).OrViaSwitches)
+	return a.minimumOn(src, orientation, open, sel, false, (*Array).OrViaSwitches)
 }
 
 // MinSwitchCost returns the bus transactions of one MinViaSwitches on an

@@ -123,10 +123,22 @@ func (x *Var) binary(u *Var, op func(a, b ppa.Word) ppa.Word) *Var {
 }
 
 // AddSat returns x + u with saturation at MAXINT (the PPA's path-cost
-// addition).
+// addition). Open-coded rather than routed through binary: it is the
+// arithmetic workhorse of the DP inner loop and the per-lane indirect
+// call showed up in Solve profiles.
 func (x *Var) AddSat(u *Var) *Var {
-	h := x.a.m.Bits()
-	return x.binary(u, func(a, b ppa.Word) ppa.Word { return ppa.SatAdd(a, b, h) })
+	x.a.check(u.a)
+	inf := x.a.m.Inf()
+	y := x.a.newVar()
+	for i, a := range x.v {
+		s := a + u.v[i] // lanes are in [0, inf], so no int64 overflow
+		if s > inf {
+			s = inf
+		}
+		y.v[i] = s
+	}
+	x.a.instr()
+	return y
 }
 
 // AddSatConst returns x + w with saturation.
@@ -177,9 +189,19 @@ func (x *Var) MaxWith(u *Var) *Var {
 	})
 }
 
-// compare builds a Bool from a lanewise predicate, accumulating 64 lanes
+// Comparison op codes for compare; the switch sits outside the lane loop
+// so each comparison runs as a direct branch-predictable loop instead of
+// an indirect predicate call per lane (this showed up in Solve profiles).
+const (
+	cmpEq = iota
+	cmpNe
+	cmpLt
+	cmpLe
+)
+
+// compare builds a Bool from a lanewise comparison, accumulating 64 lanes
 // into each packed word.
-func (x *Var) compare(u *Var, pred func(a, b ppa.Word) bool) *Bool {
+func (x *Var) compare(u *Var, op int) *Bool {
 	x.a.check(u.a)
 	b := x.a.newBool()
 	words := b.v.Words()
@@ -190,10 +212,32 @@ func (x *Var) compare(u *Var, pred func(a, b ppa.Word) bool) *Bool {
 		if lim > 64 {
 			lim = 64
 		}
+		xs, us := x.v[base:base+lim], u.v[base:base+lim]
 		var w uint64
-		for k := 0; k < lim; k++ {
-			if pred(x.v[base+k], u.v[base+k]) {
-				w |= 1 << uint(k)
+		switch op {
+		case cmpEq:
+			for k, xv := range xs {
+				if xv == us[k] {
+					w |= 1 << uint(k)
+				}
+			}
+		case cmpNe:
+			for k, xv := range xs {
+				if xv != us[k] {
+					w |= 1 << uint(k)
+				}
+			}
+		case cmpLt:
+			for k, xv := range xs {
+				if xv < us[k] {
+					w |= 1 << uint(k)
+				}
+			}
+		default:
+			for k, xv := range xs {
+				if xv <= us[k] {
+					w |= 1 << uint(k)
+				}
 			}
 		}
 		words[wi] = w
@@ -203,16 +247,16 @@ func (x *Var) compare(u *Var, pred func(a, b ppa.Word) bool) *Bool {
 }
 
 // Eq returns the parallel logical x == u.
-func (x *Var) Eq(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a == b }) }
+func (x *Var) Eq(u *Var) *Bool { return x.compare(u, cmpEq) }
 
 // Ne returns x != u.
-func (x *Var) Ne(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a != b }) }
+func (x *Var) Ne(u *Var) *Bool { return x.compare(u, cmpNe) }
 
 // Lt returns x < u.
-func (x *Var) Lt(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a < b }) }
+func (x *Var) Lt(u *Var) *Bool { return x.compare(u, cmpLt) }
 
 // Le returns x <= u.
-func (x *Var) Le(u *Var) *Bool { return x.compare(u, func(a, b ppa.Word) bool { return a <= b }) }
+func (x *Var) Le(u *Var) *Bool { return x.compare(u, cmpLe) }
 
 // compareConst builds a Bool from a lanewise predicate against a scalar.
 func (x *Var) compareConst(w ppa.Word, pred func(a, b ppa.Word) bool) *Bool {

@@ -2,7 +2,6 @@ package ppa
 
 import (
 	"fmt"
-	"sync"
 )
 
 // Machine is an n x n Polymorphic Processor Array. It owns no PE state:
@@ -18,8 +17,10 @@ import (
 // kernels.
 //
 // A Machine is not safe for concurrent use by multiple goroutines; it *may*
-// internally fan independent ring operations out over a worker pool (see
-// WithWorkers), which never changes results.
+// internally fan independent ring operations out over a persistent worker
+// pool (see WithWorkers), which never changes results. The pool's
+// goroutines are reclaimed by Close, or by a finalizer when the machine is
+// dropped without it.
 type Machine struct {
 	n       int
 	h       uint
@@ -28,8 +29,6 @@ type Machine struct {
 
 	faults   map[int]FaultKind
 	observer func(Event)
-
-	wg sync.WaitGroup
 
 	// rings precomputes the geometry of every (direction, ring) pair —
 	// it depends only on n, so the per-transaction inner loops never
@@ -41,19 +40,30 @@ type Machine struct {
 	// at such boundaries so they never write the same word.
 	ringAlign int
 
+	// rk holds the ring kernel bodies and the persistent worker pool.
+	// It deliberately does not point back at the Machine (see pool.go).
+	rk *ringKernels
+	// spawnWorkers is min(workers, n) — the fan-out a parallel dispatch
+	// would use; forcePar makes every transaction take the pooled path.
+	spawnWorkers int
+	forcePar     bool
+
 	// Cached scratch for the packed kernels (lazily allocated, reused
 	// across transactions; a Machine is single-transaction at a time).
 	packOpen, packDrive, packDst *Bitset // []bool-API conversions
 	faultBits                    *Bitset // post-fault switch configuration
 	tOpen, tDrive, tDst          *Bitset // transposed planes for N/S wired-OR
+	bcastT                       *Bitset // transposed open for N/S broadcasts
 }
 
 // Option configures a Machine.
 type Option func(*Machine)
 
-// WithWorkers sets the number of goroutines used to execute independent
-// ring operations. The default (1) runs everything on the calling
-// goroutine. Results are identical for any worker count.
+// WithWorkers sets the number of persistent pool goroutines available to
+// execute independent ring operations. The default (1) runs everything on
+// the calling goroutine; with w > 1 a transaction is fanned out when the
+// host has spare cores and the transaction is large enough to amortize
+// the pool barrier. Results are identical for any worker count.
 func WithWorkers(w int) Option {
 	return func(m *Machine) {
 		if w < 1 {
@@ -61,6 +71,14 @@ func WithWorkers(w int) Option {
 		}
 		m.workers = w
 	}
+}
+
+// WithForceParallel makes every ring transaction take the pooled parallel
+// path regardless of transaction size or host core count. Results are
+// unchanged; this is a correctness hook so tests (and the race detector)
+// can exercise the worker pool on any machine shape and any host.
+func WithForceParallel() Option {
+	return func(m *Machine) { m.forcePar = true }
 }
 
 // New returns an n x n machine with h-bit words. It panics if n < 1 or h
@@ -82,6 +100,15 @@ func New(n int, h uint, opts ...Option) *Machine {
 	m.ringAlign = 64 / gcd(n, 64)
 	for _, o := range opts {
 		o(m)
+	}
+	m.spawnWorkers = m.workers
+	if m.spawnWorkers > n {
+		m.spawnWorkers = n
+	}
+	m.rk = &ringKernels{n: n, rings: m.rings}
+	if m.spawnWorkers > 1 {
+		m.rk.chunks1 = ringChunks(n, m.spawnWorkers, 1)
+		m.rk.chunksA = ringChunks(n, m.spawnWorkers, m.ringAlign)
 	}
 	return m
 }
@@ -162,43 +189,6 @@ func (m *Machine) scratch(p **Bitset) *Bitset {
 	return *p
 }
 
-// runRings invokes fn(i) for every ring index i, possibly in parallel.
-func (m *Machine) runRings(fn func(i int)) { m.runRingsAligned(1, fn) }
-
-// runRingsAligned is runRings with worker-chunk boundaries restricted to
-// multiples of align (used when rings write a shared packed word unless
-// split on word boundaries).
-func (m *Machine) runRingsAligned(align int, fn func(i int)) {
-	if m.workers <= 1 || m.n == 1 {
-		for i := 0; i < m.n; i++ {
-			fn(i)
-		}
-		return
-	}
-	w := m.workers
-	if w > m.n {
-		w = m.n
-	}
-	chunk := (m.n + w - 1) / w
-	if align > 1 {
-		chunk = (chunk + align - 1) / align * align
-	}
-	for g := 0; g*chunk < m.n; g++ {
-		lo, hi := g*chunk, (g+1)*chunk
-		if hi > m.n {
-			hi = m.n
-		}
-		m.wg.Add(1)
-		go func(lo, hi int) {
-			defer m.wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	m.wg.Wait()
-}
-
 func (m *Machine) checkLen(name string, got int) {
 	if got != m.n*m.n {
 		panic(fmt.Sprintf("ppa: %s has length %d, want %d", name, got, m.n*m.n))
@@ -233,45 +223,17 @@ func (m *Machine) BroadcastBits(d Direction, open *Bitset, src, dst []Word) {
 	open = m.effectiveOpenBits(open)
 	m.observeOpens(OpBroadcast, d, open)
 	m.metrics.BusCycles++
-	m.runRings(func(i int) {
-		rg := m.rings[d][i]
-		n := m.n
-		// Find the last Open PE in flow order; for the stride-1
-		// horizontal rings this is a single word scan of the bitset.
-		last := -1
-		switch d {
-		case East:
-			if p := open.PrevSet(rg.base, rg.base+n); p >= 0 {
-				last = p - rg.base
-			}
-		case West:
-			if p := open.NextSet(rg.base-n+1, rg.base+1); p >= 0 {
-				last = rg.base - p
-			}
-		default:
-			for k := 0; k < n; k++ {
-				if open.Get(rg.base + k*rg.stride) {
-					last = k
-				}
-			}
-		}
-		if last == -1 {
-			return // floating bus
-		}
-		lastVal := src[rg.base+last*rg.stride]
-		for t := 1; t <= n; t++ {
-			k := last + t
-			if k >= n {
-				k -= n
-			}
-			p := rg.base + k*rg.stride
-			v := src[p] // read before the (possibly aliased) write
-			dst[p] = lastVal
-			if open.Get(p) {
-				lastVal = v
-			}
-		}
-	})
+	rk := m.rk
+	rk.kind, rk.dir = jobBroadcast, d
+	rk.open, rk.src, rk.dst = open, src, dst
+	if !d.Horizontal() {
+		// Stage a transposed switch plane so each column's head scans are
+		// contiguous-bit scans (see ringKernels.broadcastRing).
+		t := m.scratch(&m.bcastT)
+		TransposeBits(t, open, m.n)
+		rk.topen = t
+	}
+	m.dispatch(false, m.n*m.n)
 }
 
 // WiredOr performs one 1-bit wired-OR bus transaction in direction d.
@@ -318,57 +280,14 @@ func (m *Machine) WiredOrBits(d Direction, open, drive, dst *Bitset) {
 	TransposeBits(dst, tz, m.n)
 }
 
-// wiredOrRows resolves every row ring of a packed wired-OR plane. Each
-// ring occupies the contiguous bit range [i*n, (i+1)*n); rev selects
-// decreasing-bit flow order (West). Cluster heads are found with bit
-// scans and each cluster's OR/fill is a masked word-range operation.
+// wiredOrRows resolves every row ring of a packed wired-OR plane (see
+// ringKernels.wiredOrRow for the per-ring kernel).
 func (m *Machine) wiredOrRows(open, drive, dst *Bitset, rev bool) {
-	n := m.n
-	m.runRingsAligned(m.ringAlign, func(i int) {
-		base := i * n
-		end := base + n
-		if rev {
-			first := open.PrevSet(base, end)
-			if first < 0 {
-				dst.FillRange(base, end, drive.AnyRange(base, end))
-				return
-			}
-			start := first
-			for {
-				next := open.PrevSet(base, start)
-				if next < 0 {
-					// Final cluster wraps: [base, start] then the lanes
-					// above the flow-first head.
-					or := drive.AnyRange(base, start+1) || drive.AnyRange(first+1, end)
-					dst.FillRange(base, start+1, or)
-					dst.FillRange(first+1, end, or)
-					return
-				}
-				or := drive.AnyRange(next+1, start+1)
-				dst.FillRange(next+1, start+1, or)
-				start = next
-			}
-		}
-		first := open.NextSet(base, end)
-		if first < 0 {
-			dst.FillRange(base, end, drive.AnyRange(base, end))
-			return
-		}
-		start := first
-		for {
-			next := open.NextSet(start+1, end)
-			if next < 0 {
-				// Final cluster wraps: [start, end) then [base, first).
-				or := drive.AnyRange(start, end) || drive.AnyRange(base, first)
-				dst.FillRange(start, end, or)
-				dst.FillRange(base, first, or)
-				return
-			}
-			or := drive.AnyRange(start, next)
-			dst.FillRange(start, next, or)
-			start = next
-		}
-	})
+	rk := m.rk
+	rk.kind, rk.rev = jobWiredOr, rev
+	rk.wOpen, rk.wDrv, rk.wDst = open, drive, dst
+	// Three packed planes are touched, ~size/64 words each.
+	m.dispatch(true, 3*(m.n*m.n/64+1))
 }
 
 // Shift moves every word one PE in direction d with torus wrap:
@@ -379,15 +298,10 @@ func (m *Machine) Shift(d Direction, src, dst []Word) {
 	m.checkLen("dst", len(dst))
 	m.observe(OpShift, d, 0)
 	m.metrics.ShiftSteps++
-	m.runRings(func(i int) {
-		rg := m.rings[d][i]
-		n := m.n
-		tmp := src[rg.base+(n-1)*rg.stride]
-		for k := n - 1; k >= 1; k-- {
-			dst[rg.base+k*rg.stride] = src[rg.base+(k-1)*rg.stride]
-		}
-		dst[rg.base] = tmp
-	})
+	rk := m.rk
+	rk.kind, rk.dir = jobShift, d
+	rk.src, rk.dst = src, dst
+	m.dispatch(false, m.n*m.n)
 }
 
 // GlobalOr evaluates the global-OR line: it reports whether pred is true

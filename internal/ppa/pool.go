@@ -1,0 +1,340 @@
+package ppa
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelGrainWords is the minimum number of host words a single worker
+// should have to process before a transaction is worth fanning out; below
+// that the wake/join barrier costs more than the ring walks it splits.
+const parallelGrainWords = 1024
+
+// jobKind selects the per-ring kernel a dispatched transaction runs.
+type jobKind uint8
+
+const (
+	jobBroadcast jobKind = iota
+	jobWiredOr
+	jobShift
+)
+
+// ringKernels owns the per-ring kernel bodies and the persistent worker
+// pool that fans them out. It is allocated separately from its Machine and
+// never points back at it: pool goroutines park on the ringKernels alone,
+// so an abandoned Machine stays collectable and its finalizer can still
+// run to stop the workers.
+//
+// Kernel parameters travel through the job fields, set by the dispatching
+// goroutine before workers are woken (the wake/done channel operations
+// order those writes before the workers' reads). One heap-allocated
+// closure per ring chunk per bus transaction was the bulk of the
+// workers>1 allocation regression this replaces.
+type ringKernels struct {
+	n     int
+	rings [4][]ring // shares the Machine's backing arrays (geometry only)
+
+	// Current job.
+	kind  jobKind
+	dir   Direction
+	open  *Bitset // broadcast switch configuration
+	topen *Bitset // transposed open (vertical broadcasts; column c = row c)
+	src   []Word  // broadcast/shift source
+	dst   []Word  // broadcast/shift destination
+	wOpen *Bitset // wired-OR cluster heads (row layout)
+	wDrv  *Bitset // wired-OR drive plane (row layout)
+	wDst  *Bitset // wired-OR result plane (row layout)
+	rev   bool    // wired-OR decreasing-bit flow order (West/North)
+
+	// Persistent workers, spawned lazily at the first parallel dispatch.
+	// chunks1/chunksA are the precomputed ring partitions at alignment 1
+	// and at ringAlign (packed wired-OR walks may only split on packed
+	// word boundaries); bounds points at whichever the current job uses.
+	bounds  [][2]int
+	chunks1 [][2]int
+	chunksA [][2]int
+	wake    []chan struct{}
+	done    chan struct{}
+	started bool
+	closed  bool
+
+	closeOnce sync.Once
+}
+
+// ringChunks partitions n rings over at most w workers, rounding the
+// chunk size up to a multiple of align.
+func ringChunks(n, w, align int) [][2]int {
+	chunk := (n + w - 1) / w
+	if align > 1 {
+		chunk = (chunk + align - 1) / align * align
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// parallelOK reports whether the current transaction, touching roughly
+// workWords host words, should be fanned out over the worker pool. The
+// default policy requires real host parallelism and enough work per
+// worker to amortize the barrier; WithForceParallel overrides it so the
+// pooled path can be exercised on any host.
+func (m *Machine) parallelOK(workWords int) bool {
+	if m.workers <= 1 || m.n <= 1 || m.rk.closed {
+		return false
+	}
+	if m.forcePar {
+		return true
+	}
+	return runtime.GOMAXPROCS(0) > 1 && workWords >= m.spawnWorkers*parallelGrainWords
+}
+
+// ensureWorkers spawns the persistent ring workers on first parallel use
+// and registers the finalizer that stops them if the Machine is dropped
+// without Close.
+func (m *Machine) ensureWorkers() {
+	rk := m.rk
+	if rk.started {
+		return
+	}
+	rk.started = true
+	w := len(rk.chunks1)
+	if len(rk.chunksA) > w {
+		w = len(rk.chunksA)
+	}
+	rk.wake = make([]chan struct{}, w)
+	rk.done = make(chan struct{}, w)
+	for i := range rk.wake {
+		rk.wake[i] = make(chan struct{}, 1)
+		go rk.worker(i)
+	}
+	runtime.SetFinalizer(m, (*Machine).Close)
+}
+
+// Close stops the machine's persistent ring workers; it is idempotent and
+// a no-op when none were ever started. It must not run concurrently with
+// a bus transaction. After Close the machine keeps working, falling back
+// to serial ring execution. Abandoned machines are closed by a finalizer,
+// so Close exists for deterministic goroutine shutdown (tests, servers).
+func (m *Machine) Close() {
+	rk := m.rk
+	rk.closeOnce.Do(func() {
+		rk.closed = true
+		for _, ch := range rk.wake {
+			close(ch)
+		}
+	})
+	runtime.SetFinalizer(m, nil)
+}
+
+// dispatch runs the job staged in m.rk over all n rings — through the
+// worker pool when the policy allows, serially otherwise — then drops the
+// job's object references so an idle pool pins nothing.
+func (m *Machine) dispatch(aligned bool, workWords int) {
+	rk := m.rk
+	if m.parallelOK(workWords) {
+		m.ensureWorkers()
+		b := rk.chunks1
+		if aligned {
+			b = rk.chunksA
+		}
+		rk.bounds = b
+		for w := range b {
+			rk.wake[w] <- struct{}{}
+		}
+		for range b {
+			<-rk.done
+		}
+	} else {
+		for i := 0; i < rk.n; i++ {
+			rk.runRing(i)
+		}
+	}
+	rk.open, rk.topen, rk.src, rk.dst = nil, nil, nil, nil
+	rk.wOpen, rk.wDrv, rk.wDst = nil, nil, nil
+}
+
+// worker is the body of one persistent pool goroutine: park on the wake
+// channel, run the assigned ring range of the staged job, signal done.
+// Closing the wake channel (Machine.Close or the finalizer) ends it.
+func (rk *ringKernels) worker(w int) {
+	for range rk.wake[w] {
+		b := rk.bounds[w]
+		for i := b[0]; i < b[1]; i++ {
+			rk.runRing(i)
+		}
+		rk.done <- struct{}{}
+	}
+}
+
+// runRing executes the staged job on ring i.
+func (rk *ringKernels) runRing(i int) {
+	switch rk.kind {
+	case jobBroadcast:
+		rk.broadcastRing(i)
+	case jobWiredOr:
+		rk.wiredOrRow(i)
+	default:
+		rk.shiftRing(i)
+	}
+}
+
+// broadcastRing resolves one segmented-bus ring: every PE receives the
+// operand of the nearest Open PE strictly upstream in flow order
+// (wrapping); a ring with no Open PE floats and is left unchanged.
+//
+// Instead of walking the ring PE by PE, the kernel scans the Open heads
+// with bit scans and fills whole segments between heads. For horizontal
+// rings the heads are scanned in the open plane itself; for vertical
+// rings the dispatcher stages a transposed copy (rk.topen) so column c's
+// heads are the contiguous bit range of its row c. Scans and fills work
+// in ring-position space: position p is lane base + p*step of the data
+// slices and bit sbase + p of the scan plane. Segments are filled in an
+// order that reads every head's src operand before an aliased dst write
+// can clobber it.
+func (rk *ringKernels) broadcastRing(i int) {
+	n := rk.n
+	src, dst := rk.src, rk.dst
+	var scan *Bitset
+	var base, step int
+	switch rk.dir {
+	case East, West:
+		scan, base, step = rk.open, i*n, 1
+	default:
+		scan, base, step = rk.topen, i, n
+	}
+	sbase := i * n
+	send := sbase + n
+	if rk.dir == East || rk.dir == South {
+		// Forward flow: increasing position, upstream = lower.
+		hi := scan.PrevSet(sbase, send)
+		if hi < 0 {
+			return // floating bus
+		}
+		lo := scan.NextSet(sbase, send) - sbase
+		hi -= sbase
+		wrapVal := src[base+hi*step]
+		// Interior segments (o_j, o_{j+1}] <- src[o_j], in decreasing
+		// order so src[o_j] is read before segment j-1's fill writes it.
+		cur := hi
+		for {
+			prev := scan.PrevSet(sbase, sbase+cur)
+			if prev < 0 {
+				break
+			}
+			prev -= sbase
+			v := src[base+prev*step]
+			for p := prev + 1; p <= cur; p++ {
+				dst[base+p*step] = v
+			}
+			cur = prev
+		}
+		// Wrap segment: positions past the flow-last head and up to (and
+		// including) the flow-first head receive the flow-last operand.
+		for p := hi + 1; p < n; p++ {
+			dst[base+p*step] = wrapVal
+		}
+		for p := 0; p <= lo; p++ {
+			dst[base+p*step] = wrapVal
+		}
+		return
+	}
+	// Reverse flow (West/North): decreasing position, upstream = higher.
+	lo := scan.NextSet(sbase, send)
+	if lo < 0 {
+		return
+	}
+	lo -= sbase
+	hi := scan.PrevSet(sbase, send) - sbase
+	wrapVal := src[base+lo*step]
+	// Interior segments [o_j, o_{j+1}) <- src[o_{j+1}], in increasing
+	// order (each fill stops short of the head it reads).
+	cur := lo
+	for {
+		next := scan.NextSet(sbase+cur+1, send)
+		if next < 0 {
+			break
+		}
+		next -= sbase
+		v := src[base+next*step]
+		for p := cur; p < next; p++ {
+			dst[base+p*step] = v
+		}
+		cur = next
+	}
+	for p := hi; p < n; p++ {
+		dst[base+p*step] = wrapVal
+	}
+	for p := 0; p < lo; p++ {
+		dst[base+p*step] = wrapVal
+	}
+}
+
+// wiredOrRow resolves one row ring of a packed wired-OR plane. The ring
+// occupies the contiguous bit range [i*n, (i+1)*n); rev selects
+// decreasing-bit flow order (West). Cluster heads are found with bit
+// scans and each cluster's OR/fill is a masked word-range operation.
+func (rk *ringKernels) wiredOrRow(i int) {
+	n := rk.n
+	open, drive, dst := rk.wOpen, rk.wDrv, rk.wDst
+	base := i * n
+	end := base + n
+	if rk.rev {
+		first := open.PrevSet(base, end)
+		if first < 0 {
+			dst.FillRange(base, end, drive.AnyRange(base, end))
+			return
+		}
+		start := first
+		for {
+			next := open.PrevSet(base, start)
+			if next < 0 {
+				// Final cluster wraps: [base, start] then the lanes
+				// above the flow-first head.
+				or := drive.AnyRange(base, start+1) || drive.AnyRange(first+1, end)
+				dst.FillRange(base, start+1, or)
+				dst.FillRange(first+1, end, or)
+				return
+			}
+			or := drive.AnyRange(next+1, start+1)
+			dst.FillRange(next+1, start+1, or)
+			start = next
+		}
+	}
+	first := open.NextSet(base, end)
+	if first < 0 {
+		dst.FillRange(base, end, drive.AnyRange(base, end))
+		return
+	}
+	start := first
+	for {
+		next := open.NextSet(start+1, end)
+		if next < 0 {
+			// Final cluster wraps: [start, end) then [base, first).
+			or := drive.AnyRange(start, end) || drive.AnyRange(base, first)
+			dst.FillRange(start, end, or)
+			dst.FillRange(base, first, or)
+			return
+		}
+		or := drive.AnyRange(start, next)
+		dst.FillRange(start, next, or)
+		start = next
+	}
+}
+
+// shiftRing moves one ring's words one PE in flow direction with wrap.
+func (rk *ringKernels) shiftRing(i int) {
+	rg := rk.rings[rk.dir][i]
+	n := rk.n
+	src, dst := rk.src, rk.dst
+	tmp := src[rg.base+(n-1)*rg.stride]
+	for k := n - 1; k >= 1; k-- {
+		dst[rg.base+k*rg.stride] = src[rg.base+(k-1)*rg.stride]
+	}
+	dst[rg.base] = tmp
+}

@@ -1,0 +1,175 @@
+package ppa
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// randPlan builds one random transaction's inputs: a switch plane with a
+// mix of empty, single-head and multi-head rings, and word data.
+func randPlan(rng *rand.Rand, n int, h uint) (open *Bitset, src, dst []Word) {
+	size := n * n
+	open = NewBitset(size)
+	for i := 0; i < size; i++ {
+		if rng.Intn(4) == 0 {
+			open.Set(i)
+		}
+	}
+	src = make([]Word, size)
+	dst = make([]Word, size)
+	for i := range src {
+		src[i] = Word(rng.Int63n(int64(Infinity(h)) + 1))
+		dst[i] = Word(rng.Int63n(int64(Infinity(h)) + 1))
+	}
+	return open, src, dst
+}
+
+// TestPooledKernelsMatchSerial drives every ring kernel through the
+// persistent worker pool (WithForceParallel, so the pooled path runs even
+// on a single-core host) and checks outputs and metrics against a serial
+// machine, across sides that stress the word-alignment partitioning
+// (odd n, n < 64, n a multiple of 64) and worker counts that do not
+// divide n.
+func TestPooledKernelsMatchSerial(t *testing.T) {
+	const h = 8
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 64} {
+		for _, workers := range []int{2, 4, 7} {
+			rng := rand.New(rand.NewSource(int64(1000*n + workers)))
+			ms := New(n, h)
+			mp := New(n, h, WithWorkers(workers), WithForceParallel())
+			defer mp.Close()
+			for round := 0; round < 8; round++ {
+				d := Direction(rng.Intn(4))
+				open, src, dst := randPlan(rng, n, h)
+				dst2 := append([]Word(nil), dst...)
+				switch rng.Intn(3) {
+				case 0:
+					ms.BroadcastBits(d, open, src, dst)
+					mp.BroadcastBits(d, open, src, dst2)
+				case 1:
+					drive := NewBitset(n * n)
+					for i := 0; i < n*n; i++ {
+						if rng.Intn(3) == 0 {
+							drive.Set(i)
+						}
+					}
+					drive2 := NewBitset(n * n)
+					drive2.CopyFrom(drive)
+					// dst aliases drive, as the fused reduction uses it.
+					ms.WiredOrBits(d, open, drive, drive)
+					mp.WiredOrBits(d, open, drive2, drive2)
+					for i := 0; i < n*n; i++ {
+						if drive.Get(i) != drive2.Get(i) {
+							t.Fatalf("n=%d workers=%d round=%d dir=%v: wired-OR lane %d: serial=%v pooled=%v",
+								n, workers, round, d, i, drive.Get(i), drive2.Get(i))
+						}
+					}
+					continue
+				default:
+					ms.Shift(d, src, dst)
+					mp.Shift(d, src, dst2)
+				}
+				for i := range dst {
+					if dst[i] != dst2[i] {
+						t.Fatalf("n=%d workers=%d round=%d dir=%v: lane %d: serial=%d pooled=%d",
+							n, workers, round, d, i, dst[i], dst2[i])
+					}
+				}
+			}
+			if ms.Metrics() != mp.Metrics() {
+				t.Fatalf("n=%d workers=%d: metrics diverge: serial=%+v pooled=%+v",
+					n, workers, ms.Metrics(), mp.Metrics())
+			}
+		}
+	}
+}
+
+// TestPooledKernelsMatchSerialWithFaults repeats the equivalence check
+// with stuck switch faults injected identically on both machines — the
+// fault override must compose with the pooled dispatch.
+func TestPooledKernelsMatchSerialWithFaults(t *testing.T) {
+	const n, h = 13, 6
+	rng := rand.New(rand.NewSource(7))
+	ms := New(n, h)
+	mp := New(n, h, WithWorkers(3), WithForceParallel())
+	defer mp.Close()
+	for _, kind := range []FaultKind{StuckShort, StuckOpen} {
+		pe := rng.Intn(n * n)
+		ms.InjectFault(pe, kind)
+		mp.InjectFault(pe, kind)
+	}
+	for round := 0; round < 16; round++ {
+		d := Direction(rng.Intn(4))
+		open, src, dst := randPlan(rng, n, h)
+		dst2 := append([]Word(nil), dst...)
+		ms.BroadcastBits(d, open, src, dst)
+		mp.BroadcastBits(d, open, src, dst2)
+		for i := range dst {
+			if dst[i] != dst2[i] {
+				t.Fatalf("faulty round=%d dir=%v lane %d: serial=%d pooled=%d", round, d, i, dst[i], dst2[i])
+			}
+		}
+	}
+}
+
+// TestMachineCloseSerialFallback checks Close is idempotent and that a
+// closed machine keeps producing correct results on the serial path.
+func TestMachineCloseSerialFallback(t *testing.T) {
+	const n, h = 8, 8
+	rng := rand.New(rand.NewSource(3))
+	ms := New(n, h)
+	mp := New(n, h, WithWorkers(4), WithForceParallel())
+	open, src, dst := randPlan(rng, n, h)
+	dst2 := append([]Word(nil), dst...)
+	mp.BroadcastBits(East, open, src, dst2) // spawn the pool
+	mp.Close()
+	mp.Close() // idempotent
+	ms.BroadcastBits(East, open, src, dst)
+	copy(dst2, dst)
+	ms.BroadcastBits(South, open, src, dst)
+	mp.BroadcastBits(South, open, src, dst2)
+	for i := range dst {
+		if dst[i] != dst2[i] {
+			t.Fatalf("post-Close lane %d: serial=%d closed-pooled=%d", i, dst[i], dst2[i])
+		}
+	}
+}
+
+// settleGoroutines waits for the goroutine count to stop changing (pool
+// workers from earlier tests exit asynchronously after Close).
+func settleGoroutines() int {
+	prev, stable := runtime.NumGoroutine(), 0
+	for i := 0; i < 500 && stable < 5; i++ {
+		time.Sleep(2 * time.Millisecond)
+		if n := runtime.NumGoroutine(); n == prev {
+			stable++
+		} else {
+			prev, stable = n, 0
+		}
+	}
+	return prev
+}
+
+// TestMachineCloseStopsWorkers pins deterministic goroutine shutdown:
+// after Close, the pool goroutines exit.
+func TestMachineCloseStopsWorkers(t *testing.T) {
+	base := settleGoroutines()
+	m := New(16, 8, WithWorkers(4), WithForceParallel())
+	open := NewBitset(16 * 16)
+	open.Fill(true)
+	src := make([]Word, 16*16)
+	m.BroadcastBits(East, open, src, src)
+	if n := runtime.NumGoroutine(); n <= base {
+		t.Fatalf("expected pool goroutines after a forced-parallel transaction (%d vs base %d)", n, base)
+	}
+	m.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool goroutines did not exit: %d now vs %d at start", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -21,10 +21,11 @@ type poolKey struct {
 // cost the pool exists to amortize). Sessions are returned after use
 // unless the pool is full or the session is suspect (a panicked solve).
 type Pool struct {
-	mu    sync.Mutex
-	idle  map[poolKey][]*core.Session
-	total int
-	cap   int
+	mu          sync.Mutex
+	idle        map[poolKey][]*core.Session
+	total       int
+	cap         int
+	ringWorkers int
 
 	hits, misses, discards int64
 }
@@ -36,8 +37,11 @@ type PoolStats struct {
 }
 
 // NewPool returns a pool keeping at most cap idle sessions in total.
-func NewPool(cap int) *Pool {
-	return &Pool{idle: make(map[poolKey][]*core.Session), cap: cap}
+// ringWorkers is the per-session simulator ring fan-out (core
+// Options.Workers; 0/1 = serial), composing machine-level parallelism
+// with the service's session-level concurrency.
+func NewPool(cap, ringWorkers int) *Pool {
+	return &Pool{idle: make(map[poolKey][]*core.Session), cap: cap, ringWorkers: ringWorkers}
 }
 
 // Get checks out a session for g at word width h, reporting whether it
@@ -54,6 +58,7 @@ func (p *Pool) Get(g *graph.Graph, h uint) (*core.Session, bool, error) {
 		if err := s.Reload(g); err != nil {
 			// The graph does not fit this width (e.g. weights too wide
 			// for h). A fresh build would fail identically; report it.
+			s.Close()
 			p.mu.Lock()
 			p.discards++
 			p.mu.Unlock()
@@ -66,7 +71,7 @@ func (p *Pool) Get(g *graph.Graph, h uint) (*core.Session, bool, error) {
 	}
 	p.misses++
 	p.mu.Unlock()
-	s, err := core.NewSession(g, core.Options{Bits: h})
+	s, err := core.NewSession(g, core.Options{Bits: h, Workers: p.ringWorkers})
 	if err != nil {
 		return nil, false, err
 	}
@@ -74,17 +79,34 @@ func (p *Pool) Get(g *graph.Graph, h uint) (*core.Session, bool, error) {
 }
 
 // Put returns a session to the pool; when the pool is full the session is
-// simply dropped for the GC.
+// closed (stopping its ring workers) and dropped for the GC.
 func (p *Pool) Put(s *core.Session) {
 	key := poolKey{s.N(), s.Bits()}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.total >= p.cap {
 		p.discards++
+		p.mu.Unlock()
+		s.Close()
 		return
 	}
 	p.idle[key] = append(p.idle[key], s)
 	p.total++
+	p.mu.Unlock()
+}
+
+// Close drains the pool, closing every idle session (deterministic ring
+// worker shutdown). The pool stays usable; subsequent Gets miss.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = make(map[poolKey][]*core.Session)
+	p.total = 0
+	p.mu.Unlock()
+	for _, list := range idle {
+		for _, s := range list {
+			s.Close()
+		}
+	}
 }
 
 // Stats returns a consistent snapshot.

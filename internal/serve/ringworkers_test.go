@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"ppamcp/internal/cli"
+)
+
+// TestRingWorkersSmoke runs the service with per-session ring fan-out
+// enabled (RingWorkers > 1) composed with solver-goroutine concurrency,
+// checks answers against the sequential reference, and verifies shutdown
+// tears the pooled sessions — and their persistent ring workers, on hosts
+// where the dispatch policy spawns them — down without leaking goroutines.
+func TestRingWorkersSmoke(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	srv := New(Config{Workers: 2, PoolCap: 4, RingWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	spec := cli.Workload{Gen: "connected", N: 24, Density: 0.3, MaxW: 9, Seed: 11}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := []int{0, 5, 23}
+	for r := 0; r < 3; r++ {
+		code, sr, er, _ := postSolve(t, client, ts.URL, SolveRequest{Graph: rawGraph(t, g), Dests: dests})
+		if code != http.StatusOK {
+			t.Fatalf("round %d: status %d: %v", r, code, er)
+		}
+		checkResponse(t, g, sr, dests)
+	}
+
+	ts.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	leakCheck(t, baseGoroutines)
+}

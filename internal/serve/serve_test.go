@@ -287,15 +287,17 @@ func TestOverload429(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			// Distinct weights per request: no coalescing, every request
-			// needs its own queue slot. Long chains keep the single
-			// worker busy while the burst arrives.
-			g := graph.GenChain(48, int64(i+1))
+			// needs its own queue slot. Long chains (many DP iterations,
+			// n=128 fabric) keep the single worker busy for milliseconds
+			// per job — far longer than the burst takes to arrive — so
+			// the depth-1 queue must shed.
+			g := graph.GenChain(128, int64(i+1))
 			code, sr, _, hdr := postSolve(t, ts.Client(), ts.URL, SolveRequest{
-				Graph: rawGraph(t, g), Dests: []int{47},
+				Graph: rawGraph(t, g), Dests: []int{127},
 			})
 			outcomes[i] = outcome{code, hdr.Get("Retry-After")}
 			if code == http.StatusOK {
-				checkResponse(t, g, sr, []int{47})
+				checkResponse(t, g, sr, []int{127})
 			}
 		}(i)
 	}
@@ -394,7 +396,7 @@ func TestQueueCoalescing(t *testing.T) {
 // TestPool pins checkout semantics: miss then hit, capacity discard, and
 // a Reload failure surfacing as an error.
 func TestPool(t *testing.T) {
-	p := NewPool(1)
+	p := NewPool(1, 1)
 	g1 := graph.GenChain(8, 3)
 	g2 := graph.GenChain(8, 5)
 

@@ -28,6 +28,12 @@ type Config struct {
 	// PoolCap bounds the idle warm sessions kept across requests
 	// (default 64).
 	PoolCap int
+	// RingWorkers is each session's simulator ring fan-out
+	// (core.Options.Workers; default 1 = serial). Machine-level
+	// parallelism composes with — and competes for cores against — the
+	// Workers session-level concurrency, so raise it only when requests
+	// are scarce and graphs are large.
+	RingWorkers int
 	// MaxVertices is the largest graph accepted (default 512; hard cap
 	// graph.MaxParseVertices). An n-vertex request simulates an n x n
 	// machine, so this is the primary admission knob.
@@ -106,7 +112,7 @@ func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:     cfg,
-		pool:    NewPool(cfg.PoolCap),
+		pool:    NewPool(cfg.PoolCap, cfg.RingWorkers),
 		q:       newQueue(cfg.QueueDepth),
 		metrics: NewMetrics(),
 	}
@@ -141,6 +147,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.pool.Close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -223,6 +230,8 @@ func (s *Server) runBatch(b *batch) {
 	}
 	if healthy {
 		s.pool.Put(sess)
+	} else {
+		sess.Close()
 	}
 }
 

@@ -115,6 +115,10 @@ func (v *Machine) Metrics() ppa.Metrics { return v.phys.Metrics() }
 // ResetMetrics zeroes the physical counters.
 func (v *Machine) ResetMetrics() { v.phys.ResetMetrics() }
 
+// Close stops the physical machine's persistent ring workers (see
+// ppa.Machine.Close); the virtual machine stays usable, serially.
+func (v *Machine) Close() { v.phys.Close() }
+
 // CountPE forwards local-operation charges to the physical machine.
 func (v *Machine) CountPE(ops int64) { v.phys.CountPE(ops) }
 
