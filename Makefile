@@ -25,10 +25,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable snapshot: E1-E6 cycle tables + wall-clock solve cost
-# (including the workers-scaling curve and the fused-vs-reference session
-# ablation).
+# (including the workers-scaling curve, the fused-vs-reference session
+# ablation, and the virtualization curve k = n/m in {1, 2, 4, 8}).
 bench-json:
-	$(GO) run ./cmd/benchtab -json > BENCH_PR3.json
+	$(GO) run ./cmd/benchtab -json > BENCH_PR5.json
 
 # CPU profile of the simulator's hot path (repeated n=64 session solves);
 # inspect with `go tool pprof solve.pprof`.

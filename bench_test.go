@@ -236,4 +236,24 @@ func BenchmarkSolveWallClock(b *testing.B) {
 			}
 		}
 	})
+	// Virtualization curve: the same warm-session workload block-mapped
+	// onto an m x m physical array (k = 64/m within-block planes per
+	// logical transaction). phys=64 is the k=1 sanity point (direct
+	// execution).
+	for _, phys := range []int{64, 32, 16, 8} {
+		b.Run(fmt.Sprintf("n=64/virt-m=%d", phys), func(b *testing.B) {
+			b.ReportAllocs()
+			s, err := core.NewSession(g, core.Options{PhysicalSide: phys})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

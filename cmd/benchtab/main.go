@@ -87,6 +87,14 @@ func runWallClock() []wallClock {
 	// Interpretive-kernel ablation: the gap to n=64/session is what the
 	// fused bit-sliced reduction kernels buy.
 	session("SolveWallClock/n=64/session-reference", core.Options{ReferenceKernels: true})
+	// Virtualization curve: the same n=64 problem block-mapped onto
+	// shrinking physical arrays (k = n/m logical PEs per physical PE;
+	// phys=64 is k=1, sanity-equal to the direct session). Tracks the
+	// host cost of the packed virtualization engine across PRs.
+	for _, phys := range []int{64, 32, 16, 8} {
+		session(fmt.Sprintf("SolveWallClock/n=64/session-virt-m=%d", phys),
+			core.Options{PhysicalSide: phys})
+	}
 	return out
 }
 

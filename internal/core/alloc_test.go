@@ -34,3 +34,29 @@ func TestSolveSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state Session.Solve allocates %.0f objects, want <= %d", allocs, maxAllocs)
 	}
 }
+
+// TestVirtualSolveSteadyStateAllocs pins the same property for
+// block-mapped execution: the packed virtualization engine keeps all
+// plane-pass staging in machine-owned scratch, so a warm virtualized
+// Solve allocates in the same band as the direct machine — far below the
+// per-lane unpack scratch it replaced (which added ~1000 allocations per
+// solve at n=64 on m=8).
+func TestVirtualSolveSteadyStateAllocs(t *testing.T) {
+	g := graph.GenRandomConnected(64, 0.3, 9, 5)
+	s, err := NewSession(g, Options{PhysicalSide: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := s.Solve(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 400
+	if allocs > maxAllocs {
+		t.Fatalf("steady-state virtualized Session.Solve allocates %.0f objects, want <= %d", allocs, maxAllocs)
+	}
+}

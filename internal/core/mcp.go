@@ -240,6 +240,12 @@ func (s *Session) N() int { return s.m.N() }
 // Bits returns the machine word width h the session runs with.
 func (s *Session) Bits() uint { return s.m.Bits() }
 
+// Options returns the options the session was built with. Callers that
+// recycle sessions (internal/serve's pool) key interchangeability on the
+// fabric-relevant fields — two sessions are substitutes only when N, Bits
+// and these options agree.
+func (s *Session) Options() Options { return s.opt }
+
 // Reload replaces the session's graph with a new one of the same vertex
 // count, reusing the fabric, the coordinate masks and the weight plane's
 // storage — no re-allocation. This is what makes pooling sessions across

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ppamcp/internal/ppa"
+	"ppamcp/internal/virt"
 )
 
 // TestMinSteadyStateAllocs pins the pooling of the bit-serial minimum's
@@ -38,6 +39,40 @@ func TestMinSteadyStateAllocs(t *testing.T) {
 					fused, workers, allocs, maxAllocs)
 			}
 			m.Close()
+		}
+	}
+}
+
+// TestVirtMinSteadyStateAllocs extends the zero-alloc pin to block-mapped
+// execution: the packed virtualization engine stages every plane pass in
+// scratch owned by the virt.Machine (sized at construction), so a warm
+// Min on a virtualized fabric — fused or reference, serial or pooled —
+// allocates nothing per transaction either.
+func TestVirtMinSteadyStateAllocs(t *testing.T) {
+	const maxAllocs = 2
+	for _, fused := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			var opts []ppa.Option
+			if workers > 1 {
+				opts = append(opts, ppa.WithWorkers(workers), ppa.WithForceParallel())
+			}
+			vm, err := virt.New(64, 8, 10, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := New(vm)
+			a.SetFused(fused)
+			src := a.Row()
+			head := a.Col().EqConst(63)
+			a.Min(src, ppa.West, head).Release() // warm-up fills the pools
+			allocs := testing.AllocsPerRun(5, func() {
+				a.Min(src, ppa.West, head).Release()
+			})
+			if allocs > maxAllocs {
+				t.Errorf("fused=%v workers=%d: steady-state virtualized Min allocates %.0f objects, want <= %d",
+					fused, workers, allocs, maxAllocs)
+			}
+			vm.Close()
 		}
 	}
 }

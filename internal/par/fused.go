@@ -14,27 +14,30 @@ import "ppamcp/internal/ppa"
 // WiredOrBits fabric transaction.
 //
 // The fusion is host-side only: it issues exactly the transactions the
-// reference path issues, in the same order, against the same Machine — so
+// reference path issues, in the same order, against the same fabric — so
 // fault semantics, observer event streams and every Metrics counter
 // (including Instructions and PEOps, which are charged explicitly to
-// mirror the reference pipeline) are identical. fused_test.go pins this
-// with property tests; the interpretive path remains the oracle and is
-// the only path under injected faults, on non-plain fabrics (virt), and
-// for the switch-only OR model.
+// mirror the reference pipeline) are identical. That holds for the plain
+// machine and for virtualized fabrics alike (virt's packed engine
+// likewise shadows its lane path one-for-one). fused_test.go and the core
+// fused-parity tests pin this with property tests; the interpretive path
+// remains the oracle and is the only path under injected faults and for
+// the switch-only OR model.
 
-// fusedOn returns the plain machine the fused kernels may run on, or nil
-// when the interpretive reference path must be used: fused disabled, a
-// virtualized or foreign fabric, or injected switch faults (the fault
-// model is defined by the reference ring walk).
-func (a *Array) fusedOn() *ppa.Machine {
+// fusedOn returns the fabric the fused kernels may run on, or nil when
+// the interpretive reference path must be used: fused disabled, a foreign
+// fabric that cannot report fault state, or injected switch faults (the
+// fault model is defined by the reference ring walk). Both the plain
+// machine and virtualized fabrics qualify.
+func (a *Array) fusedOn() ppa.Fabric {
 	if !a.fused {
 		return nil
 	}
-	m, ok := a.m.(*ppa.Machine)
-	if !ok || m.Faulty() {
+	f, ok := a.m.(interface{ Faulty() bool })
+	if !ok || f.Faulty() {
 		return nil
 	}
-	return m
+	return a.m
 }
 
 // SetFused enables (or disables) the fused bit-sliced reduction kernels.
@@ -75,7 +78,7 @@ func slicePlanes(planes []uint64, src []ppa.Word, h, wpp int) {
 // the PEs where sel holds (SelectedMin/SelectedMax), and sel itself is
 // never written. The instruction charges shadow the reference pipeline
 // one-for-one; see the file comment.
-func (a *Array) fusedReduce(m *ppa.Machine, src *Var, orientation ppa.Direction, open, sel *Bool, min bool) *Var {
+func (a *Array) fusedReduce(m ppa.Fabric, src *Var, orientation ppa.Direction, open, sel *Bool, min bool) *Var {
 	h := int(a.m.Bits())
 	size := a.size()
 	wpp := (size + 63) >> 6

@@ -151,7 +151,8 @@ func TestSelectedReductionsNeverMutateSelection(t *testing.T) {
 
 // TestFusedFallsBackToReference checks the gating: the fused kernels must
 // not engage on a faulty machine (the fault model is defined by the
-// reference ring walk), on a virtualized fabric, or when disabled.
+// reference ring walk) or when disabled, and must engage on healthy
+// plain and virtualized fabrics alike.
 func TestFusedFallsBackToReference(t *testing.T) {
 	a := New(ppa.New(4, 8))
 	if a.Fused() {
@@ -183,8 +184,16 @@ func TestFusedFallsBackToReference(t *testing.T) {
 	}
 	av := New(vm)
 	av.SetFused(true)
+	if av.fusedOn() == nil {
+		t.Fatal("fusedOn should engage on a healthy virtualized fabric")
+	}
+	vm.Physical().InjectFault(5, ppa.StuckShort)
 	if av.fusedOn() != nil {
-		t.Fatal("fusedOn must be nil on a virtualized fabric")
+		t.Fatal("fusedOn must be nil on a virtualized fabric with physical faults")
+	}
+	vm.Physical().ClearFaults()
+	if av.fusedOn() == nil {
+		t.Fatal("fusedOn should re-engage after clearing physical faults")
 	}
 
 	// And the faulty-machine fallback must still compute correct results

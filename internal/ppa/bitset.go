@@ -291,9 +291,11 @@ func (b *Bitset) FromBools(data []bool) {
 		}
 		var w uint64
 		for k := 0; k < lim; k++ {
+			var bit uint64
 			if data[base+k] {
-				w |= 1 << uint(k)
+				bit = 1
 			}
+			w |= bit << uint(k)
 		}
 		b.w[wi] = w
 	}

@@ -17,6 +17,7 @@ const (
 	jobBroadcast jobKind = iota
 	jobWiredOr
 	jobShift
+	jobExtern
 )
 
 // ringKernels owns the per-ring kernel bodies and the persistent worker
@@ -35,16 +36,17 @@ type ringKernels struct {
 	rings [4][]ring // shares the Machine's backing arrays (geometry only)
 
 	// Current job.
-	kind  jobKind
-	dir   Direction
-	open  *Bitset // broadcast switch configuration
-	topen *Bitset // transposed open (vertical broadcasts; column c = row c)
-	src   []Word  // broadcast/shift source
-	dst   []Word  // broadcast/shift destination
-	wOpen *Bitset // wired-OR cluster heads (row layout)
-	wDrv  *Bitset // wired-OR drive plane (row layout)
-	wDst  *Bitset // wired-OR result plane (row layout)
-	rev   bool    // wired-OR decreasing-bit flow order (West/North)
+	kind   jobKind
+	dir    Direction
+	open   *Bitset     // broadcast switch configuration
+	topen  *Bitset     // transposed open (vertical broadcasts; column c = row c)
+	src    []Word      // broadcast/shift source
+	dst    []Word      // broadcast/shift destination
+	wOpen  *Bitset     // wired-OR cluster heads (row layout)
+	wDrv   *Bitset     // wired-OR drive plane (row layout)
+	wDst   *Bitset     // wired-OR result plane (row layout)
+	rev    bool        // wired-OR decreasing-bit flow order (West/North)
+	extern func(i int) // caller-supplied per-ring body (RunRings)
 
 	// Persistent workers, spawned lazily at the first parallel dispatch.
 	// chunks1/chunksA are the precomputed ring partitions at alignment 1
@@ -157,6 +159,23 @@ func (m *Machine) dispatch(aligned bool, workWords int) {
 	}
 	rk.open, rk.topen, rk.src, rk.dst = nil, nil, nil, nil
 	rk.wOpen, rk.wDrv, rk.wDst = nil, nil, nil
+	rk.extern = nil
+}
+
+// RunRings runs fn(i) for every ring index i in [0, N) — through the
+// machine's persistent worker pool when the transaction-size policy
+// allows, serially on the calling goroutine otherwise. workWords is the
+// caller's estimate of the host words the whole pass touches, fed to the
+// same grain policy as native transactions; fn must be safe for
+// concurrent calls with distinct i and must not issue machine
+// transactions. This is how the virtualization layer fans its
+// within-block plane passes over the same long-lived workers as plain
+// bus transactions (see internal/virt).
+func (m *Machine) RunRings(workWords int, fn func(i int)) {
+	rk := m.rk
+	rk.kind = jobExtern
+	rk.extern = fn
+	m.dispatch(false, workWords)
 }
 
 // worker is the body of one persistent pool goroutine: park on the wake
@@ -179,6 +198,8 @@ func (rk *ringKernels) runRing(i int) {
 		rk.broadcastRing(i)
 	case jobWiredOr:
 		rk.wiredOrRow(i)
+	case jobExtern:
+		rk.extern(i)
 	default:
 		rk.shiftRing(i)
 	}

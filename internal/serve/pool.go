@@ -8,11 +8,30 @@ import (
 )
 
 // poolKey identifies interchangeable sessions: same array side, same word
-// width. Any graph with n vertices whose costs fit in h bits can run on
-// any session with this key after a Reload.
+// width, same fabric shape. Any graph with n vertices whose costs fit in
+// h bits can run on any session with this key after a Reload. The
+// fabric-relevant options are part of the key: a block-mapped session
+// (PhysicalSide) simulates a different machine than a direct one, and a
+// reference-kernel session reports the same answers on a different host
+// path — handing either out for the other would silently change the
+// metrics and performance a caller observes.
 type poolKey struct {
-	n int
-	h uint
+	n    int
+	h    uint
+	phys int  // virtualization physical side; 0 = direct execution
+	ref  bool // interpretive reference kernels forced
+}
+
+// keyFor normalizes the fabric options the way core.NewSession applies
+// them: PhysicalSide engages block-mapped execution only when it is
+// positive, smaller than n, and divides n — otherwise the session runs
+// direct and must pool with the direct ones.
+func keyFor(n int, h uint, opt core.Options) poolKey {
+	phys := opt.PhysicalSide
+	if phys <= 0 || phys >= n || n%phys != 0 {
+		phys = 0
+	}
+	return poolKey{n: n, h: h, phys: phys, ref: opt.ReferenceKernels}
 }
 
 // Pool recycles warm core.Sessions across requests. A checkout either
@@ -21,11 +40,12 @@ type poolKey struct {
 // cost the pool exists to amortize). Sessions are returned after use
 // unless the pool is full or the session is suspect (a panicked solve).
 type Pool struct {
-	mu          sync.Mutex
-	idle        map[poolKey][]*core.Session
-	total       int
-	cap         int
-	ringWorkers int
+	mu           sync.Mutex
+	idle         map[poolKey][]*core.Session
+	total        int
+	cap          int
+	ringWorkers  int
+	physicalSide int
 
 	hits, misses, discards int64
 }
@@ -39,15 +59,33 @@ type PoolStats struct {
 // NewPool returns a pool keeping at most cap idle sessions in total.
 // ringWorkers is the per-session simulator ring fan-out (core
 // Options.Workers; 0/1 = serial), composing machine-level parallelism
-// with the service's session-level concurrency.
-func NewPool(cap, ringWorkers int) *Pool {
-	return &Pool{idle: make(map[poolKey][]*core.Session), cap: cap, ringWorkers: ringWorkers}
+// with the service's session-level concurrency. physicalSide, when
+// nonzero, builds block-mapped sessions (core Options.PhysicalSide) for
+// graphs whose vertex count it divides; other graphs fall back to direct
+// execution, under a distinct pool key.
+func NewPool(cap, ringWorkers, physicalSide int) *Pool {
+	return &Pool{
+		idle:         make(map[poolKey][]*core.Session),
+		cap:          cap,
+		ringWorkers:  ringWorkers,
+		physicalSide: physicalSide,
+	}
+}
+
+// options returns the session options the pool builds for an n-vertex
+// graph at width h, with PhysicalSide already normalized so that
+// core.NewSession never sees a non-divisor side.
+func (p *Pool) options(n int, h uint) core.Options {
+	opt := core.Options{Bits: h, Workers: p.ringWorkers, PhysicalSide: p.physicalSide}
+	opt.PhysicalSide = keyFor(n, h, opt).phys
+	return opt
 }
 
 // Get checks out a session for g at word width h, reporting whether it
 // was a pool hit. The caller owns the session until Put.
 func (p *Pool) Get(g *graph.Graph, h uint) (*core.Session, bool, error) {
-	key := poolKey{g.N, h}
+	opt := p.options(g.N, h)
+	key := keyFor(g.N, h, opt)
 	p.mu.Lock()
 	if list := p.idle[key]; len(list) > 0 {
 		s := list[len(list)-1]
@@ -71,7 +109,7 @@ func (p *Pool) Get(g *graph.Graph, h uint) (*core.Session, bool, error) {
 	}
 	p.misses++
 	p.mu.Unlock()
-	s, err := core.NewSession(g, core.Options{Bits: h, Workers: p.ringWorkers})
+	s, err := core.NewSession(g, opt)
 	if err != nil {
 		return nil, false, err
 	}
@@ -81,7 +119,10 @@ func (p *Pool) Get(g *graph.Graph, h uint) (*core.Session, bool, error) {
 // Put returns a session to the pool; when the pool is full the session is
 // closed (stopping its ring workers) and dropped for the GC.
 func (p *Pool) Put(s *core.Session) {
-	key := poolKey{s.N(), s.Bits()}
+	// Key by the session's own build options, not the pool's current
+	// configuration: a session checked out under one fabric shape must
+	// come back under the same one.
+	key := keyFor(s.N(), s.Bits(), s.Options())
 	p.mu.Lock()
 	if p.total >= p.cap {
 		p.discards++

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"ppamcp/internal/cli"
+	"ppamcp/internal/core"
 	"ppamcp/internal/graph"
+	"ppamcp/internal/virt"
 )
 
 // postSolve sends a SolveRequest and decodes the reply.
@@ -396,7 +398,7 @@ func TestQueueCoalescing(t *testing.T) {
 // TestPool pins checkout semantics: miss then hit, capacity discard, and
 // a Reload failure surfacing as an error.
 func TestPool(t *testing.T) {
-	p := NewPool(1, 1)
+	p := NewPool(1, 1, 0)
 	g1 := graph.GenChain(8, 3)
 	g2 := graph.GenChain(8, 5)
 
@@ -434,6 +436,79 @@ func TestPool(t *testing.T) {
 	if _, _, err := p.Get(wide, 8); err == nil {
 		t.Fatal("pool accepted weights that overflow h=8")
 	}
+}
+
+// TestPoolKeysFabricOptions is the regression test for the pool key: it
+// used to be {n, h} only, so a session built on one fabric shape could be
+// handed out for a request expecting another. Interchangeability must
+// also require equal fabric-relevant options (PhysicalSide,
+// ReferenceKernels), keyed by what the session was actually built with.
+func TestPoolKeysFabricOptions(t *testing.T) {
+	g := graph.GenChain(8, 3)
+
+	// A foreign session with the same {n, h} but a different fabric shape
+	// (block-mapped 8-on-4, reference kernels) parked in a direct pool
+	// must NOT satisfy a direct checkout.
+	direct := NewPool(4, 1, 0)
+	odd, err := core.NewSession(g, core.Options{Bits: 8, PhysicalSide: 4, ReferenceKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.Put(odd)
+	s, hit, err := direct.Get(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("direct checkout satisfied by a virtualized reference-kernel session")
+	}
+	if s.Options() != (core.Options{Bits: 8, Workers: 1}) {
+		t.Fatalf("direct pool built options %+v", s.Options())
+	}
+	direct.Put(s)
+
+	// A virtualizing pool keys its own sessions consistently: put then
+	// get of a tileable graph is a hit, and the session really is
+	// block-mapped.
+	vp := NewPool(4, 1, 4)
+	s1, hit, err := vp.Get(g, 8)
+	if err != nil || hit {
+		t.Fatalf("cold virtualized Get: hit=%v err=%v", hit, err)
+	}
+	if s1.Options().PhysicalSide != 4 {
+		t.Fatalf("virtualizing pool built PhysicalSide=%d, want 4", s1.Options().PhysicalSide)
+	}
+	if _, ok := s1.Fabric().(*virt.Machine); !ok {
+		t.Fatalf("virtualizing pool built fabric %T, want *virt.Machine", s1.Fabric())
+	}
+	vp.Put(s1)
+	s2, hit, err := vp.Get(g, 8)
+	if err != nil || !hit {
+		t.Fatalf("warm virtualized Get: hit=%v err=%v", hit, err)
+	}
+	res, err := s2.Solve(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := graph.BellmanFord(g, 7)
+	if !graph.SameDistances(&res.Result, want) {
+		t.Fatal("virtualized session solved the wrong answer")
+	}
+	vp.Put(s2)
+
+	// Graphs the physical side cannot tile fall back to direct execution
+	// under a distinct key — they neither fail nor poach virt sessions.
+	g6 := graph.GenChain(6, 3)
+	s3, hit, err := vp.Get(g6, 8)
+	if err != nil || hit {
+		t.Fatalf("untileable Get: hit=%v err=%v", hit, err)
+	}
+	if s3.Options().PhysicalSide != 0 {
+		t.Fatalf("untileable graph got PhysicalSide=%d, want 0 (direct)", s3.Options().PhysicalSide)
+	}
+	vp.Put(s3)
+	vp.Close()
+	direct.Close()
 }
 
 // TestPanicIsolation injects a panic into one request's solve and

@@ -34,6 +34,14 @@ type Config struct {
 	// Workers session-level concurrency, so raise it only when requests
 	// are scarce and graphs are large.
 	RingWorkers int
+	// PhysicalSide, when nonzero, serves requests on block-mapped
+	// virtualized sessions (core.Options.PhysicalSide): an n-vertex graph
+	// whose n is a positive multiple of PhysicalSide simulates on a
+	// PhysicalSide x PhysicalSide machine with k = n/PhysicalSide logical
+	// PEs per physical PE. Graphs it cannot tile fall back to direct
+	// execution. Answers are identical; reported machine metrics follow
+	// the virtualization cost law (default 0 = direct).
+	PhysicalSide int
 	// MaxVertices is the largest graph accepted (default 512; hard cap
 	// graph.MaxParseVertices). An n-vertex request simulates an n x n
 	// machine, so this is the primary admission knob.
@@ -112,7 +120,7 @@ func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:     cfg,
-		pool:    NewPool(cfg.PoolCap, cfg.RingWorkers),
+		pool:    NewPool(cfg.PoolCap, cfg.RingWorkers, cfg.PhysicalSide),
 		q:       newQueue(cfg.QueueDepth),
 		metrics: NewMetrics(),
 	}

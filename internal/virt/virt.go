@@ -12,6 +12,15 @@
 // physical comm cycles — is the virtualization ablation measured in
 // EXPERIMENTS.md.
 //
+// The packed entry points of the Fabric contract (BroadcastBits,
+// WiredOrBits, GlobalOrBits, plus Shift) are the production engine: the
+// within-block plane passes run as word-level bit scans and segment fills
+// over the packed planes (see packed.go), optionally fanned over the
+// physical machine's persistent ring worker pool. The []bool entry points
+// below remain the lane-at-a-time reference semantics; packed and lane
+// paths produce bit-identical results and byte-identical ppa.Metrics
+// (property-tested in packedparity_test.go).
+//
 // Results are bit-identical to running a real n x n machine
 // (property-tested against ppa.Machine on random inputs).
 package virt
@@ -30,14 +39,60 @@ type Machine struct {
 	k    int // block side, n/m
 
 	// lanes[d][t*m*m+P] lists, for direction d and plane t, physical PE
-	// P's k logical flat indices in flow order.
+	// P's k logical flat indices in flow order. Only the lane-at-a-time
+	// reference path below walks these; the packed engine derives the
+	// same geometry with index arithmetic.
 	lanes [4][][]int
 
-	// Cached unpacking scratch for the packed (Bitset) fabric entry
-	// points; the block-mapped decomposition itself works lane-at-a-time,
-	// so packed arguments are unpacked once per transaction here instead
-	// of allocating.
-	sOpen, sDrive, sDst []bool
+	// Per-physical-PE staging for the packed plane passes (m*m entries
+	// each). The scan kernels write the []bool / []Word forms — distinct
+	// bytes and words, so pooled per-ring workers never share a written
+	// location — and the serial stitch phase packs them for the physical
+	// transactions.
+	pOpenB             []bool     // block has an Open lane on this plane
+	tailB, fullB       []bool     // wired-OR drive decomposition
+	pDriveB, pOrB      []bool     // physical drive / wired-OR result
+	pInject, pRecv     []ppa.Word // broadcast injection/carry values
+	headW              []ppa.Word // head-cluster drive, as 0/1 words
+	shiftHead, shiftOr []ppa.Word // one-bit stitch shift results
+	orW                []ppa.Word // physical wired-OR result as 0/1 words
+	boundary, incoming []ppa.Word // shift block-boundary staging
+
+	// Transposed logical planes for vertical passes: a column's
+	// within-block scans become contiguous-bit scans of the transposed
+	// row (the same 64x64 tile transpose the plain machine uses).
+	// openSnap holds the open plane tOpen was last computed from:
+	// vertical passes with an unchanged switch configuration (every
+	// plane of a fused reduction, the fixed row/diagonal selectors of
+	// the solver loop) skip the re-transpose on a word-compare hit.
+	tOpen, tDrive, tDst *ppa.Bitset
+	openSnap            *ppa.Bitset
+
+	// Staged parameters of the current packed plane pass, read by the
+	// ring kernels below (possibly from pooled workers; the pool's
+	// wake/done barrier orders these writes before the workers' reads).
+	jt            int  // within-block plane index
+	jRev          bool // decreasing-bit flow order (West/North)
+	jVert         bool // vertical pass (kernels scan transposed planes)
+	jSrc, jDst    []ppa.Word
+	jScan         *ppa.Bitset // open plane in scan orientation
+	jDrive, jWDst *ppa.Bitset // wired-OR planes in scan orientation
+
+	// Persistent ring-kernel bodies (method values, created once so a
+	// pooled dispatch never allocates a closure).
+	fnBcastScan, fnBcastFill    func(int)
+	fnWorScan, fnWorFill        func(int)
+	fnShiftCollect, fnShiftMove func(int)
+
+	// rowsAligned: n is a multiple of 64, so every logical row (and every
+	// transposed-column row) of a packed plane starts on a word boundary
+	// and pooled fill kernels for distinct rings never write the same
+	// word. Packed bitset fills fall back to serial execution otherwise.
+	rowsAligned bool
+	// wordBlocks additionally requires 64%k == 0: blocks then nest
+	// exactly in host words and the scan/fill kernels run on register
+	// masks instead of per-block Bitset range calls (see packed.go).
+	wordBlocks bool
 }
 
 // Machine implements the logical fabric contract.
@@ -51,6 +106,32 @@ func New(n, m int, h uint, opts ...ppa.Option) (*Machine, error) {
 	}
 	v := &Machine{phys: ppa.New(m, h, opts...), n: n, m: m, k: n / m}
 	v.buildLanes()
+	mm := m * m
+	v.pOpenB = make([]bool, mm)
+	v.tailB = make([]bool, mm)
+	v.fullB = make([]bool, mm)
+	v.pDriveB = make([]bool, mm)
+	v.pOrB = make([]bool, mm)
+	v.pInject = make([]ppa.Word, mm)
+	v.pRecv = make([]ppa.Word, mm)
+	v.headW = make([]ppa.Word, mm)
+	v.shiftHead = make([]ppa.Word, mm)
+	v.shiftOr = make([]ppa.Word, mm)
+	v.orW = make([]ppa.Word, mm)
+	v.boundary = make([]ppa.Word, mm)
+	v.incoming = make([]ppa.Word, mm)
+	v.tOpen = ppa.NewBitset(n * n)
+	v.tDrive = ppa.NewBitset(n * n)
+	v.tDst = ppa.NewBitset(n * n)
+	v.openSnap = ppa.NewBitset(n * n)
+	v.fnBcastScan = v.bcastScanRing
+	v.fnBcastFill = v.bcastFillRing
+	v.fnWorScan = v.worScanRing
+	v.fnWorFill = v.worFillRing
+	v.fnShiftCollect = v.shiftCollectRing
+	v.fnShiftMove = v.shiftMoveRing
+	v.rowsAligned = n&63 == 0
+	v.wordBlocks = v.rowsAligned && 64%v.k == 0
 	return v, nil
 }
 
@@ -102,6 +183,10 @@ func (v *Machine) PhysicalSide() int { return v.m }
 // along one axis.
 func (v *Machine) BlockSide() int { return v.k }
 
+// Physical returns the underlying m x m machine — the handle for fault
+// injection and observer attachment in virtualization studies.
+func (v *Machine) Physical() *ppa.Machine { return v.phys }
+
 // Bits returns the word width h.
 func (v *Machine) Bits() uint { return v.phys.Bits() }
 
@@ -114,6 +199,11 @@ func (v *Machine) Metrics() ppa.Metrics { return v.phys.Metrics() }
 
 // ResetMetrics zeroes the physical counters.
 func (v *Machine) ResetMetrics() { v.phys.ResetMetrics() }
+
+// Faulty reports whether the physical machine has injected switch faults.
+// The programming layer keeps its interpretive reference kernels for
+// faulty fabrics (the fault model is defined by the reference ring walk).
+func (v *Machine) Faulty() bool { return v.phys.Faulty() }
 
 // Close stops the physical machine's persistent ring workers (see
 // ppa.Machine.Close); the virtual machine stays usable, serially.
@@ -131,38 +221,10 @@ func (v *Machine) checkLen(name string, got int) {
 	}
 }
 
-// boolScratch returns (allocating on first use) a cached n*n []bool.
-func (v *Machine) boolScratch(p *[]bool) []bool {
-	if *p == nil {
-		*p = make([]bool, v.n*v.n)
+func (v *Machine) checkBits(name string, b *ppa.Bitset) {
+	if b.Len() != v.n*v.n {
+		panic(fmt.Sprintf("virt: %s has length %d, want %d", name, b.Len(), v.n*v.n))
 	}
-	return *p
-}
-
-// BroadcastBits is the packed-configuration Broadcast of the Fabric
-// contract. Results and charged cycles are identical to Broadcast; the
-// unpacking is host-side glue and costs nothing on the machine.
-func (v *Machine) BroadcastBits(d ppa.Direction, open *ppa.Bitset, src, dst []ppa.Word) {
-	s := v.boolScratch(&v.sOpen)
-	open.ToBools(s)
-	v.Broadcast(d, s, src, dst)
-}
-
-// WiredOrBits is the packed-plane WiredOr of the Fabric contract.
-// dst may alias drive or open (the planes are unpacked up front).
-func (v *Machine) WiredOrBits(d ppa.Direction, open, drive, dst *ppa.Bitset) {
-	so, sd, sz := v.boolScratch(&v.sOpen), v.boolScratch(&v.sDrive), v.boolScratch(&v.sDst)
-	open.ToBools(so)
-	drive.ToBools(sd)
-	v.WiredOr(d, so, sd, sz)
-	dst.FromBools(sz)
-}
-
-// GlobalOrBits is the packed-predicate GlobalOr of the Fabric contract.
-func (v *Machine) GlobalOrBits(pred *ppa.Bitset) bool {
-	s := v.boolScratch(&v.sOpen)
-	pred.ToBools(s)
-	return v.GlobalOr(s)
 }
 
 // chargeLocal charges steps SIMD instructions each executed by all
@@ -174,10 +236,12 @@ func (v *Machine) chargeLocal(steps int) {
 	}
 }
 
-// Broadcast implements the logical segmented-bus transaction. Per plane:
-// one local scan finds each physical PE's last logical Open lane, one
-// physical bus cycle moves those injections between blocks, and one local
-// scan walks the carry through each block. Cost: k physical bus cycles.
+// Broadcast implements the logical segmented-bus transaction,
+// lane-at-a-time — the reference semantics the packed BroadcastBits
+// engine is property-tested against. Per plane: one local scan finds each
+// physical PE's last logical Open lane, one physical bus cycle moves
+// those injections between blocks, and one local scan walks the carry
+// through each block. Cost: k physical bus cycles.
 func (v *Machine) Broadcast(d ppa.Direction, open []bool, src, dst []ppa.Word) {
 	v.checkLen("open", len(open))
 	v.checkLen("src", len(src))
@@ -190,7 +254,11 @@ func (v *Machine) Broadcast(d ppa.Direction, open []bool, src, dst []ppa.Word) {
 	for t := 0; t < v.k; t++ {
 		planes := v.lanes[d][t*mm : (t+1)*mm]
 		for P := 0; P < mm; P++ {
+			// pInject stays defined (zero) when the block has no Open
+			// lane: a stuck-open fault makes the physical PE inject it
+			// regardless of the requested configuration.
 			pOpen[P] = false
+			pInject[P] = 0
 			for _, L := range planes[P] {
 				if open[L] {
 					pOpen[P] = true
@@ -217,13 +285,15 @@ func (v *Machine) Broadcast(d ppa.Direction, open []bool, src, dst []ppa.Word) {
 	}
 }
 
-// WiredOr implements the logical wired-OR. Per plane: a local scan splits
-// each block's drives into head/tail/internal cluster contributions, a
-// one-bit physical shift hands each block's head contribution to its
-// upstream neighbour, one physical wired-OR resolves the clusters that
-// span block boundaries, a second shift hands the result downstream for
-// the blocks' head lanes, and a local scan distributes. Cost: k physical
-// wired-OR cycles + 2k one-bit physical shifts.
+// WiredOr implements the logical wired-OR, lane-at-a-time — the
+// reference semantics behind the packed WiredOrBits engine. Per plane: a
+// local scan splits each block's drives into head/tail/internal cluster
+// contributions, a one-bit physical shift hands each block's head
+// contribution to its upstream neighbour, one physical wired-OR resolves
+// the clusters that span block boundaries, a second shift hands the
+// result downstream for the blocks' head lanes, and a local scan
+// distributes. Cost: k physical wired-OR cycles + 2k one-bit physical
+// shifts.
 func (v *Machine) WiredOr(d ppa.Direction, open, drive, dst []bool) {
 	v.checkLen("open", len(open))
 	v.checkLen("drive", len(drive))
@@ -325,35 +395,8 @@ func (v *Machine) WiredOr(d ppa.Direction, open, drive, dst []bool) {
 	}
 }
 
-// Shift implements the logical one-step shift: per plane, the lane
-// leaving each block crosses on one physical shift and the rest move
-// locally. Cost: k physical shift steps.
-func (v *Machine) Shift(d ppa.Direction, src, dst []ppa.Word) {
-	v.checkLen("src", len(src))
-	v.checkLen("dst", len(dst))
-	mm := v.m * v.m
-	boundary := make([]ppa.Word, mm)
-	incoming := make([]ppa.Word, mm)
-	for t := 0; t < v.k; t++ {
-		planes := v.lanes[d][t*mm : (t+1)*mm]
-		for P := 0; P < mm; P++ {
-			boundary[P] = src[planes[P][v.k-1]]
-		}
-		v.chargeLocal(1)
-		v.phys.Shift(d, boundary, incoming)
-		for P := 0; P < mm; P++ {
-			seq := planes[P]
-			for j := v.k - 1; j >= 1; j-- {
-				dst[seq[j]] = src[seq[j-1]]
-			}
-			dst[seq[0]] = incoming[P]
-		}
-		v.chargeLocal(v.k)
-	}
-}
-
 // GlobalOr reduces each block locally, then uses the physical global-OR
-// line once.
+// line once (lane-at-a-time reference; GlobalOrBits is the packed path).
 func (v *Machine) GlobalOr(pred []bool) bool {
 	v.checkLen("pred", len(pred))
 	mm := v.m * v.m
