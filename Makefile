@@ -26,9 +26,10 @@ bench:
 
 # Machine-readable snapshot: E1-E6 cycle tables + wall-clock solve cost
 # (including the workers-scaling curve, the fused-vs-reference session
-# ablation, and the virtualization curve k = n/m in {1, 2, 4, 8}).
+# ablation, the virtualization curve k = n/m in {1, 2, 4, 8}, and the
+# PPC bytecode-vs-reference execution curve).
 bench-json:
-	$(GO) run ./cmd/benchtab -json > BENCH_PR5.json
+	$(GO) run ./cmd/benchtab -json > BENCH_PR6.json
 
 # CPU profile of the simulator's hot path (repeated n=64 session solves);
 # inspect with `go tool pprof solve.pprof`.
@@ -59,6 +60,7 @@ golden:
 
 fuzz:
 	$(GO) test -fuzz=FuzzCompile -fuzztime=30s ./internal/ppclang/
+	$(GO) test -fuzz=FuzzDiffExec -fuzztime=30s ./internal/ppclang/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/graph/
 
 examples:

@@ -16,6 +16,7 @@ import (
 	"ppamcp/internal/graph"
 	"ppamcp/internal/hypercube"
 	"ppamcp/internal/mesh"
+	"ppamcp/internal/ppclang"
 )
 
 // BenchmarkE1BitSerialMin measures the bit-serial min: Θ(h) bus
@@ -146,10 +147,23 @@ func BenchmarkE5PPCInterpreter(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Run("ppc", func(b *testing.B) {
+	// ppc-bytecode vs ppc-reference is the compiler's win: same program,
+	// same metrics, different host dispatch (flat opcodes vs AST walk).
+	b.Run("ppc-bytecode", func(b *testing.B) {
 		var comm int64
 		for i := 0; i < b.N; i++ {
 			_, m, err := bench.RunPaperPPC(g, 9, native.Bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comm = m.CommCycles()
+		}
+		b.ReportMetric(float64(comm), "commCycles/op")
+	})
+	b.Run("ppc-reference", func(b *testing.B) {
+		var comm int64
+		for i := 0; i < b.N; i++ {
+			_, m, err := bench.RunPaperPPC(g, 9, native.Bits, ppclang.WithReference(true))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -19,6 +19,7 @@ import (
 	"ppamcp/internal/bench"
 	"ppamcp/internal/core"
 	"ppamcp/internal/graph"
+	"ppamcp/internal/ppclang"
 )
 
 // wallClock is one simulator host-performance measurement: the same
@@ -95,6 +96,23 @@ func runWallClock() []wallClock {
 		session(fmt.Sprintf("SolveWallClock/n=64/session-virt-m=%d", phys),
 			core.Options{PhysicalSide: phys})
 	}
+	// PPC execution curve: the paper's listing run end to end through the
+	// language stack. bytecode vs reference is the flat-opcode compiler's
+	// win over the tree-walking oracle (identical metrics either way).
+	gp := graph.GenRandomConnected(16, 0.3, 9, 5)
+	h := gp.BitsNeeded()
+	ppc := func(name string, opts ...ppclang.Option) {
+		add(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.RunPaperPPC(gp, 1, h, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	ppc("PPCPaper/n=16/bytecode")
+	ppc("PPCPaper/n=16/reference", ppclang.WithReference(true))
 	return out
 }
 

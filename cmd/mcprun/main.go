@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ppamcp"
+	"ppamcp/internal/bench"
 	"ppamcp/internal/cli"
 	"ppamcp/internal/viz"
 )
@@ -34,8 +35,10 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var w cli.Workload
 	w.Register(fs)
+	var px cli.PPCExec
+	px.Register(fs)
 	dest := fs.Int("dest", 0, "destination vertex")
-	backendName := fs.String("backend", "ppa", "ppa|gcn|hypercube|mesh|bellman-ford|dijkstra")
+	backendName := fs.String("backend", "ppa", "ppa|ppc|gcn|hypercube|mesh|bellman-ford|dijkstra")
 	bits := fs.Uint("bits", 0, "machine word width h (0 = auto)")
 	workers := fs.Int("workers", 0, "simulator goroutines (PPA/mesh)")
 	pathFrom := fs.Int("path", -1, "print the witness path from this vertex")
@@ -57,6 +60,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *widest {
 		return runWidest(out, g, *dest, *bits, *workers, *pathFrom, *verify)
+	}
+	if *backendName == "ppc" {
+		return runPPC(out, g, *dest, *bits, *pathFrom, *quiet, &px)
 	}
 	backend, err := ppamcp.ParseBackend(*backendName)
 	if err != nil {
@@ -104,6 +110,46 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("verification FAILED: %v", err)
 		}
 		fmt.Fprintln(out, "verification: OK (witness paths + no relaxable edge)")
+	}
+	return nil
+}
+
+// runPPC solves by executing the paper's PPC listing — compiled to
+// bytecode by default, on the tree-walking oracle with -reference. The
+// machine cost is identical either way (enforced by the differential
+// tests); the flag exists to demonstrate exactly that.
+func runPPC(out io.Writer, g *ppamcp.Graph, dest int, bits uint, pathFrom int, quiet bool, px *cli.PPCExec) error {
+	if dest < 0 || dest >= g.N {
+		return fmt.Errorf("destination %d out of range [0,%d)", dest, g.N)
+	}
+	h := bits
+	if h == 0 {
+		h = g.BitsNeeded()
+	}
+	res, metrics, err := bench.RunPaperPPC(g, dest, h, px.Options(out)...)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintln(out, viz.RenderDistances(res))
+	}
+	exec := "bytecode VM"
+	if px.Reference {
+		exec = "reference interpreter"
+	}
+	fmt.Fprintf(out, "ppc (%s)  n=%d edges=%d dest=%d h=%d\n", exec, g.N, g.Edges(), dest, h)
+	fmt.Fprintf(out, "cost: %v\n", metrics)
+	if pathFrom >= 0 {
+		path, ok := res.PathFrom(pathFrom)
+		if !ok {
+			fmt.Fprintf(out, "path: vertex %d cannot reach %d\n", pathFrom, dest)
+		} else {
+			strs := make([]string, len(path))
+			for i, v := range path {
+				strs[i] = fmt.Sprint(v)
+			}
+			fmt.Fprintf(out, "path: %s (cost %d)\n", strings.Join(strs, " -> "), res.Dist[pathFrom])
+		}
 	}
 	return nil
 }

@@ -37,6 +37,8 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var w cli.Workload
 	w.Register(fs)
+	var px cli.PPCExec
+	px.Register(fs)
 	src := fs.String("src", "", "PPC source file (default: the paper's minimum_cost_path listing)")
 	entry := fs.String("entry", "", "entry function (default: minimum_cost_path for the paper program, else main)")
 	dest := fs.Int("dest", 0, "destination vertex bound to the program's 'd' global")
@@ -44,7 +46,8 @@ func run(args []string, out io.Writer) error {
 	side := fs.Int("side", 0, "machine side for -src programs that take no graph (0 = use -n)")
 	showSource := fs.Bool("show-source", false, "print the paper's PPC source and exit")
 	fig1 := fs.Bool("fig1", false, "render the paper's Figure 1: the switch configurations the MCP algorithm programs")
-	program := fs.String("program", "", "run a shipped demo program: sort|dt (random input from -n/-seed)")
+	program := fs.String("program", "", "run a shipped demo program: sort|dt|widest (random input from -n/-seed)")
+	disasm := fs.Bool("disasm", false, "print the compiled bytecode of the selected program and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,18 +60,54 @@ func run(args []string, out io.Writer) error {
 		renderFig1(out, w.N, dest)
 		return nil
 	}
+	if *disasm {
+		return runDisasm(out, *src, *program)
+	}
 	if *program != "" {
-		return runShipped(out, *program, w.N, w.Seed, *bits)
+		return runShipped(out, *program, w.N, w.Seed, *bits, &px)
 	}
 
 	if *src != "" {
-		return runCustom(out, *src, *entry, *side, &w, *bits)
+		return runCustom(out, *src, *entry, *side, &w, *bits, &px)
 	}
-	return runPaper(out, &w, *dest, *bits)
+	return runPaper(out, &w, *dest, *bits, &px)
+}
+
+// runDisasm prints the flat bytecode the compiler produced for the
+// selected source: a -src file, a shipped -program, or (default) the
+// paper's listing.
+func runDisasm(out io.Writer, srcPath, program string) error {
+	src := ppclang.PaperMCPSource
+	switch {
+	case srcPath != "":
+		b, err := os.ReadFile(srcPath)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	case program == "sort":
+		src = ppclang.SortRowsSource
+	case program == "dt":
+		src = ppclang.DistanceTransformSource
+	case program == "widest":
+		src = ppclang.WidestPathSource
+	case program != "":
+		return fmt.Errorf("unknown -program %q (want sort, dt or widest)", program)
+	}
+	prog, err := ppclang.Compile(src)
+	if err != nil {
+		return err
+	}
+	text, err := ppclang.Disassemble(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, text)
+	return nil
 }
 
 // runShipped runs one of the shipped demo programs on generated input.
-func runShipped(out io.Writer, name string, n int, seed int64, bits uint) error {
+func runShipped(out io.Writer, name string, n int, seed int64, bits uint, px *cli.PPCExec) error {
 	if n < 1 {
 		n = 6
 	}
@@ -84,7 +123,7 @@ func runShipped(out io.Writer, name string, n int, seed int64, bits uint) error 
 		if err != nil {
 			return err
 		}
-		in, err := ppclang.NewInterp(prog, par.New(m), ppclang.WithOutput(out))
+		in, err := ppclang.NewExecutor(prog, par.New(m), px.Options(out)...)
 		if err != nil {
 			return err
 		}
@@ -109,7 +148,7 @@ func runShipped(out io.Writer, name string, n int, seed int64, bits uint) error 
 		if err != nil {
 			return err
 		}
-		in, err := ppclang.NewInterp(prog, par.New(m), ppclang.WithOutput(out))
+		in, err := ppclang.NewExecutor(prog, par.New(m), px.Options(out)...)
 		if err != nil {
 			return err
 		}
@@ -132,9 +171,62 @@ func runShipped(out io.Writer, name string, n int, seed int64, bits uint) error 
 		}
 		fmt.Fprintf(out, "city-block distance field (inf = no foreground):\n%s\n",
 			viz.RenderWordGrid(n, dist, m.Inf()))
+	case "widest":
+		return runShippedWidest(out, n, seed, bits, px)
 	default:
-		return fmt.Errorf("unknown -program %q (want sort or dt)", name)
+		return fmt.Errorf("unknown -program %q (want sort, dt or widest)", name)
 	}
+	fmt.Fprintf(out, "machine cost: %v\n", m.Metrics())
+	return nil
+}
+
+// runShippedWidest runs the widest-path PPC program on a random
+// connected graph: W carries edge capacities with inf on the diagonal
+// (a vertex's own bottleneck is unbounded) and 0 for missing edges.
+func runShippedWidest(out io.Writer, n int, seed int64, bits uint, px *cli.PPCExec) error {
+	g := graph.GenRandomConnected(n, 0.4, 9, seed)
+	h := bits
+	if h == 0 {
+		h = g.BitsNeeded()
+	}
+	m := ppa.New(n, h)
+	prog, err := ppclang.Compile(ppclang.WidestPathSource)
+	if err != nil {
+		return err
+	}
+	in, err := ppclang.NewExecutor(prog, par.New(m), px.Options(out)...)
+	if err != nil {
+		return err
+	}
+	inf := m.Inf()
+	w := make([]ppa.Word, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch wt := g.At(i, j); {
+			case i == j:
+				w[i*n+j] = inf
+			case wt == graph.NoEdge:
+				w[i*n+j] = 0
+			default:
+				w[i*n+j] = ppa.Word(wt)
+			}
+		}
+	}
+	if err := in.SetParallelInt("W", w); err != nil {
+		return err
+	}
+	if err := in.SetInt("d", 0); err != nil {
+		return err
+	}
+	if _, err := in.Call("widest_path"); err != nil {
+		return err
+	}
+	capGrid, err := in.GetParallelInt("CAP")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "widest-path capacities to vertex 0 (row 0 holds the bottlenecks):\n%s\n",
+		viz.RenderWordGrid(n, capGrid, inf))
 	fmt.Fprintf(out, "machine cost: %v\n", m.Metrics())
 	return nil
 }
@@ -177,7 +269,7 @@ func renderFig1(out io.Writer, nFlag int, destFlag *int) {
 }
 
 // runPaper executes the paper's program on a workload graph.
-func runPaper(out io.Writer, w *cli.Workload, dest int, bits uint) error {
+func runPaper(out io.Writer, w *cli.Workload, dest int, bits uint, px *cli.PPCExec) error {
 	g, err := w.Build()
 	if err != nil {
 		return err
@@ -195,7 +287,7 @@ func runPaper(out io.Writer, w *cli.Workload, dest int, bits uint) error {
 	}
 	m := ppa.New(g.N, h)
 	arr := par.New(m)
-	in, err := ppclang.NewInterp(prog, arr, ppclang.WithOutput(out))
+	in, err := ppclang.NewExecutor(prog, arr, px.Options(out)...)
 	if err != nil {
 		return err
 	}
@@ -239,7 +331,7 @@ func runPaper(out io.Writer, w *cli.Workload, dest int, bits uint) error {
 }
 
 // runCustom compiles and runs an arbitrary PPC source file.
-func runCustom(out io.Writer, path, entry string, side int, w *cli.Workload, bits uint) error {
+func runCustom(out io.Writer, path, entry string, side int, w *cli.Workload, bits uint, px *cli.PPCExec) error {
 	srcBytes, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -260,7 +352,7 @@ func runCustom(out io.Writer, path, entry string, side int, w *cli.Workload, bit
 		h = 16
 	}
 	m := ppa.New(n, h)
-	in, err := ppclang.NewInterp(prog, par.New(m), ppclang.WithOutput(out))
+	in, err := ppclang.NewExecutor(prog, par.New(m), px.Options(out)...)
 	if err != nil {
 		return err
 	}

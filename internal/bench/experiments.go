@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ppamcp/internal/core"
 	"ppamcp/internal/gcn"
@@ -16,6 +17,11 @@ import (
 
 // seed fixes every experiment's workload; the tables are deterministic.
 const seed = 19980330 // IPPS'98, Orlando
+
+// paperProg parses the paper's PPC listing once.
+var paperProg = sync.OnceValues(func() (*ppclang.Program, error) {
+	return ppclang.Compile(ppclang.PaperMCPSource)
+})
 
 // E1Widths and E1Sides are the sweep of experiment E1.
 var (
@@ -244,16 +250,21 @@ func RunE5() Table {
 }
 
 // RunPaperPPC executes the paper's PPC program for g/dest on an h-bit
-// machine and returns the decoded result and machine metrics.
-func RunPaperPPC(g *graph.Graph, dest int, h uint) (*graph.Result, ppa.Metrics, error) {
-	prog, err := ppclang.Compile(ppclang.PaperMCPSource)
+// machine and returns the decoded result and machine metrics. By default
+// the program runs compiled on the bytecode VM; pass
+// ppclang.WithReference(true) to run the tree-walking oracle instead
+// (both produce identical metrics by construction).
+func RunPaperPPC(g *graph.Graph, dest int, h uint, opts ...ppclang.Option) (*graph.Result, ppa.Metrics, error) {
+	// Parse once: reusing the *Program across calls keeps the bytecode
+	// cache warm (ppclang caches compiled code per Program identity).
+	prog, err := paperProg()
 	if err != nil {
 		return nil, ppa.Metrics{}, err
 	}
 	n := g.N
 	m := ppa.New(n, h)
 	arr := par.New(m)
-	in, err := ppclang.NewInterp(prog, arr)
+	in, err := ppclang.NewExecutor(prog, arr, opts...)
 	if err != nil {
 		return nil, ppa.Metrics{}, err
 	}

@@ -1,0 +1,33 @@
+package cli
+
+import (
+	"flag"
+	"io"
+
+	"ppamcp/internal/ppclang"
+)
+
+// PPCExec is the executor-selection configuration shared by the tools
+// that run PPC programs (cmd/ppcrun, cmd/mcprun). Programs run on the
+// bytecode VM by default; -reference falls back to the tree-walking
+// interpreter, the retained semantic oracle.
+type PPCExec struct {
+	Reference bool
+	Fuel      int64
+}
+
+// Register installs the PPC executor flags on fs.
+func (p *PPCExec) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&p.Reference, "reference", false, "run PPC on the tree-walking reference interpreter instead of the bytecode VM")
+	fs.Int64Var(&p.Fuel, "fuel", 0, "PPC statement budget per entry-point call (0 = unlimited)")
+}
+
+// Options translates the flags into executor options, directing program
+// output to out.
+func (p *PPCExec) Options(out io.Writer) []ppclang.Option {
+	opts := []ppclang.Option{ppclang.WithOutput(out), ppclang.WithReference(p.Reference)}
+	if p.Fuel > 0 {
+		opts = append(opts, ppclang.WithFuel(p.Fuel))
+	}
+	return opts
+}

@@ -1,0 +1,76 @@
+package ppclang
+
+import (
+	"testing"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// Dispatch-overhead microbenchmarks: compile once, execute the entry
+// point repeatedly on a warm executor. scalarLoop is pure controller
+// work (no machine transactions), so it isolates executor dispatch;
+// the paper benchmarks measure the full mix.
+
+const scalarLoopSrc = `
+int total;
+int add(int a, int b) { return a + b; }
+void main() {
+	total = 0;
+	for (int i = 0; i < 200; i++) {
+		total = add(total, i) % 251;
+		if (total > 100) { total = total - 50; }
+	}
+}
+`
+
+const parallelLoopSrc = `
+parallel int V;
+void main() {
+	V = ROW + COL;
+	for (int i = 0; i < 20; i++) {
+		where (bit(V, 0)) { V = V + 1; }
+		elsewhere { V = max(V, EAST, COL == 0); }
+		V = shift(V, SOUTH);
+	}
+}
+`
+
+func benchExec(b *testing.B, src string, reference bool) {
+	prog, err := Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := NewExecutor(prog, par.New(ppa.New(8, 10)), WithReference(reference))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Call("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarLoopBytecode(b *testing.B)  { benchExec(b, scalarLoopSrc, false) }
+func BenchmarkScalarLoopReference(b *testing.B) { benchExec(b, scalarLoopSrc, true) }
+
+func BenchmarkParallelLoopBytecode(b *testing.B)  { benchExec(b, parallelLoopSrc, false) }
+func BenchmarkParallelLoopReference(b *testing.B) { benchExec(b, parallelLoopSrc, true) }
+
+// BenchmarkCompileToBytecode measures the lowering pass alone (parse
+// excluded): what a cold NewVM pays over a cold NewInterp.
+func BenchmarkCompileToBytecode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := Compile(PaperMCPSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bytecode(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

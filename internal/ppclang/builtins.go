@@ -2,11 +2,12 @@ package ppclang
 
 import (
 	"fmt"
-
-	"ppamcp/internal/ppa"
 )
 
-// builtinFn evaluates a builtin call.
+// builtinFn evaluates a builtin call in the tree-walker. The semantic
+// bodies live in semantics.go (builtinTable) so the bytecode VM applies
+// the exact same argument conversions and par.Array primitives; this file
+// only adapts them to the interpreter's eval loop.
 type builtinFn func(in *Interp, ex *Call, sc *scope) (Value, error)
 
 // builtins is the PPC standard library: the communication primitives of
@@ -14,19 +15,22 @@ type builtinFn func(in *Interp, ex *Call, sc *scope) (Value, error)
 var builtins map[string]builtinFn
 
 func init() {
-	builtins = map[string]builtinFn{
-		"shift":        builtinShift,
-		"broadcast":    builtinBroadcast,
-		"min":          builtinMin,
-		"max":          builtinMax,
-		"selected_min": builtinSelectedMin,
-		"selected_max": builtinSelectedMax,
-		"or":           builtinOr,
-		"bit":          builtinBit,
-		"any":          builtinAny,
-		"opposite":     builtinOpposite,
-		"print":        builtinPrint,
+	builtins = make(map[string]builtinFn, len(builtinTable)+1)
+	for _, b := range builtinTable {
+		impl := b.impl
+		builtins[b.name] = func(in *Interp, ex *Call, sc *scope) (Value, error) {
+			vals, err := in.argValues(ex, sc, impl.arity)
+			if err != nil {
+				return Value{}, err
+			}
+			argPos := make([]Pos, len(ex.Args))
+			for k, a := range ex.Args {
+				argPos[k] = a.nodePos()
+			}
+			return impl.apply(in.arr, ex.Pos, argPos, vals)
+		}
 	}
+	builtins["print"] = builtinPrint
 }
 
 func (in *Interp) argValues(ex *Call, sc *scope, want int) ([]Value, error) {
@@ -44,225 +48,11 @@ func (in *Interp) argValues(ex *Call, sc *scope, want int) ([]Value, error) {
 	return vals, nil
 }
 
-func asDirection(pos Pos, v Value) (ppa.Direction, error) {
-	s, err := asScalarInt(pos, v)
-	if err != nil {
-		return 0, err
-	}
-	if s < 0 || s > 3 {
-		return 0, errAt(pos, "direction must be NORTH, EAST, SOUTH or WEST (got %d)", s)
-	}
-	return ppa.Direction(s), nil
-}
-
-// builtinShift implements shift(src, dir): nearest-neighbour data movement.
-func builtinShift(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 2)
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	if vals[0].T.Parallel && vals[0].T.Base == BaseLogical {
-		return parallelBool(in.arr.ShiftBool(vals[0].PBool, dir)), nil
-	}
-	src, err := asParallelInt(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	return parallelInt(in.arr.Shift(src, dir)), nil
-}
-
-// builtinBroadcast implements broadcast(src, dir, L): segmented-bus
-// delivery from the Open PEs designated by L.
-func builtinBroadcast(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 3)
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	open, err := asParallelBool(ex.Args[2].nodePos(), in.arr, vals[2])
-	if err != nil {
-		return Value{}, err
-	}
-	if vals[0].T.Parallel && vals[0].T.Base == BaseLogical {
-		return parallelBool(in.arr.BroadcastBool(vals[0].PBool, dir, open)), nil
-	}
-	src, err := asParallelInt(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	return parallelInt(in.arr.Broadcast(src, dir, open)), nil
-}
-
-// builtinMin implements min(src, dir, L): the bit-serial cluster minimum.
-func builtinMin(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 3)
-	if err != nil {
-		return Value{}, err
-	}
-	src, err := asParallelInt(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	open, err := asParallelBool(ex.Args[2].nodePos(), in.arr, vals[2])
-	if err != nil {
-		return Value{}, err
-	}
-	return parallelInt(in.arr.Min(src, dir, open)), nil
-}
-
-// builtinMax implements max(src, dir, L): the bit-serial cluster maximum
-// (not used by the paper's listings; part of the natural primitive set).
-func builtinMax(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 3)
-	if err != nil {
-		return Value{}, err
-	}
-	src, err := asParallelInt(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	open, err := asParallelBool(ex.Args[2].nodePos(), in.arr, vals[2])
-	if err != nil {
-		return Value{}, err
-	}
-	return parallelInt(in.arr.Max(src, dir, open)), nil
-}
-
-// builtinSelectedMax implements selected_max(src, dir, L, sel).
-func builtinSelectedMax(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 4)
-	if err != nil {
-		return Value{}, err
-	}
-	src, err := asParallelInt(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	open, err := asParallelBool(ex.Args[2].nodePos(), in.arr, vals[2])
-	if err != nil {
-		return Value{}, err
-	}
-	sel, err := asParallelBool(ex.Args[3].nodePos(), in.arr, vals[3])
-	if err != nil {
-		return Value{}, err
-	}
-	return parallelInt(in.arr.SelectedMax(src, dir, open, sel)), nil
-}
-
-// builtinSelectedMin implements selected_min(src, dir, L, sel).
-func builtinSelectedMin(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 4)
-	if err != nil {
-		return Value{}, err
-	}
-	src, err := asParallelInt(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	open, err := asParallelBool(ex.Args[2].nodePos(), in.arr, vals[2])
-	if err != nil {
-		return Value{}, err
-	}
-	sel, err := asParallelBool(ex.Args[3].nodePos(), in.arr, vals[3])
-	if err != nil {
-		return Value{}, err
-	}
-	return parallelInt(in.arr.SelectedMin(src, dir, open, sel)), nil
-}
-
-// builtinOr implements or(x, dir, L): the wired-OR over bus clusters.
-func builtinOr(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 3)
-	if err != nil {
-		return Value{}, err
-	}
-	x, err := asParallelBool(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	open, err := asParallelBool(ex.Args[2].nodePos(), in.arr, vals[2])
-	if err != nil {
-		return Value{}, err
-	}
-	return parallelBool(in.arr.Or(x, dir, open)), nil
-}
-
-// builtinBit implements bit(x, j): the j-th bit plane of x.
-func builtinBit(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 2)
-	if err != nil {
-		return Value{}, err
-	}
-	x, err := asParallelInt(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	j, err := asScalarInt(ex.Args[1].nodePos(), vals[1])
-	if err != nil {
-		return Value{}, err
-	}
-	if j < 0 || uint(j) >= in.arr.Machine().Bits() {
-		return Value{}, errAt(ex.Pos, "bit plane %d out of range [0,%d)", j, in.arr.Machine().Bits())
-	}
-	return parallelBool(x.BitPlane(uint(j))), nil
-}
-
-// builtinAny implements any(L): the global-OR line to the controller.
-func builtinAny(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 1)
-	if err != nil {
-		return Value{}, err
-	}
-	b, err := asParallelBool(ex.Args[0].nodePos(), in.arr, vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	return scalarBool(in.arr.Any(b)), nil
-}
-
-// builtinOpposite implements opposite(dir).
-func builtinOpposite(in *Interp, ex *Call, sc *scope) (Value, error) {
-	vals, err := in.argValues(ex, sc, 1)
-	if err != nil {
-		return Value{}, err
-	}
-	dir, err := asDirection(ex.Args[0].nodePos(), vals[0])
-	if err != nil {
-		return Value{}, err
-	}
-	return scalarInt(int64(dir.Opposite())), nil
-}
-
 // builtinPrint implements print(args...): scalars print as numbers,
 // parallel values as N x N grids (MAXINT as "inf"). A debugging aid for
-// cmd/ppcrun; output goes to the interpreter's configured writer.
+// cmd/ppcrun; output goes to the interpreter's configured writer. The
+// arguments are evaluated and printed interleaved, so a mid-list error
+// leaves the earlier arguments already printed (the VM mirrors this).
 func builtinPrint(in *Interp, ex *Call, sc *scope) (Value, error) {
 	for k, a := range ex.Args {
 		v, err := in.eval(a, sc)
@@ -270,56 +60,12 @@ func builtinPrint(in *Interp, ex *Call, sc *scope) (Value, error) {
 			return Value{}, err
 		}
 		if k > 0 {
-			fmt.Fprint(in.out, " ")
+			fmt.Fprint(in.cfg.out, " ")
 		}
-		if err := in.printValue(v); err != nil {
+		if err := printValue(in.cfg.out, in.arr, v); err != nil {
 			return Value{}, err
 		}
 	}
-	fmt.Fprintln(in.out)
+	fmt.Fprintln(in.cfg.out)
 	return voidValue(), nil
-}
-
-func (in *Interp) printValue(v Value) error {
-	n := in.arr.N()
-	inf := in.arr.Machine().Inf()
-	switch {
-	case !v.T.Parallel:
-		_, err := fmt.Fprint(in.out, v.String())
-		return err
-	case v.T.Base == BaseInt:
-		fmt.Fprintln(in.out)
-		data := v.PInt.Slice()
-		for r := 0; r < n; r++ {
-			for c := 0; c < n; c++ {
-				if c > 0 {
-					fmt.Fprint(in.out, " ")
-				}
-				if w := data[r*n+c]; w == inf {
-					fmt.Fprint(in.out, "inf")
-				} else {
-					fmt.Fprintf(in.out, "%d", w)
-				}
-			}
-			fmt.Fprintln(in.out)
-		}
-		return nil
-	default:
-		fmt.Fprintln(in.out)
-		data := v.PBool.Slice()
-		for r := 0; r < n; r++ {
-			for c := 0; c < n; c++ {
-				if c > 0 {
-					fmt.Fprint(in.out, " ")
-				}
-				if data[r*n+c] {
-					fmt.Fprint(in.out, "1")
-				} else {
-					fmt.Fprint(in.out, "0")
-				}
-			}
-			fmt.Fprintln(in.out)
-		}
-		return nil
-	}
 }

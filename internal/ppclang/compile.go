@@ -1,0 +1,735 @@
+package ppclang
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file lowers a checked AST into a flat bytecode program (Code) for
+// the VM in vm.go. The lowering is a direct transcription of the
+// tree-walker's evaluation strategy:
+//
+//   - map-based scope lookups become pre-resolved frame slots (locals)
+//     and global indices, assigned lexically in source order — which
+//     coincides with the dynamic scoping of the tree-walker because PPC
+//     has no goto and loop bodies re-enter their block from the top;
+//   - builtin name dispatch becomes a pre-bound index into builtinTable;
+//   - if/while/do/for become relative jumps; where/elsewhere becomes an
+//     opWhere header whose branch bodies are inline sub-ranges executed
+//     under the narrowed activity mask;
+//   - every statement begins with an opFuel tick, mirroring the one
+//     guard.tick per Interp.exec call, so fuel budgets exhaust at the
+//     identical statement on both paths.
+//
+// Conditions the tree-walker only detects at runtime but that are
+// decidable statically (undefined variables, redeclarations, arity
+// mismatches, control flow crossing a where boundary) compile to an
+// opErr carrying the exact position and message the tree-walker would
+// produce, placed exactly where the tree-walker would raise it — so even
+// erroring programs behave identically on both paths. Conditions that
+// are genuinely dynamic (type mismatches, division by zero, fuel, global
+// declaration order during init) stay runtime checks in the VM.
+
+// Op is a bytecode opcode. Operands follow inline in Code.ops; each
+// opcode has a fixed width (see opWidth).
+type Op int32
+
+// Opcodes.
+const (
+	opFuel        Op = iota // pos — charge one statement tick (fuel/deadline)
+	opConst                 // constIdx — push scalar int constant
+	opVoid                  // push the void value
+	opLoadL                 // slot — push local
+	opLoadG                 // gidx, pos, name — push global (checks declared)
+	opChkG                  // gidx, pos, name — error if global not yet declared
+	opStoreL                // slot, pos — masked/scalar assign into local, push result
+	opStoreG                // gidx, pos — masked/scalar assign into global, push result
+	opDeclL                 // slot, type, pos — convert TOS to type, bind local
+	opDeclZeroL             // slot, type — bind local to zero value
+	opDeclG                 // gidx, type, pos — convert TOS, bind global, mark declared
+	opDeclZeroG             // gidx, type — bind global to zero value, mark declared
+	opIncDecL               // slot, kind, pos, name — postfix ++/-- on local
+	opIncDecG               // gidx, kind, pos, name — postfix ++/-- on global
+	opPop                   // discard TOS
+	opUnary                 // kind, pos — apply ! or - to TOS
+	opBinary                // kind, posOp, posL, posR — apply binary op
+	opLogicalPre            // kind, posL, offset — short-circuit && / || head
+	opLogicalPost           // kind, posL, posR — combine && / || operands
+	opJump                  // offset — relative jump (from instruction end)
+	opJumpFalse             // pos, offset — pop scalar cond, jump if false
+	opJumpTrue              // pos, offset — pop scalar cond, jump if true
+	opWhere                 // thenLen, elseLen, condPos, thenPos, elsePos
+	opCallPre               // fidx, pos — recursion depth check before args
+	opParam                 // type, argPos — convert TOS to param type + copy
+	opCall                  // fidx — invoke function on pre-converted args
+	opBuiltin               // bidx, callPos, argPosBase — apply builtin to top args
+	opPrintArg              // k — pop and print one print() argument
+	opPrintEnd              // newline + push void (print()'s value)
+	opReturn                // pop TOS and return it from the current function
+	opErr                   // pos, msg — raise a precomputed runtime error
+)
+
+// opWidth is the total instruction width (opcode + operands) per opcode.
+var opWidth = [...]int{
+	opFuel: 2, opConst: 2, opVoid: 1, opLoadL: 2, opLoadG: 4, opChkG: 4,
+	opStoreL: 3, opStoreG: 3, opDeclL: 4, opDeclZeroL: 3, opDeclG: 4,
+	opDeclZeroG: 3, opIncDecL: 5, opIncDecG: 5, opPop: 1, opUnary: 3,
+	opBinary: 5, opLogicalPre: 4, opLogicalPost: 4, opJump: 2,
+	opJumpFalse: 3, opJumpTrue: 3, opWhere: 6, opCallPre: 3, opParam: 3,
+	opCall: 2, opBuiltin: 4, opPrintArg: 2, opPrintEnd: 1, opReturn: 1,
+	opErr: 3,
+}
+
+var opNames = [...]string{
+	opFuel: "fuel", opConst: "const", opVoid: "void", opLoadL: "loadl",
+	opLoadG: "loadg", opChkG: "chkg", opStoreL: "storel", opStoreG: "storeg",
+	opDeclL: "decll", opDeclZeroL: "declzl", opDeclG: "declg",
+	opDeclZeroG: "declzg", opIncDecL: "incdecl", opIncDecG: "incdecg",
+	opPop: "pop", opUnary: "unary", opBinary: "binary",
+	opLogicalPre: "logpre", opLogicalPost: "logpost", opJump: "jump",
+	opJumpFalse: "jmpf", opJumpTrue: "jmpt", opWhere: "where",
+	opCallPre: "callpre", opParam: "param", opCall: "call",
+	opBuiltin: "builtin", opPrintArg: "printarg", opPrintEnd: "printend",
+	opReturn: "return", opErr: "err",
+}
+
+// compiledFunc is one function's metadata in the flat program.
+type compiledFunc struct {
+	name     string
+	pos      Pos
+	ret      Type
+	params   []Param
+	dupParam int // index of the first duplicate param name, or -1
+	nslots   int // frame size (params + all block-local declarations)
+	start    int // code range [start, end)
+	end      int
+}
+
+// Code is a compiled PPC program: flat opcode stream plus pools. It is
+// immutable after compilation and shared by all VMs for the same Program
+// (compilation is cached on the Program).
+type Code struct {
+	ops    []int32
+	consts []int64
+	poss   []Pos
+	names  []string
+
+	funcs      []compiledFunc
+	funcByName map[string]int
+
+	globalNames  []string // index → name (predefined first)
+	globalTypes  []Type   // static decl type per global (predefined + first decl)
+	globalByName map[string]int
+	numPredef    int
+
+	initStart, initEnd int // global-initializer chunk range
+}
+
+// predefNames fixes the global slot order of the predefined environment.
+var predefNames = []string{"ROW", "COL", "N", "BITS", "MAXINT", "NORTH", "EAST", "SOUTH", "WEST"}
+
+var predefTypes = map[string]Type{
+	"ROW": {Parallel: true, Base: BaseInt},
+	"COL": {Parallel: true, Base: BaseInt},
+	"N":   {Base: BaseInt}, "BITS": {Base: BaseInt}, "MAXINT": {Base: BaseInt},
+	"NORTH": {Base: BaseInt}, "EAST": {Base: BaseInt},
+	"SOUTH": {Base: BaseInt}, "WEST": {Base: BaseInt},
+}
+
+// compiledState caches the bytecode on the Program so repeated NewVM
+// calls (one per fabric geometry, per benchmark iteration, per serve
+// session) compile once.
+type compiledState struct {
+	once sync.Once
+	code *Code
+	err  error
+}
+
+var compileCache sync.Map // *Program → *compiledState
+
+// bytecode returns the (cached) compiled form of prog.
+func bytecode(prog *Program) (*Code, error) {
+	st, _ := compileCache.LoadOrStore(prog, &compiledState{})
+	cs := st.(*compiledState)
+	cs.once.Do(func() { cs.code, cs.err = compileProgram(prog) })
+	return cs.code, cs.err
+}
+
+// typeCode packs a Type into an operand word.
+func typeCode(t Type) int32 {
+	c := int32(t.Base) << 1
+	if t.Parallel {
+		c |= 1
+	}
+	return c
+}
+
+func typeFromCode(c int32) Type {
+	return Type{Parallel: c&1 != 0, Base: BaseType(c >> 1)}
+}
+
+type varRef struct {
+	global bool
+	idx    int32
+}
+
+type loopCtx struct {
+	whereDepth int   // len(c.wheres) when the loop was entered
+	breaks     []int // operand indices to patch to the loop end
+	conts      []int // operand indices to patch to the continue target
+}
+
+type compiler struct {
+	prog *Program
+	code *Code
+
+	constIdx map[int64]int32
+	posIdx   map[Pos]int32
+	nameIdx  map[string]int32
+
+	// per-function state
+	scopes   []map[string]int32
+	nslots   int32
+	loops    []*loopCtx
+	wheres   []Pos // positions of enclosing where-branch bodies
+	funcEnds []int // operand indices to patch to the current function's end
+}
+
+func compileProgram(prog *Program) (*Code, error) {
+	c := &compiler{
+		prog: prog,
+		code: &Code{
+			funcByName:   map[string]int{},
+			globalByName: map[string]int{},
+		},
+		constIdx: map[int64]int32{},
+		posIdx:   map[Pos]int32{},
+		nameIdx:  map[string]int32{},
+	}
+	// Global slot map: predefined names first, then program globals in
+	// declaration order (first declaration wins on duplicates; the
+	// duplicate itself compiles to the redeclaration error).
+	for i, name := range predefNames {
+		c.code.globalByName[name] = i
+		c.code.globalNames = append(c.code.globalNames, name)
+		c.code.globalTypes = append(c.code.globalTypes, predefTypes[name])
+	}
+	c.code.numPredef = len(predefNames)
+	for _, d := range prog.Globals {
+		for _, name := range d.Names {
+			if _, dup := c.code.globalByName[name]; dup {
+				continue
+			}
+			c.code.globalByName[name] = len(c.code.globalNames)
+			c.code.globalNames = append(c.code.globalNames, name)
+			c.code.globalTypes = append(c.code.globalTypes, d.Type)
+		}
+	}
+	// Function table before bodies, so calls resolve forward references.
+	for _, n := range prog.Order {
+		f, ok := n.(*FuncDecl)
+		if !ok {
+			continue
+		}
+		dup := -1
+		seen := map[string]bool{}
+		for i, p := range f.Params {
+			if seen[p.Name] {
+				dup = i
+				break
+			}
+			seen[p.Name] = true
+		}
+		c.code.funcByName[f.Name] = len(c.code.funcs)
+		c.code.funcs = append(c.code.funcs, compiledFunc{
+			name: f.Name, pos: f.Pos, ret: f.Ret, params: f.Params, dupParam: dup,
+		})
+	}
+	// Global-initializer chunk: VarDecls run directly (no statement tick),
+	// exactly like NewInterp's execVarDecl loop.
+	c.code.initStart = len(c.code.ops)
+	declared := map[string]bool{}
+	for _, name := range predefNames {
+		declared[name] = true
+	}
+	c.scopes = nil
+	for _, d := range prog.Globals {
+		for k, name := range d.Names {
+			gi := int32(c.code.globalByName[name])
+			if d.Inits[k] != nil {
+				c.expr(d.Inits[k])
+				c.emit(opDeclG, gi, typeCode(d.Type), c.pos(d.Inits[k].nodePos()))
+			} else {
+				c.emit(opDeclZeroG, gi, typeCode(d.Type))
+			}
+			if declared[name] {
+				c.emitErr(d.Pos, fmt.Sprintf("variable %q redeclared in this scope", name))
+			}
+			declared[name] = true
+		}
+	}
+	c.code.initEnd = len(c.code.ops)
+	// Function bodies.
+	for _, n := range prog.Order {
+		f, ok := n.(*FuncDecl)
+		if !ok {
+			continue
+		}
+		c.compileFunc(f)
+	}
+	return c.code, nil
+}
+
+func (c *compiler) compileFunc(f *FuncDecl) {
+	fi := c.code.funcByName[f.Name]
+	c.scopes = []map[string]int32{{}}
+	c.nslots = 0
+	c.loops = nil
+	c.wheres = nil
+	c.funcEnds = nil
+	// Parameters occupy the first frame slots, in order. Duplicate names
+	// keep their first binding; calls to such a function error while
+	// binding arguments (see the call lowering), so the body is dead code
+	// and only needs to compile consistently.
+	for _, p := range f.Params {
+		top := c.scopes[0]
+		if _, dup := top[p.Name]; !dup {
+			top[p.Name] = c.nslots
+		}
+		c.nslots++
+	}
+	start := len(c.code.ops)
+	c.stmt(f.Body)
+	end := len(c.code.ops)
+	for _, pi := range c.funcEnds {
+		c.patch(pi, end)
+	}
+	cf := &c.code.funcs[fi]
+	cf.nslots = int(c.nslots)
+	cf.start, cf.end = start, end
+}
+
+// emit appends one instruction.
+func (c *compiler) emit(op Op, operands ...int32) int {
+	at := len(c.code.ops)
+	c.code.ops = append(c.code.ops, int32(op))
+	c.code.ops = append(c.code.ops, operands...)
+	if len(operands)+1 != opWidth[op] {
+		panic(fmt.Sprintf("ppclang: %s emitted with %d words, width %d", opNames[op], len(operands)+1, opWidth[op]))
+	}
+	return at
+}
+
+// emitErr emits the precomputed runtime error the tree-walker would
+// raise at this point.
+func (c *compiler) emitErr(pos Pos, msg string) {
+	c.emit(opErr, c.pos(pos), c.name(msg))
+}
+
+// jump emission: the offset operand is always the last word of its
+// instruction and is relative to the instruction end. emitJump* return
+// the operand index for patching.
+func (c *compiler) emitJump() int {
+	at := c.emit(opJump, 0)
+	return at + 1
+}
+
+func (c *compiler) emitJumpCond(op Op, pos Pos) int {
+	at := c.emit(op, c.pos(pos), 0)
+	return at + 2
+}
+
+// patch sets the jump operand at pi to land on target.
+func (c *compiler) patch(pi, target int) {
+	c.code.ops[pi] = int32(target - (pi + 1))
+}
+
+func (c *compiler) pos(p Pos) int32 {
+	if i, ok := c.posIdx[p]; ok {
+		return i
+	}
+	i := int32(len(c.code.poss))
+	c.code.poss = append(c.code.poss, p)
+	c.posIdx[p] = i
+	return i
+}
+
+func (c *compiler) name(s string) int32 {
+	if i, ok := c.nameIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.code.names))
+	c.code.names = append(c.code.names, s)
+	c.nameIdx[s] = i
+	return i
+}
+
+func (c *compiler) konst(v int64) int32 {
+	if i, ok := c.constIdx[v]; ok {
+		return i
+	}
+	i := int32(len(c.code.consts))
+	c.code.consts = append(c.code.consts, v)
+	c.constIdx[v] = i
+	return i
+}
+
+func (c *compiler) pushScope() { c.scopes = append(c.scopes, map[string]int32{}) }
+func (c *compiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+// declareLocal allocates a fresh slot for name; dup reports a
+// redeclaration in the innermost scope (the name keeps its first slot).
+func (c *compiler) declareLocal(name string) (slot int32, dup bool) {
+	slot = c.nslots
+	c.nslots++
+	top := c.scopes[len(c.scopes)-1]
+	if _, d := top[name]; d {
+		return slot, true
+	}
+	top[name] = slot
+	return slot, false
+}
+
+func (c *compiler) resolve(name string) (varRef, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return varRef{global: false, idx: s}, true
+		}
+	}
+	if g, ok := c.code.globalByName[name]; ok {
+		return varRef{global: true, idx: int32(g)}, true
+	}
+	return varRef{}, false
+}
+
+// stmt compiles one statement, starting with its fuel tick (one per
+// Interp.exec call).
+func (c *compiler) stmt(s Stmt) {
+	c.emit(opFuel, c.pos(s.nodePos()))
+	switch st := s.(type) {
+	case *VarDecl:
+		c.varDecl(st)
+	case *ExprStmt:
+		c.expr(st.X)
+		c.emit(opPop)
+	case *Block:
+		c.pushScope()
+		for _, sub := range st.Stmts {
+			c.stmt(sub)
+		}
+		c.popScope()
+	case *If:
+		c.expr(st.Cond)
+		jf := c.emitJumpCond(opJumpFalse, st.Cond.nodePos())
+		c.pushScope()
+		c.stmt(st.Then)
+		c.popScope()
+		if st.Else != nil {
+			j := c.emitJump()
+			c.patch(jf, len(c.code.ops))
+			c.pushScope()
+			c.stmt(st.Else)
+			c.popScope()
+			c.patch(j, len(c.code.ops))
+		} else {
+			c.patch(jf, len(c.code.ops))
+		}
+	case *Where:
+		c.where(st)
+	case *While:
+		condStart := len(c.code.ops)
+		c.expr(st.Cond)
+		jf := c.emitJumpCond(opJumpFalse, st.Cond.nodePos())
+		loop := &loopCtx{whereDepth: len(c.wheres)}
+		c.loops = append(c.loops, loop)
+		c.pushScope()
+		c.stmt(st.Body)
+		c.popScope()
+		c.loops = c.loops[:len(c.loops)-1]
+		back := c.emitJump()
+		c.patch(back, condStart)
+		end := len(c.code.ops)
+		c.patch(jf, end)
+		for _, pi := range loop.breaks {
+			c.patch(pi, end)
+		}
+		for _, pi := range loop.conts {
+			c.patch(pi, condStart)
+		}
+	case *DoWhile:
+		bodyStart := len(c.code.ops)
+		loop := &loopCtx{whereDepth: len(c.wheres)}
+		c.loops = append(c.loops, loop)
+		c.pushScope()
+		c.stmt(st.Body)
+		c.popScope()
+		c.loops = c.loops[:len(c.loops)-1]
+		condStart := len(c.code.ops)
+		c.expr(st.Cond)
+		jt := c.emitJumpCond(opJumpTrue, st.Cond.nodePos())
+		c.patch(jt, bodyStart)
+		end := len(c.code.ops)
+		for _, pi := range loop.breaks {
+			c.patch(pi, end)
+		}
+		for _, pi := range loop.conts {
+			c.patch(pi, condStart)
+		}
+	case *For:
+		c.pushScope() // header scope (for-init declarations)
+		if st.Init != nil {
+			c.stmt(st.Init)
+		}
+		condStart := len(c.code.ops)
+		jf := -1
+		if st.Cond != nil {
+			c.expr(st.Cond)
+			jf = c.emitJumpCond(opJumpFalse, st.Cond.nodePos())
+		}
+		loop := &loopCtx{whereDepth: len(c.wheres)}
+		c.loops = append(c.loops, loop)
+		c.pushScope()
+		c.stmt(st.Body)
+		c.popScope()
+		c.loops = c.loops[:len(c.loops)-1]
+		postStart := len(c.code.ops)
+		if st.Post != nil {
+			c.expr(st.Post)
+			c.emit(opPop)
+		}
+		back := c.emitJump()
+		c.patch(back, condStart)
+		end := len(c.code.ops)
+		if jf >= 0 {
+			c.patch(jf, end)
+		}
+		for _, pi := range loop.breaks {
+			c.patch(pi, end)
+		}
+		for _, pi := range loop.conts {
+			c.patch(pi, postStart)
+		}
+		c.popScope()
+	case *Return:
+		// Inside a where branch the return value is still evaluated (with
+		// its machine effects) before the boundary violation surfaces —
+		// mirror by evaluating, discarding, then raising.
+		if len(c.wheres) > 0 {
+			if st.Val != nil {
+				c.expr(st.Val)
+				c.emit(opPop)
+			}
+			c.emitErr(c.wheres[len(c.wheres)-1], "break/continue/return cannot cross a where boundary")
+			return
+		}
+		if st.Val != nil {
+			c.expr(st.Val)
+		} else {
+			c.emit(opVoid)
+		}
+		c.emit(opReturn)
+	case *Break, *Continue:
+		c.breakContinue(s)
+	default:
+		c.emitErr(s.nodePos(), fmt.Sprintf("internal: unknown statement %T", s))
+	}
+}
+
+// breakContinue lowers break/continue, which in the tree-walker are
+// control signals interpreted by the nearest enclosing construct:
+//   - a loop entered inside the same where nesting → a jump;
+//   - a where branch between here and the loop → the boundary error, at
+//     the branch body's position (runBranch raises it there);
+//   - no enclosing loop at all → the signal propagates out of the
+//     function body, which evalCall treats exactly like falling off the
+//     end (void functions return, non-void raise missing-return).
+func (c *compiler) breakContinue(s Stmt) {
+	var loop *loopCtx
+	if len(c.loops) > 0 {
+		loop = c.loops[len(c.loops)-1]
+	}
+	switch {
+	case loop != nil && loop.whereDepth == len(c.wheres):
+		pi := c.emitJump()
+		if _, isBreak := s.(*Break); isBreak {
+			loop.breaks = append(loop.breaks, pi)
+		} else {
+			loop.conts = append(loop.conts, pi)
+		}
+	case len(c.wheres) > 0:
+		c.emitErr(c.wheres[len(c.wheres)-1], "break/continue/return cannot cross a where boundary")
+	default:
+		pi := c.emitJump()
+		c.funcEnds = append(c.funcEnds, pi)
+	}
+}
+
+func (c *compiler) varDecl(d *VarDecl) {
+	for k, name := range d.Names {
+		// The initializer is compiled BEFORE the name is declared: in the
+		// tree-walker `int x = x;` resolves the init's x against the
+		// enclosing scope (outer local, global, or undefined) because
+		// sc.declare runs only after eval+convert.
+		if d.Inits[k] != nil {
+			c.expr(d.Inits[k])
+			slot, dup := c.declareLocal(name)
+			c.emit(opDeclL, slot, typeCode(d.Type), c.pos(d.Inits[k].nodePos()))
+			if dup {
+				c.emitErr(d.Pos, fmt.Sprintf("variable %q redeclared in this scope", name))
+			}
+		} else {
+			slot, dup := c.declareLocal(name)
+			c.emit(opDeclZeroL, slot, typeCode(d.Type))
+			if dup {
+				c.emitErr(d.Pos, fmt.Sprintf("variable %q redeclared in this scope", name))
+			}
+		}
+	}
+}
+
+func (c *compiler) where(st *Where) {
+	c.expr(st.Cond)
+	wp := c.emit(opWhere, 0, 0, 0, 0, 0)
+	thenStart := len(c.code.ops)
+	c.wheres = append(c.wheres, st.Then.nodePos())
+	c.pushScope()
+	c.stmt(st.Then)
+	c.popScope()
+	c.wheres = c.wheres[:len(c.wheres)-1]
+	thenLen := len(c.code.ops) - thenStart
+	elseLen := 0
+	var elsePos int32
+	if st.Else != nil {
+		elseStart := len(c.code.ops)
+		c.wheres = append(c.wheres, st.Else.nodePos())
+		c.pushScope()
+		c.stmt(st.Else)
+		c.popScope()
+		c.wheres = c.wheres[:len(c.wheres)-1]
+		elseLen = len(c.code.ops) - elseStart
+		elsePos = c.pos(st.Else.nodePos())
+	}
+	c.code.ops[wp+1] = int32(thenLen)
+	c.code.ops[wp+2] = int32(elseLen)
+	c.code.ops[wp+3] = c.pos(st.Cond.nodePos())
+	c.code.ops[wp+4] = c.pos(st.Then.nodePos())
+	c.code.ops[wp+5] = elsePos
+}
+
+// expr compiles one expression; the generated code leaves exactly one
+// value on the stack (or aborts with an error).
+func (c *compiler) expr(e Expr) {
+	switch ex := e.(type) {
+	case *IntLit:
+		c.emit(opConst, c.konst(ex.Val))
+	case *Ident:
+		ref, ok := c.resolve(ex.Name)
+		switch {
+		case !ok:
+			c.emitErr(ex.Pos, fmt.Sprintf("undefined variable %q", ex.Name))
+		case ref.global:
+			c.emit(opLoadG, ref.idx, c.pos(ex.Pos), c.name(ex.Name))
+		default:
+			c.emit(opLoadL, ref.idx)
+		}
+	case *Assign:
+		// The tree-walker resolves the target before evaluating the RHS.
+		ref, ok := c.resolve(ex.Name)
+		if !ok {
+			c.emitErr(ex.Pos, fmt.Sprintf("undefined variable %q", ex.Name))
+			return
+		}
+		if ref.global {
+			c.emit(opChkG, ref.idx, c.pos(ex.Pos), c.name(ex.Name))
+			c.expr(ex.Val)
+			c.emit(opStoreG, ref.idx, c.pos(ex.Pos))
+		} else {
+			c.expr(ex.Val)
+			c.emit(opStoreL, ref.idx, c.pos(ex.Pos))
+		}
+	case *IncDec:
+		ref, ok := c.resolve(ex.Name)
+		switch {
+		case !ok:
+			c.emitErr(ex.Pos, fmt.Sprintf("undefined variable %q", ex.Name))
+		case ref.global:
+			c.emit(opIncDecG, ref.idx, int32(ex.Op), c.pos(ex.Pos), c.name(ex.Name))
+		default:
+			c.emit(opIncDecL, ref.idx, int32(ex.Op), c.pos(ex.Pos), c.name(ex.Name))
+		}
+	case *Unary:
+		c.expr(ex.X)
+		c.emit(opUnary, int32(ex.Op), c.pos(ex.Pos))
+	case *Binary:
+		if ex.Op == ANDAND || ex.Op == OROR {
+			// Short-circuit head: a decided scalar left side skips the
+			// right side entirely; otherwise both combine in opLogicalPost.
+			c.expr(ex.L)
+			at := c.emit(opLogicalPre, int32(ex.Op), c.pos(ex.L.nodePos()), 0)
+			c.expr(ex.R)
+			c.emit(opLogicalPost, int32(ex.Op), c.pos(ex.L.nodePos()), c.pos(ex.R.nodePos()))
+			c.patch(at+3, len(c.code.ops))
+			return
+		}
+		c.expr(ex.L)
+		c.expr(ex.R)
+		c.emit(opBinary, int32(ex.Op), c.pos(ex.Pos), c.pos(ex.L.nodePos()), c.pos(ex.R.nodePos()))
+	case *Call:
+		c.call(ex)
+	default:
+		c.emitErr(e.nodePos(), fmt.Sprintf("internal: unknown expression %T", e))
+	}
+}
+
+func (c *compiler) call(ex *Call) {
+	// Builtins shadow user functions, as in the tree-walker's dispatch.
+	if ex.Name == "print" {
+		for k, a := range ex.Args {
+			c.expr(a)
+			c.emit(opPrintArg, int32(k))
+		}
+		c.emit(opPrintEnd)
+		return
+	}
+	if bi := builtinIndex(ex.Name); bi >= 0 {
+		impl := builtinTable[bi].impl
+		if len(ex.Args) != impl.arity {
+			c.emitErr(ex.Pos, fmt.Sprintf("%s expects %d arguments, got %d", ex.Name, impl.arity, len(ex.Args)))
+			return
+		}
+		for _, a := range ex.Args {
+			c.expr(a)
+		}
+		// Argument positions live contiguously in the pos pool so the VM
+		// can slice them without allocation.
+		base := int32(len(c.code.poss))
+		for _, a := range ex.Args {
+			c.code.poss = append(c.code.poss, a.nodePos())
+		}
+		c.emit(opBuiltin, int32(bi), c.pos(ex.Pos), base)
+		return
+	}
+	fi, ok := c.code.funcByName[ex.Name]
+	if !ok {
+		c.emitErr(ex.Pos, fmt.Sprintf("undefined function %q", ex.Name))
+		return
+	}
+	f := &c.code.funcs[fi]
+	if len(ex.Args) != len(f.params) {
+		c.emitErr(ex.Pos, fmt.Sprintf("%s expects %d arguments, got %d", ex.Name, len(f.params), len(ex.Args)))
+		return
+	}
+	c.emit(opCallPre, int32(fi), c.pos(ex.Pos))
+	for k, a := range ex.Args {
+		c.expr(a)
+		c.emit(opParam, typeCode(f.params[k].Type), c.pos(a.nodePos()))
+		if f.dupParam == k {
+			// Binding this parameter redeclares an earlier one; the
+			// tree-walker errors here, after converting and copying the
+			// argument but before evaluating the rest.
+			c.emitErr(f.pos, fmt.Sprintf("variable %q redeclared in this scope", f.params[k].Name))
+			return
+		}
+	}
+	c.emit(opCall, int32(fi))
+}

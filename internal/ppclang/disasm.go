@@ -1,0 +1,118 @@
+package ppclang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble compiles prog (cached) and renders the bytecode as text:
+// one instruction per line with its offset, opcode, decoded operands, and
+// source position where the instruction carries one. Used by
+// `ppcrun -disasm`.
+func Disassemble(prog *Program) (string, error) {
+	code, err := bytecode(prog)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %d globals (%d predefined), %d consts, %d funcs, %d words\n",
+		len(code.globalNames), code.numPredef, len(code.consts), len(code.funcs), len(code.ops))
+	if code.initEnd > code.initStart {
+		fmt.Fprintf(&sb, "\ninit:\n")
+		disasmRange(&sb, code, code.initStart, code.initEnd)
+	}
+	for i := range code.funcs {
+		f := &code.funcs[i]
+		params := make([]string, len(f.params))
+		for k, p := range f.params {
+			params[k] = fmt.Sprintf("%s %s", p.Type, p.Name)
+		}
+		fmt.Fprintf(&sb, "\n%s %s(%s):  ; %d slots, at %s\n",
+			f.ret, f.name, strings.Join(params, ", "), f.nslots, f.pos)
+		disasmRange(&sb, code, f.start, f.end)
+	}
+	return sb.String(), nil
+}
+
+func disasmRange(sb *strings.Builder, c *Code, from, to int) {
+	for pc := from; pc < to; {
+		op := Op(c.ops[pc])
+		if int(op) >= len(opWidth) || opWidth[op] == 0 {
+			fmt.Fprintf(sb, "%6d  ?? opcode %d\n", pc, op)
+			return
+		}
+		fmt.Fprintf(sb, "%6d  %-8s %s\n", pc, opNames[op], disasmOperands(c, pc, op))
+		pc += opWidth[op]
+	}
+}
+
+// disasmOperands renders one instruction's operands symbolically.
+func disasmOperands(c *Code, pc int, op Op) string {
+	ops := c.ops
+	pos := func(i int) string { return c.poss[ops[pc+i]].String() }
+	name := func(i int) string { return c.names[ops[pc+i]] }
+	// Jump targets: the offset operand is the last word, relative to the
+	// instruction end.
+	target := func() int { return pc + opWidth[op] + int(ops[pc+opWidth[op]-1]) }
+	switch op {
+	case opFuel:
+		return fmt.Sprintf("; %s", pos(1))
+	case opConst:
+		return fmt.Sprintf("%d", c.consts[ops[pc+1]])
+	case opVoid, opPop, opPrintEnd, opReturn:
+		return ""
+	case opLoadL:
+		return fmt.Sprintf("slot %d", ops[pc+1])
+	case opLoadG, opChkG:
+		return fmt.Sprintf("%s  ; %s", c.globalNames[ops[pc+1]], pos(2))
+	case opStoreL:
+		return fmt.Sprintf("slot %d  ; %s", ops[pc+1], pos(2))
+	case opStoreG:
+		return fmt.Sprintf("%s  ; %s", c.globalNames[ops[pc+1]], pos(2))
+	case opDeclL:
+		return fmt.Sprintf("slot %d, %s  ; %s", ops[pc+1], typeFromCode(ops[pc+2]), pos(3))
+	case opDeclZeroL:
+		return fmt.Sprintf("slot %d, %s", ops[pc+1], typeFromCode(ops[pc+2]))
+	case opDeclG:
+		return fmt.Sprintf("%s, %s  ; %s", c.globalNames[ops[pc+1]], typeFromCode(ops[pc+2]), pos(3))
+	case opDeclZeroG:
+		return fmt.Sprintf("%s, %s", c.globalNames[ops[pc+1]], typeFromCode(ops[pc+2]))
+	case opIncDecL:
+		return fmt.Sprintf("slot %d, %s  ; %s", ops[pc+1], Kind(ops[pc+2]), pos(3))
+	case opIncDecG:
+		return fmt.Sprintf("%s, %s  ; %s", c.globalNames[ops[pc+1]], Kind(ops[pc+2]), pos(3))
+	case opUnary:
+		return fmt.Sprintf("%s  ; %s", Kind(ops[pc+1]), pos(2))
+	case opBinary:
+		return fmt.Sprintf("%s  ; %s", Kind(ops[pc+1]), pos(2))
+	case opLogicalPre:
+		return fmt.Sprintf("%s -> %d  ; %s", Kind(ops[pc+1]), target(), pos(2))
+	case opLogicalPost:
+		return fmt.Sprintf("%s", Kind(ops[pc+1]))
+	case opJump:
+		return fmt.Sprintf("-> %d", target())
+	case opJumpFalse, opJumpTrue:
+		return fmt.Sprintf("-> %d  ; %s", target(), pos(1))
+	case opWhere:
+		thenStart := pc + opWidth[opWhere]
+		thenLen, elseLen := int(ops[pc+1]), int(ops[pc+2])
+		s := fmt.Sprintf("then [%d,%d)", thenStart, thenStart+thenLen)
+		if elseLen > 0 {
+			s += fmt.Sprintf(", else [%d,%d)", thenStart+thenLen, thenStart+thenLen+elseLen)
+		}
+		return s + "  ; " + pos(3)
+	case opCallPre:
+		return fmt.Sprintf("%s  ; %s", c.funcs[ops[pc+1]].name, pos(2))
+	case opParam:
+		return fmt.Sprintf("%s  ; %s", typeFromCode(ops[pc+1]), pos(2))
+	case opCall:
+		return c.funcs[ops[pc+1]].name
+	case opBuiltin:
+		return fmt.Sprintf("%s  ; %s", builtinTable[ops[pc+1]].name, pos(2))
+	case opPrintArg:
+		return fmt.Sprintf("arg %d", ops[pc+1])
+	case opErr:
+		return fmt.Sprintf("%q  ; %s", name(2), pos(1))
+	}
+	return ""
+}

@@ -1,6 +1,9 @@
 package ppclang
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"ppamcp/internal/par"
@@ -36,5 +39,99 @@ func FuzzCompile(f *testing.F) {
 		}
 		// Accepted programs must also survive interpreter installation.
 		_, _ = NewInterp(prog, par.New(ppa.New(2, 8)))
+	})
+}
+
+// FuzzDiffExec is the differential oracle fuzzer: any program the front
+// end accepts is executed on both the tree-walking interpreter and the
+// bytecode VM, and every observable — construction error, per-call error
+// string, return value, print output, readable globals, and the machine's
+// ppa.Metrics — must be byte-identical. Entry points are all niladic
+// functions, called in sorted order with cumulative state. Fuel bounds
+// runtime so infinite loops fuzz fine; the fuel error itself must match
+// across paths too.
+func FuzzDiffExec(f *testing.F) {
+	seeds := []string{
+		PaperMCPSource,
+		PaperMinSource,
+		SortRowsSource,
+		WidestPathSource,
+		DistanceTransformSource,
+		dtSource,
+		"int x = 1; void main() { x++; print(x); }",
+		"parallel int V; void main() { where (ROW == 0) { V = V + 1; } elsewhere { V = shift(V, EAST); } }",
+		"void main() { for (int i = 0; i < 3; i++) { if (i == 1) continue; break; } }",
+		"int f(int x) { if (x < 1) return 0; return f(x - 1); } void main() { f(5); }",
+		"void main() { int a; a = 1 / 0; }",
+		"void main() { undefined_var = 1; }",
+		"void main() { while (1) ; }",
+		"parallel logical L; void main() { L = bit(ROW, 99); }",
+		"int x; int x; void main() { }",
+		"void main() { where (ROW == 0) { break; } }",
+		// Regression: a local initializer must resolve names against the
+		// enclosing scope, not the slot being declared.
+		"int x = 7; void main() { int x = x + 1; }",
+		"void main() { int fresh = fresh; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			return
+		}
+		run := func(reference bool) string {
+			var trace strings.Builder
+			m := ppa.New(3, 8)
+			arr := par.New(m)
+			ex, cerr := NewExecutor(prog, arr,
+				WithOutput(&trace), WithReference(reference), WithFuel(2000))
+			fmt.Fprintf(&trace, "\n[new] err=%v metrics=%+v\n", cerr, m.Metrics())
+			if cerr != nil {
+				return trace.String()
+			}
+			var entries []string
+			for name, fn := range prog.Funcs {
+				if len(fn.Params) == 0 {
+					entries = append(entries, name)
+				}
+			}
+			sort.Strings(entries)
+			for _, entry := range entries {
+				v, err := ex.Call(entry)
+				fmt.Fprintf(&trace, "[call %s] err=%v", entry, err)
+				if err == nil {
+					fmt.Fprintf(&trace, " val=%s %s", v.T, v)
+					if v.T.Parallel && v.T.Base == BaseInt {
+						fmt.Fprintf(&trace, " %v", v.PInt.Slice())
+					} else if v.T.Parallel && v.T.Base == BaseLogical {
+						fmt.Fprintf(&trace, " %v", v.PBool.Slice())
+					}
+				}
+				fmt.Fprintf(&trace, " metrics=%+v\n", m.Metrics())
+			}
+			for _, d := range prog.Globals {
+				for _, name := range d.Names {
+					switch {
+					case d.Type.Parallel && d.Type.Base == BaseInt:
+						v, err := ex.GetParallelInt(name)
+						fmt.Fprintf(&trace, "[g %s] %v %v\n", name, v, err)
+					case d.Type.Parallel && d.Type.Base == BaseLogical:
+						v, err := ex.GetParallelLogical(name)
+						fmt.Fprintf(&trace, "[g %s] %v %v\n", name, v, err)
+					default:
+						v, err := ex.GetInt(name)
+						fmt.Fprintf(&trace, "[g %s] %v %v\n", name, v, err)
+					}
+				}
+			}
+			return trace.String()
+		}
+		oracle := run(true)
+		vm := run(false)
+		if oracle != vm {
+			t.Fatalf("executors diverged on:\n%s\n--- oracle ---\n%s\n--- vm ---\n%s", src, oracle, vm)
+		}
 	})
 }

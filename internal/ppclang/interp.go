@@ -2,21 +2,25 @@ package ppclang
 
 import (
 	"fmt"
-	"io"
 
 	"ppamcp/internal/par"
 	"ppamcp/internal/ppa"
 )
 
-// Interp executes a compiled Program against a par.Array. Globals are
-// created (and their initializers run) by NewInterp; host code can then
-// bind input data with the Set* methods, invoke entry points with Call,
-// and read results back with the Get* methods.
+// Interp executes a compiled Program against a par.Array by walking the
+// AST. It is retained as the semantic oracle for the bytecode VM (vm.go):
+// both funnel every operator and builtin through the shared helpers in
+// semantics.go, and the differential tests pin outputs, errors, and
+// ppa.Metrics as byte-identical across the two. Globals are created (and
+// their initializers run) by NewInterp; host code can then bind input
+// data with the Set* methods, invoke entry points with Call, and read
+// results back with the Get* methods.
 type Interp struct {
 	prog    *Program
 	arr     *par.Array
 	globals *scope
-	out     io.Writer
+	cfg     config
+	g       guard
 	depth   int // call depth, to catch runaway recursion
 }
 
@@ -51,22 +55,13 @@ func (s *scope) declare(pos Pos, name string, v Value) error {
 	return nil
 }
 
-// InterpOption configures an Interp.
-type InterpOption func(*Interp)
-
-// WithOutput directs print() output to w (default: discarded).
-func WithOutput(w io.Writer) InterpOption {
-	return func(i *Interp) { i.out = w }
-}
-
 // NewInterp creates an interpreter for prog on arr: it installs the
 // predefined environment (ROW, COL, N, BITS, MAXINT, the four directions)
 // and evaluates the program's global declarations in order.
-func NewInterp(prog *Program, arr *par.Array, opts ...InterpOption) (*Interp, error) {
-	in := &Interp{prog: prog, arr: arr, globals: newScope(nil), out: io.Discard}
-	for _, o := range opts {
-		o(in)
-	}
+func NewInterp(prog *Program, arr *par.Array, opts ...Option) (*Interp, error) {
+	in := &Interp{prog: prog, arr: arr, globals: newScope(nil)}
+	in.cfg.apply(opts)
+	in.g = newGuard(&in.cfg)
 	// Predefined environment. Directions share ppa.Direction's encoding.
 	pre := map[string]Value{
 		"ROW":    parallelInt(arr.Row()),
@@ -118,7 +113,7 @@ func (in *Interp) execVarDecl(d *VarDecl, sc *scope) error {
 				return err
 			}
 		} else {
-			v = in.zeroValue(d.Type)
+			v = zeroValueOn(in.arr, d.Type)
 		}
 		if err := sc.declare(d.Pos, name, v); err != nil {
 			return err
@@ -127,21 +122,13 @@ func (in *Interp) execVarDecl(d *VarDecl, sc *scope) error {
 	return nil
 }
 
-func (in *Interp) zeroValue(t Type) Value {
-	switch {
-	case t.Parallel && t.Base == BaseInt:
-		return parallelInt(in.arr.Zeros())
-	case t.Parallel && t.Base == BaseLogical:
-		return parallelBool(in.arr.False())
-	case t.Base == BaseLogical:
-		return scalarBool(false)
-	default:
-		return scalarInt(0)
-	}
-}
-
-// exec runs one statement.
+// exec runs one statement. Every statement entered charges one guard tick
+// (fuel unit); the compiler emits one opFuel per statement at the same
+// points, so budgeted runs abort at the identical statement on both paths.
 func (in *Interp) exec(s Stmt, sc *scope) (control, Value, error) {
+	if err := in.g.tick(s.nodePos()); err != nil {
+		return ctrlNone, Value{}, err
+	}
 	switch st := s.(type) {
 	case *VarDecl:
 		return ctrlNone, Value{}, in.execVarDecl(st, sc)
@@ -333,18 +320,13 @@ func (in *Interp) eval(e Expr, sc *scope) (Value, error) {
 		if v == nil {
 			return Value{}, errAt(ex.Pos, "undefined variable %q", ex.Name)
 		}
-		if v.T.Parallel || v.T.Base != BaseInt {
-			return Value{}, errAt(ex.Pos, "++/-- requires a scalar int, %q is %s", ex.Name, v.T)
-		}
-		old := v.SInt
-		if ex.Op == INC {
-			v.SInt++
-		} else {
-			v.SInt--
-		}
-		return scalarInt(old), nil
+		return applyIncDec(ex.Op, ex.Pos, ex.Name, v)
 	case *Unary:
-		return in.evalUnary(ex, sc)
+		v, err := in.eval(ex.X, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyUnary(in.arr, ex.Op, ex.Pos, v)
 	case *Binary:
 		return in.evalBinary(ex, sc)
 	case *Call:
@@ -362,52 +344,7 @@ func (in *Interp) evalAssign(ex *Assign, sc *scope) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	v, err := convertTo(ex.Pos, in.arr, raw, target.T)
-	if err != nil {
-		return Value{}, err
-	}
-	switch {
-	case target.T.Parallel && target.T.Base == BaseInt:
-		target.PInt.Assign(v.PInt) // masked store
-	case target.T.Parallel && target.T.Base == BaseLogical:
-		target.PBool.Assign(v.PBool) // masked store
-	default:
-		// Scalar (controller) variables ignore the activity mask.
-		*target = v
-	}
-	return *target, nil
-}
-
-func (in *Interp) evalUnary(ex *Unary, sc *scope) (Value, error) {
-	v, err := in.eval(ex.X, sc)
-	if err != nil {
-		return Value{}, err
-	}
-	switch ex.Op {
-	case NOT:
-		if v.T.Parallel {
-			b, err := asParallelBool(ex.Pos, in.arr, v)
-			if err != nil {
-				return Value{}, err
-			}
-			return parallelBool(b.Not()), nil
-		}
-		b, err := asScalarBool(ex.Pos, v)
-		if err != nil {
-			return Value{}, err
-		}
-		return scalarBool(!b), nil
-	case MINUS:
-		if v.T.Parallel {
-			return Value{}, errAt(ex.Pos, "unary minus on parallel values is not supported (machine words are unsigned)")
-		}
-		s, err := asScalarInt(ex.Pos, v)
-		if err != nil {
-			return Value{}, err
-		}
-		return scalarInt(-s), nil
-	}
-	return Value{}, errAt(ex.Pos, "internal: unknown unary op %v", ex.Op)
+	return storeAssign(in.arr, ex.Pos, target, raw)
 }
 
 func (in *Interp) evalBinary(ex *Binary, sc *scope) (Value, error) {
@@ -423,10 +360,7 @@ func (in *Interp) evalBinary(ex *Binary, sc *scope) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	if l.T.Parallel || r.T.Parallel {
-		return in.parallelBinary(ex, l, r)
-	}
-	return in.scalarBinary(ex, l, r)
+	return applyBinary(in.arr, ex.Op, ex.Pos, ex.L.nodePos(), ex.R.nodePos(), l, r)
 }
 
 func (in *Interp) evalLogical(ex *Binary, sc *scope) (Value, error) {
@@ -445,141 +379,13 @@ func (in *Interp) evalLogical(ex *Binary, sc *scope) (Value, error) {
 		if (ex.Op == ANDAND && !lb) || (ex.Op == OROR && lb) {
 			return scalarBool(lb), nil
 		}
-		r, err := in.eval(ex.R, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		if !r.T.Parallel {
-			rb, err := asScalarBool(ex.R.nodePos(), r)
-			if err != nil {
-				return Value{}, err
-			}
-			if ex.Op == ANDAND {
-				return scalarBool(lb && rb), nil
-			}
-			return scalarBool(lb || rb), nil
-		}
-		return in.parallelLogical(ex, scalarBool(lb), r)
+		l = scalarBool(lb)
 	}
 	r, err := in.eval(ex.R, sc)
 	if err != nil {
 		return Value{}, err
 	}
-	return in.parallelLogical(ex, l, r)
-}
-
-func (in *Interp) parallelLogical(ex *Binary, l, r Value) (Value, error) {
-	lb, err := asParallelBool(ex.L.nodePos(), in.arr, l)
-	if err != nil {
-		return Value{}, err
-	}
-	rb, err := asParallelBool(ex.R.nodePos(), in.arr, r)
-	if err != nil {
-		return Value{}, err
-	}
-	if ex.Op == ANDAND {
-		return parallelBool(lb.And(rb)), nil
-	}
-	return parallelBool(lb.Or(rb)), nil
-}
-
-func (in *Interp) scalarBinary(ex *Binary, l, r Value) (Value, error) {
-	// Logical == / != compare truth values.
-	if (ex.Op == EQ || ex.Op == NEQ) && l.T.Base == BaseLogical && r.T.Base == BaseLogical {
-		eq := l.SBool == r.SBool
-		if ex.Op == NEQ {
-			eq = !eq
-		}
-		return scalarBool(eq), nil
-	}
-	a, err := asScalarInt(ex.L.nodePos(), l)
-	if err != nil {
-		return Value{}, err
-	}
-	b, err := asScalarInt(ex.R.nodePos(), r)
-	if err != nil {
-		return Value{}, err
-	}
-	switch ex.Op {
-	case PLUS:
-		return scalarInt(a + b), nil
-	case MINUS:
-		return scalarInt(a - b), nil
-	case STAR:
-		return scalarInt(a * b), nil
-	case SLASH:
-		if b == 0 {
-			return Value{}, errAt(ex.Pos, "division by zero")
-		}
-		return scalarInt(a / b), nil
-	case PERCENT:
-		if b == 0 {
-			return Value{}, errAt(ex.Pos, "modulo by zero")
-		}
-		return scalarInt(a % b), nil
-	case EQ:
-		return scalarBool(a == b), nil
-	case NEQ:
-		return scalarBool(a != b), nil
-	case LT:
-		return scalarBool(a < b), nil
-	case GT:
-		return scalarBool(a > b), nil
-	case LE:
-		return scalarBool(a <= b), nil
-	case GE:
-		return scalarBool(a >= b), nil
-	}
-	return Value{}, errAt(ex.Pos, "internal: unknown scalar op %v", ex.Op)
-}
-
-func (in *Interp) parallelBinary(ex *Binary, l, r Value) (Value, error) {
-	// Logical equality on two logicals.
-	if (ex.Op == EQ || ex.Op == NEQ) &&
-		l.T.Base == BaseLogical && r.T.Base == BaseLogical {
-		lb, err := asParallelBool(ex.L.nodePos(), in.arr, l)
-		if err != nil {
-			return Value{}, err
-		}
-		rb, err := asParallelBool(ex.R.nodePos(), in.arr, r)
-		if err != nil {
-			return Value{}, err
-		}
-		x := lb.Xor(rb)
-		if ex.Op == EQ {
-			x = x.Not()
-		}
-		return parallelBool(x), nil
-	}
-	a, err := asParallelInt(ex.L.nodePos(), in.arr, l)
-	if err != nil {
-		return Value{}, err
-	}
-	b, err := asParallelInt(ex.R.nodePos(), in.arr, r)
-	if err != nil {
-		return Value{}, err
-	}
-	switch ex.Op {
-	case PLUS:
-		return parallelInt(a.AddSat(b)), nil
-	case MINUS:
-		return parallelInt(a.SubClamp(b)), nil
-	case STAR, SLASH, PERCENT:
-		return Value{}, errAt(ex.Pos, "%v is not supported on parallel values", ex.Op)
-	case EQ:
-		return parallelBool(a.Eq(b)), nil
-	case NEQ:
-		return parallelBool(a.Ne(b)), nil
-	case LT:
-		return parallelBool(a.Lt(b)), nil
-	case LE:
-		return parallelBool(a.Le(b)), nil
-	case GT:
-		return parallelBool(b.Lt(a)), nil
-	case GE:
-		return parallelBool(b.Le(a)), nil
-	}
-	return Value{}, errAt(ex.Pos, "internal: unknown parallel op %v", ex.Op)
+	return applyLogicalCombine(in.arr, ex.Op, ex.L.nodePos(), ex.R.nodePos(), l, r)
 }
 
 func (in *Interp) evalCall(ex *Call, sc *scope) (Value, error) {
@@ -609,12 +415,7 @@ func (in *Interp) evalCall(ex *Call, sc *scope) (Value, error) {
 		// Value semantics: parallel arguments are copied, so callee
 		// mutation (as in the paper's min(), which overwrites src) stays
 		// local.
-		switch {
-		case v.T.Parallel && v.T.Base == BaseInt:
-			v = parallelInt(v.PInt.Copy())
-		case v.T.Parallel && v.T.Base == BaseLogical:
-			v = parallelBool(v.PBool.Copy())
-		}
+		v = copyParam(v)
 		if err := fsc.declare(f.Pos, param.Name, v); err != nil {
 			return Value{}, err
 		}
@@ -646,6 +447,7 @@ func (in *Interp) Call(name string) (Value, error) {
 	if len(f.Params) != 0 {
 		return Value{}, fmt.Errorf("ppclang: %s takes %d parameters; Call supports only niladic entry points", name, len(f.Params))
 	}
+	in.g.reset()
 	return in.evalCall(&Call{Pos: f.Pos, Name: name}, in.globals)
 }
 

@@ -1,0 +1,519 @@
+package ppclang
+
+import (
+	"fmt"
+	"io"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// This file is the single semantic core shared by the tree-walking
+// interpreter (the oracle) and the bytecode VM: every operator and builtin
+// application lives here as a function over already-evaluated Values.
+// Because both executors funnel through these helpers, they issue the
+// exact same par.Array primitives in the exact same order — which is what
+// makes the VM's ppa.Metrics byte-identical to the tree-walker's by
+// construction. Positions are threaded in explicitly so error messages
+// (and their source locations) match as well.
+
+// applyUnary evaluates !x or -x on v. pos is the operator position (the
+// tree-walker reports all unary errors there).
+func applyUnary(arr *par.Array, op Kind, pos Pos, v Value) (Value, error) {
+	switch op {
+	case NOT:
+		if v.T.Parallel {
+			b, err := asParallelBool(pos, arr, v)
+			if err != nil {
+				return Value{}, err
+			}
+			return parallelBool(b.Not()), nil
+		}
+		b, err := asScalarBool(pos, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarBool(!b), nil
+	case MINUS:
+		if v.T.Parallel {
+			return Value{}, errAt(pos, "unary minus on parallel values is not supported (machine words are unsigned)")
+		}
+		s, err := asScalarInt(pos, v)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalarInt(-s), nil
+	}
+	return Value{}, errAt(pos, "internal: unknown unary op %v", op)
+}
+
+// applyBinary evaluates a non-short-circuit binary operator on l and r.
+// posOp is the operator position, posL/posR the operand positions.
+func applyBinary(arr *par.Array, op Kind, posOp, posL, posR Pos, l, r Value) (Value, error) {
+	if l.T.Parallel || r.T.Parallel {
+		return applyParallelBinary(arr, op, posOp, posL, posR, l, r)
+	}
+	return applyScalarBinary(op, posOp, posL, posR, l, r)
+}
+
+func applyScalarBinary(op Kind, posOp, posL, posR Pos, l, r Value) (Value, error) {
+	// Logical == / != compare truth values.
+	if (op == EQ || op == NEQ) && l.T.Base == BaseLogical && r.T.Base == BaseLogical {
+		eq := l.SBool == r.SBool
+		if op == NEQ {
+			eq = !eq
+		}
+		return scalarBool(eq), nil
+	}
+	a, err := asScalarInt(posL, l)
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := asScalarInt(posR, r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch op {
+	case PLUS:
+		return scalarInt(a + b), nil
+	case MINUS:
+		return scalarInt(a - b), nil
+	case STAR:
+		return scalarInt(a * b), nil
+	case SLASH:
+		if b == 0 {
+			return Value{}, errAt(posOp, "division by zero")
+		}
+		return scalarInt(a / b), nil
+	case PERCENT:
+		if b == 0 {
+			return Value{}, errAt(posOp, "modulo by zero")
+		}
+		return scalarInt(a % b), nil
+	case EQ:
+		return scalarBool(a == b), nil
+	case NEQ:
+		return scalarBool(a != b), nil
+	case LT:
+		return scalarBool(a < b), nil
+	case GT:
+		return scalarBool(a > b), nil
+	case LE:
+		return scalarBool(a <= b), nil
+	case GE:
+		return scalarBool(a >= b), nil
+	}
+	return Value{}, errAt(posOp, "internal: unknown scalar op %v", op)
+}
+
+func applyParallelBinary(arr *par.Array, op Kind, posOp, posL, posR Pos, l, r Value) (Value, error) {
+	// Logical equality on two logicals.
+	if (op == EQ || op == NEQ) &&
+		l.T.Base == BaseLogical && r.T.Base == BaseLogical {
+		lb, err := asParallelBool(posL, arr, l)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, err := asParallelBool(posR, arr, r)
+		if err != nil {
+			return Value{}, err
+		}
+		x := lb.Xor(rb)
+		if op == EQ {
+			x = x.Not()
+		}
+		return parallelBool(x), nil
+	}
+	a, err := asParallelInt(posL, arr, l)
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := asParallelInt(posR, arr, r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch op {
+	case PLUS:
+		return parallelInt(a.AddSat(b)), nil
+	case MINUS:
+		return parallelInt(a.SubClamp(b)), nil
+	case STAR, SLASH, PERCENT:
+		return Value{}, errAt(posOp, "%v is not supported on parallel values", op)
+	case EQ:
+		return parallelBool(a.Eq(b)), nil
+	case NEQ:
+		return parallelBool(a.Ne(b)), nil
+	case LT:
+		return parallelBool(a.Lt(b)), nil
+	case LE:
+		return parallelBool(a.Le(b)), nil
+	case GT:
+		return parallelBool(b.Lt(a)), nil
+	case GE:
+		return parallelBool(b.Le(a)), nil
+	}
+	return Value{}, errAt(posOp, "internal: unknown parallel op %v", op)
+}
+
+// applyLogicalCombine is the non-short-circuited tail of && and ||: both
+// operands are evaluated; if either is parallel the result is the
+// lane-wise AND/OR, otherwise the scalar one. The short-circuit decision
+// on a scalar left operand happens in each executor before the right
+// operand is evaluated (evalLogical in the interpreter, the opAndPre /
+// opOrPre jump in the VM).
+func applyLogicalCombine(arr *par.Array, op Kind, posL, posR Pos, l, r Value) (Value, error) {
+	if !l.T.Parallel && !r.T.Parallel {
+		lb, err := asScalarBool(posL, l)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, err := asScalarBool(posR, r)
+		if err != nil {
+			return Value{}, err
+		}
+		if op == ANDAND {
+			return scalarBool(lb && rb), nil
+		}
+		return scalarBool(lb || rb), nil
+	}
+	lb, err := asParallelBool(posL, arr, l)
+	if err != nil {
+		return Value{}, err
+	}
+	rb, err := asParallelBool(posR, arr, r)
+	if err != nil {
+		return Value{}, err
+	}
+	if op == ANDAND {
+		return parallelBool(lb.And(rb)), nil
+	}
+	return parallelBool(lb.Or(rb)), nil
+}
+
+// applyIncDec evaluates name++ / name-- on the variable cell v, returning
+// the old value (postfix semantics).
+func applyIncDec(op Kind, pos Pos, name string, v *Value) (Value, error) {
+	if v.T.Parallel || v.T.Base != BaseInt {
+		return Value{}, errAt(pos, "++/-- requires a scalar int, %q is %s", name, v.T)
+	}
+	old := v.SInt
+	if op == INC {
+		v.SInt++
+	} else {
+		v.SInt--
+	}
+	return scalarInt(old), nil
+}
+
+// storeAssign implements `name = value` on the variable cell target:
+// convert to the declared type, then store — masked for parallel values
+// (SIMD store-enable), unconditional replacement for scalar (controller)
+// variables. Returns the target's value, the expression result.
+func storeAssign(arr *par.Array, pos Pos, target *Value, raw Value) (Value, error) {
+	v, err := convertTo(pos, arr, raw, target.T)
+	if err != nil {
+		return Value{}, err
+	}
+	switch {
+	case target.T.Parallel && target.T.Base == BaseInt:
+		target.PInt.Assign(v.PInt) // masked store
+	case target.T.Parallel && target.T.Base == BaseLogical:
+		target.PBool.Assign(v.PBool) // masked store
+	default:
+		// Scalar (controller) variables ignore the activity mask.
+		*target = v
+	}
+	return *target, nil
+}
+
+// zeroValueOn returns the zero value of t on arr (fresh storage for
+// parallel types, exactly as a declaration without initializer allocates).
+func zeroValueOn(arr *par.Array, t Type) Value {
+	switch {
+	case t.Parallel && t.Base == BaseInt:
+		return parallelInt(arr.Zeros())
+	case t.Parallel && t.Base == BaseLogical:
+		return parallelBool(arr.False())
+	case t.Base == BaseLogical:
+		return scalarBool(false)
+	default:
+		return scalarInt(0)
+	}
+}
+
+// copyParam applies value semantics to an already-converted function
+// argument: parallel arguments are copied, so callee mutation (as in the
+// paper's min(), which overwrites src) stays local.
+func copyParam(v Value) Value {
+	switch {
+	case v.T.Parallel && v.T.Base == BaseInt:
+		return parallelInt(v.PInt.Copy())
+	case v.T.Parallel && v.T.Base == BaseLogical:
+		return parallelBool(v.PBool.Copy())
+	}
+	return v
+}
+
+// Builtins. Each apply* function takes the already-evaluated arguments
+// plus the call position (opPos) and the argument positions; the
+// conversion order inside each function is the observable machine-op
+// order and must not be changed independently of the oracle.
+
+func asDirection(pos Pos, v Value) (ppa.Direction, error) {
+	s, err := asScalarInt(pos, v)
+	if err != nil {
+		return 0, err
+	}
+	if s < 0 || s > 3 {
+		return 0, errAt(pos, "direction must be NORTH, EAST, SOUTH or WEST (got %d)", s)
+	}
+	return ppa.Direction(s), nil
+}
+
+// applyShift implements shift(src, dir): nearest-neighbour data movement.
+func applyShift(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	dir, err := asDirection(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	if vals[0].T.Parallel && vals[0].T.Base == BaseLogical {
+		return parallelBool(arr.ShiftBool(vals[0].PBool, dir)), nil
+	}
+	src, err := asParallelInt(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return parallelInt(arr.Shift(src, dir)), nil
+}
+
+// applyBroadcast implements broadcast(src, dir, L): segmented-bus
+// delivery from the Open PEs designated by L.
+func applyBroadcast(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	dir, err := asDirection(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	open, err := asParallelBool(argPos[2], arr, vals[2])
+	if err != nil {
+		return Value{}, err
+	}
+	if vals[0].T.Parallel && vals[0].T.Base == BaseLogical {
+		return parallelBool(arr.BroadcastBool(vals[0].PBool, dir, open)), nil
+	}
+	src, err := asParallelInt(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return parallelInt(arr.Broadcast(src, dir, open)), nil
+}
+
+// applyMin implements min(src, dir, L): the bit-serial cluster minimum.
+func applyMin(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	src, err := asParallelInt(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	dir, err := asDirection(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	open, err := asParallelBool(argPos[2], arr, vals[2])
+	if err != nil {
+		return Value{}, err
+	}
+	return parallelInt(arr.Min(src, dir, open)), nil
+}
+
+// applyMax implements max(src, dir, L): the bit-serial cluster maximum.
+func applyMax(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	src, err := asParallelInt(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	dir, err := asDirection(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	open, err := asParallelBool(argPos[2], arr, vals[2])
+	if err != nil {
+		return Value{}, err
+	}
+	return parallelInt(arr.Max(src, dir, open)), nil
+}
+
+// applySelectedMin implements selected_min(src, dir, L, sel).
+func applySelectedMin(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	src, err := asParallelInt(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	dir, err := asDirection(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	open, err := asParallelBool(argPos[2], arr, vals[2])
+	if err != nil {
+		return Value{}, err
+	}
+	sel, err := asParallelBool(argPos[3], arr, vals[3])
+	if err != nil {
+		return Value{}, err
+	}
+	return parallelInt(arr.SelectedMin(src, dir, open, sel)), nil
+}
+
+// applySelectedMax implements selected_max(src, dir, L, sel).
+func applySelectedMax(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	src, err := asParallelInt(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	dir, err := asDirection(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	open, err := asParallelBool(argPos[2], arr, vals[2])
+	if err != nil {
+		return Value{}, err
+	}
+	sel, err := asParallelBool(argPos[3], arr, vals[3])
+	if err != nil {
+		return Value{}, err
+	}
+	return parallelInt(arr.SelectedMax(src, dir, open, sel)), nil
+}
+
+// applyOr implements or(x, dir, L): the wired-OR over bus clusters.
+func applyOr(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	x, err := asParallelBool(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	dir, err := asDirection(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	open, err := asParallelBool(argPos[2], arr, vals[2])
+	if err != nil {
+		return Value{}, err
+	}
+	return parallelBool(arr.Or(x, dir, open)), nil
+}
+
+// applyBit implements bit(x, j): the j-th bit plane of x.
+func applyBit(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	x, err := asParallelInt(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	j, err := asScalarInt(argPos[1], vals[1])
+	if err != nil {
+		return Value{}, err
+	}
+	if j < 0 || uint(j) >= arr.Machine().Bits() {
+		return Value{}, errAt(opPos, "bit plane %d out of range [0,%d)", j, arr.Machine().Bits())
+	}
+	return parallelBool(x.BitPlane(uint(j))), nil
+}
+
+// applyAny implements any(L): the global-OR line to the controller.
+func applyAny(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	b, err := asParallelBool(argPos[0], arr, vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return scalarBool(arr.Any(b)), nil
+}
+
+// applyOpposite implements opposite(dir).
+func applyOpposite(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error) {
+	dir, err := asDirection(argPos[0], vals[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return scalarInt(int64(dir.Opposite())), nil
+}
+
+// printValue renders one print() argument to w: scalars as numbers,
+// parallel values as N x N grids (MAXINT as "inf").
+func printValue(w io.Writer, arr *par.Array, v Value) error {
+	n := arr.N()
+	inf := arr.Machine().Inf()
+	switch {
+	case !v.T.Parallel:
+		_, err := fmt.Fprint(w, v.String())
+		return err
+	case v.T.Base == BaseInt:
+		fmt.Fprintln(w)
+		data := v.PInt.Slice()
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if c > 0 {
+					fmt.Fprint(w, " ")
+				}
+				if x := data[r*n+c]; x == inf {
+					fmt.Fprint(w, "inf")
+				} else {
+					fmt.Fprintf(w, "%d", x)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		fmt.Fprintln(w)
+		data := v.PBool.Slice()
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if c > 0 {
+					fmt.Fprint(w, " ")
+				}
+				if data[r*n+c] {
+					fmt.Fprint(w, "1")
+				} else {
+					fmt.Fprint(w, "0")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+}
+
+// builtinArity maps each builtin (other than the variadic print) to its
+// argument count and apply function; the compiler and the interpreter
+// share this table so the pre-bound builtin indices of the bytecode and
+// the interpreter's name dispatch cannot drift apart.
+type builtinImpl struct {
+	arity int
+	apply func(arr *par.Array, opPos Pos, argPos []Pos, vals []Value) (Value, error)
+}
+
+// builtinTable's order defines the bytecode's builtin indices.
+var builtinTable = []struct {
+	name string
+	impl builtinImpl
+}{
+	{"shift", builtinImpl{2, applyShift}},
+	{"broadcast", builtinImpl{3, applyBroadcast}},
+	{"min", builtinImpl{3, applyMin}},
+	{"max", builtinImpl{3, applyMax}},
+	{"selected_min", builtinImpl{4, applySelectedMin}},
+	{"selected_max", builtinImpl{4, applySelectedMax}},
+	{"or", builtinImpl{3, applyOr}},
+	{"bit", builtinImpl{2, applyBit}},
+	{"any", builtinImpl{1, applyAny}},
+	{"opposite", builtinImpl{1, applyOpposite}},
+}
+
+// builtinIndex resolves a builtin name to its builtinTable index, or -1.
+// print is not in the table: it is variadic and compiles to its own
+// opcode sequence (interleaved evaluate-and-print, like the oracle).
+func builtinIndex(name string) int {
+	for i, b := range builtinTable {
+		if b.name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,497 @@
+package ppclang
+
+import (
+	"fmt"
+
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// VM executes the flat bytecode produced by compile.go against a
+// par.Array. It is the production execution path; the tree-walking Interp
+// is retained as its semantic oracle, and both funnel every operator and
+// builtin through the shared helpers in semantics.go so the VM's outputs,
+// errors, and ppa.Metrics are byte-identical to the tree-walker's.
+type VM struct {
+	p   *Code
+	arr *par.Array
+	cfg config
+	g   guard
+
+	globals []Value
+	gdecl   []bool // per-global "declared yet" (false until its opDeclG runs)
+	stack   []Value
+	locals  []Value
+	depth   int
+}
+
+// NewVM compiles prog (cached per Program) and instantiates it on arr:
+// the predefined environment is installed and the program's global
+// declarations are evaluated in order, exactly as NewInterp does.
+func NewVM(prog *Program, arr *par.Array, opts ...Option) (*VM, error) {
+	code, err := bytecode(prog)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{p: code, arr: arr}
+	vm.cfg.apply(opts)
+	vm.g = newGuard(&vm.cfg)
+	vm.globals = make([]Value, len(code.globalNames))
+	vm.gdecl = make([]bool, len(code.globalNames))
+	for i, name := range predefNames {
+		switch name {
+		case "ROW":
+			vm.globals[i] = parallelInt(arr.Row())
+		case "COL":
+			vm.globals[i] = parallelInt(arr.Col())
+		case "N":
+			vm.globals[i] = scalarInt(int64(arr.N()))
+		case "BITS":
+			vm.globals[i] = scalarInt(int64(arr.Machine().Bits()))
+		case "MAXINT":
+			vm.globals[i] = scalarInt(int64(arr.Machine().Inf()))
+		case "NORTH":
+			vm.globals[i] = scalarInt(int64(ppa.North))
+		case "EAST":
+			vm.globals[i] = scalarInt(int64(ppa.East))
+		case "SOUTH":
+			vm.globals[i] = scalarInt(int64(ppa.South))
+		case "WEST":
+			vm.globals[i] = scalarInt(int64(ppa.West))
+		}
+		vm.gdecl[i] = true
+	}
+	if code.initEnd > code.initStart {
+		_, _, err := vm.run(0, code.initStart, code.initEnd)
+		vm.clearStack()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return vm, nil
+}
+
+// Array returns the array the VM runs on.
+func (vm *VM) Array() *par.Array { return vm.arr }
+
+func (vm *VM) push(v Value) { vm.stack = append(vm.stack, v) }
+
+func (vm *VM) pop() Value {
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v
+}
+
+// clearStack drops all stack entries and their array references (no
+// leaked temporaries after an aborted run).
+func (vm *VM) clearStack() {
+	for i := range vm.stack {
+		vm.stack[i] = Value{}
+	}
+	vm.stack = vm.stack[:0]
+}
+
+// Call invokes a niladic PPC function by name (the host entry point).
+func (vm *VM) Call(name string) (Value, error) {
+	fi, ok := vm.p.funcByName[name]
+	if !ok {
+		return Value{}, fmt.Errorf("ppclang: undefined function %q", name)
+	}
+	f := &vm.p.funcs[fi]
+	if len(f.params) != 0 {
+		return Value{}, fmt.Errorf("ppclang: %s takes %d parameters; Call supports only niladic entry points", name, len(f.params))
+	}
+	vm.g.reset()
+	// The tree-walker's evalCall dispatches builtins by name first, so a
+	// user function shadowed by a builtin behaves as the builtin would on
+	// zero arguments.
+	if name == "print" {
+		fmt.Fprintln(vm.cfg.out)
+		return voidValue(), nil
+	}
+	if bi := builtinIndex(name); bi >= 0 {
+		return Value{}, errAt(f.pos, "%s expects %d arguments, got 0", name, builtinTable[bi].impl.arity)
+	}
+	if vm.depth >= maxCallDepth {
+		return Value{}, errAt(f.pos, "call depth exceeds %d (runaway recursion?)", maxCallDepth)
+	}
+	v, err := vm.invoke(fi)
+	if err != nil {
+		vm.clearStack()
+		return Value{}, err
+	}
+	return v, nil
+}
+
+// invoke runs function fi; its parameters (already converted and copied)
+// must be the top len(params) stack values.
+func (vm *VM) invoke(fi int) (Value, error) {
+	f := &vm.p.funcs[fi]
+	n := len(f.params)
+	base := len(vm.stack) - n
+	fp := len(vm.locals)
+	if cap(vm.locals)-fp >= f.nslots {
+		vm.locals = vm.locals[:fp+f.nslots]
+		for i := fp; i < fp+f.nslots; i++ {
+			vm.locals[i] = Value{}
+		}
+	} else {
+		vm.locals = append(vm.locals, make([]Value, f.nslots)...)
+	}
+	copy(vm.locals[fp:], vm.stack[base:])
+	for i := base; i < len(vm.stack); i++ {
+		vm.stack[i] = Value{}
+	}
+	vm.stack = vm.stack[:base]
+	vm.depth++
+	returned, ret, err := vm.run(fp, f.start, f.end)
+	vm.depth--
+	for i := fp; i < len(vm.locals); i++ {
+		vm.locals[i] = Value{}
+	}
+	vm.locals = vm.locals[:fp]
+	if err != nil {
+		return Value{}, err
+	}
+	// Call tail, mirroring evalCall: falling off the end (or break /
+	// continue propagating out) returns void from void functions and is a
+	// missing-return error otherwise; returned values convert to the
+	// declared return type at the function's position.
+	if !returned {
+		if f.ret.Base != BaseVoid {
+			return Value{}, errAt(f.pos, "%s: missing return of %s", f.name, f.ret)
+		}
+		return voidValue(), nil
+	}
+	if f.ret.Base == BaseVoid {
+		return voidValue(), nil
+	}
+	return convertTo(f.pos, vm.arr, ret, f.ret)
+}
+
+// run executes code[from:to] with frame pointer fp. It returns when the
+// range is exhausted, an opReturn executes (returned=true), or an error
+// occurs. Loops are jumps within the range; where branches are nested
+// sub-ranges run under the narrowed mask; calls recurse through invoke.
+func (vm *VM) run(fp, from, to int) (returned bool, ret Value, err error) {
+	code := vm.p.ops
+	poss := vm.p.poss
+	names := vm.p.names
+	pc := from
+	for pc < to {
+		switch op := Op(code[pc]); op {
+		case opFuel:
+			if err := vm.g.tick(poss[code[pc+1]]); err != nil {
+				return false, Value{}, err
+			}
+			pc += 2
+		case opConst:
+			vm.push(scalarInt(vm.p.consts[code[pc+1]]))
+			pc += 2
+		case opVoid:
+			vm.push(voidValue())
+			pc++
+		case opLoadL:
+			vm.push(vm.locals[fp+int(code[pc+1])])
+			pc += 2
+		case opLoadG:
+			g := code[pc+1]
+			if !vm.gdecl[g] {
+				return false, Value{}, errAt(poss[code[pc+2]], "undefined variable %q", names[code[pc+3]])
+			}
+			vm.push(vm.globals[g])
+			pc += 4
+		case opChkG:
+			if !vm.gdecl[code[pc+1]] {
+				return false, Value{}, errAt(poss[code[pc+2]], "undefined variable %q", names[code[pc+3]])
+			}
+			pc += 4
+		case opStoreL:
+			v, err := storeAssign(vm.arr, poss[code[pc+2]], &vm.locals[fp+int(code[pc+1])], vm.pop())
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 3
+		case opStoreG:
+			v, err := storeAssign(vm.arr, poss[code[pc+2]], &vm.globals[code[pc+1]], vm.pop())
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 3
+		case opDeclL:
+			v, err := convertTo(poss[code[pc+3]], vm.arr, vm.pop(), typeFromCode(code[pc+2]))
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.locals[fp+int(code[pc+1])] = v
+			pc += 4
+		case opDeclZeroL:
+			vm.locals[fp+int(code[pc+1])] = zeroValueOn(vm.arr, typeFromCode(code[pc+2]))
+			pc += 3
+		case opDeclG:
+			v, err := convertTo(poss[code[pc+3]], vm.arr, vm.pop(), typeFromCode(code[pc+2]))
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.globals[code[pc+1]] = v
+			vm.gdecl[code[pc+1]] = true
+			pc += 4
+		case opDeclZeroG:
+			vm.globals[code[pc+1]] = zeroValueOn(vm.arr, typeFromCode(code[pc+2]))
+			vm.gdecl[code[pc+1]] = true
+			pc += 3
+		case opIncDecL:
+			v, err := applyIncDec(Kind(code[pc+2]), poss[code[pc+3]], names[code[pc+4]], &vm.locals[fp+int(code[pc+1])])
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 5
+		case opIncDecG:
+			g := code[pc+1]
+			if !vm.gdecl[g] {
+				return false, Value{}, errAt(poss[code[pc+3]], "undefined variable %q", names[code[pc+4]])
+			}
+			v, err := applyIncDec(Kind(code[pc+2]), poss[code[pc+3]], names[code[pc+4]], &vm.globals[g])
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 5
+		case opPop:
+			vm.stack[len(vm.stack)-1] = Value{}
+			vm.stack = vm.stack[:len(vm.stack)-1]
+			pc++
+		case opUnary:
+			v, err := applyUnary(vm.arr, Kind(code[pc+1]), poss[code[pc+2]], vm.pop())
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 3
+		case opBinary:
+			r := vm.pop()
+			l := vm.pop()
+			v, err := applyBinary(vm.arr, Kind(code[pc+1]), poss[code[pc+2]], poss[code[pc+3]], poss[code[pc+4]], l, r)
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 5
+		case opLogicalPre:
+			l := vm.stack[len(vm.stack)-1]
+			if !l.T.Parallel {
+				lb, err := asScalarBool(poss[code[pc+2]], l)
+				if err != nil {
+					return false, Value{}, err
+				}
+				vm.stack[len(vm.stack)-1] = scalarBool(lb)
+				op2 := Kind(code[pc+1])
+				if (op2 == ANDAND && !lb) || (op2 == OROR && lb) {
+					pc += 4 + int(code[pc+3])
+					continue
+				}
+			}
+			pc += 4
+		case opLogicalPost:
+			r := vm.pop()
+			l := vm.pop()
+			v, err := applyLogicalCombine(vm.arr, Kind(code[pc+1]), poss[code[pc+2]], poss[code[pc+3]], l, r)
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 4
+		case opJump:
+			pc += 2 + int(code[pc+1])
+		case opJumpFalse:
+			b, err := asScalarBool(poss[code[pc+1]], vm.pop())
+			if err != nil {
+				return false, Value{}, err
+			}
+			if !b {
+				pc += 3 + int(code[pc+2])
+			} else {
+				pc += 3
+			}
+		case opJumpTrue:
+			b, err := asScalarBool(poss[code[pc+1]], vm.pop())
+			if err != nil {
+				return false, Value{}, err
+			}
+			if b {
+				pc += 3 + int(code[pc+2])
+			} else {
+				pc += 3
+			}
+		case opWhere:
+			thenLen := int(code[pc+1])
+			elseLen := int(code[pc+2])
+			condPos := poss[code[pc+3]]
+			condV := vm.pop()
+			if !condV.T.Parallel {
+				return false, Value{}, errAt(condPos,
+					"where condition must be parallel, got %s (use if for scalar conditions)", condV.T)
+			}
+			cond, err := asParallelBool(condPos, vm.arr, condV)
+			if err != nil {
+				return false, Value{}, err
+			}
+			thenStart := pc + opWidth[opWhere]
+			var bodyErr error
+			thenFn := func() {
+				if _, _, err := vm.run(fp, thenStart, thenStart+thenLen); err != nil {
+					bodyErr = err
+				}
+			}
+			var elseFn func()
+			if elseLen > 0 {
+				elseFn = func() {
+					if bodyErr != nil {
+						return
+					}
+					if _, _, err := vm.run(fp, thenStart+thenLen, thenStart+thenLen+elseLen); err != nil {
+						bodyErr = err
+					}
+				}
+			}
+			vm.arr.WhereElse(cond, thenFn, elseFn)
+			if bodyErr != nil {
+				return false, Value{}, bodyErr
+			}
+			pc = thenStart + thenLen + elseLen
+		case opCallPre:
+			if vm.depth >= maxCallDepth {
+				return false, Value{}, errAt(poss[code[pc+2]], "call depth exceeds %d (runaway recursion?)", maxCallDepth)
+			}
+			pc += 3
+		case opParam:
+			v, err := convertTo(poss[code[pc+2]], vm.arr, vm.pop(), typeFromCode(code[pc+1]))
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(copyParam(v))
+			pc += 3
+		case opCall:
+			v, err := vm.invoke(int(code[pc+1]))
+			if err != nil {
+				return false, Value{}, err
+			}
+			vm.push(v)
+			pc += 2
+		case opBuiltin:
+			impl := builtinTable[code[pc+1]].impl
+			base := len(vm.stack) - impl.arity
+			pb := int(code[pc+3])
+			v, err := impl.apply(vm.arr, poss[code[pc+2]], poss[pb:pb+impl.arity], vm.stack[base:])
+			if err != nil {
+				return false, Value{}, err
+			}
+			for i := base; i < len(vm.stack); i++ {
+				vm.stack[i] = Value{}
+			}
+			vm.stack = vm.stack[:base]
+			vm.push(v)
+			pc += 4
+		case opPrintArg:
+			v := vm.pop()
+			if code[pc+1] > 0 {
+				fmt.Fprint(vm.cfg.out, " ")
+			}
+			if err := printValue(vm.cfg.out, vm.arr, v); err != nil {
+				return false, Value{}, err
+			}
+			pc += 2
+		case opPrintEnd:
+			fmt.Fprintln(vm.cfg.out)
+			vm.push(voidValue())
+			pc++
+		case opReturn:
+			return true, vm.pop(), nil
+		case opErr:
+			return false, Value{}, &runtimeErr{pos: poss[code[pc+1]], msg: names[code[pc+2]]}
+		default:
+			return false, Value{}, fmt.Errorf("ppclang: corrupt bytecode: opcode %d at %d", op, pc)
+		}
+	}
+	return false, Value{}, nil
+}
+
+// global returns the named global slot, type-checked against want.
+func (vm *VM) global(name string, want Type) (*Value, error) {
+	g, ok := vm.p.globalByName[name]
+	if !ok {
+		return nil, fmt.Errorf("ppclang: no global %q", name)
+	}
+	v := &vm.globals[g]
+	if v.T != want {
+		return nil, fmt.Errorf("ppclang: global %q is %s, not %s", name, v.T, want)
+	}
+	return v, nil
+}
+
+// SetInt binds a scalar int global.
+func (vm *VM) SetInt(name string, val int64) error {
+	v, err := vm.global(name, Type{Base: BaseInt})
+	if err != nil {
+		return err
+	}
+	v.SInt = val
+	return nil
+}
+
+// GetInt reads a scalar int global.
+func (vm *VM) GetInt(name string) (int64, error) {
+	v, err := vm.global(name, Type{Base: BaseInt})
+	if err != nil {
+		return 0, err
+	}
+	return v.SInt, nil
+}
+
+// SetParallelInt binds a parallel int global from host data (row-major,
+// length N*N); models the host DMA path, charging no cycles.
+func (vm *VM) SetParallelInt(name string, data []ppa.Word) error {
+	v, err := vm.global(name, Type{Parallel: true, Base: BaseInt})
+	if err != nil {
+		return err
+	}
+	if len(data) != vm.arr.N()*vm.arr.N() {
+		return fmt.Errorf("ppclang: %q needs %d values, got %d", name, vm.arr.N()*vm.arr.N(), len(data))
+	}
+	v.PInt = vm.arr.FromSlice(data)
+	return nil
+}
+
+// GetParallelInt reads a parallel int global back to the host.
+func (vm *VM) GetParallelInt(name string) ([]ppa.Word, error) {
+	v, err := vm.global(name, Type{Parallel: true, Base: BaseInt})
+	if err != nil {
+		return nil, err
+	}
+	return v.PInt.Slice(), nil
+}
+
+// SetParallelLogical binds a parallel logical global from host data.
+func (vm *VM) SetParallelLogical(name string, data []bool) error {
+	v, err := vm.global(name, Type{Parallel: true, Base: BaseLogical})
+	if err != nil {
+		return err
+	}
+	if len(data) != vm.arr.N()*vm.arr.N() {
+		return fmt.Errorf("ppclang: %q needs %d values, got %d", name, vm.arr.N()*vm.arr.N(), len(data))
+	}
+	v.PBool = vm.arr.FromBools(data)
+	return nil
+}
+
+// GetParallelLogical reads a parallel logical global back to the host.
+func (vm *VM) GetParallelLogical(name string) ([]bool, error) {
+	v, err := vm.global(name, Type{Parallel: true, Base: BaseLogical})
+	if err != nil {
+		return nil, err
+	}
+	return v.PBool.Slice(), nil
+}

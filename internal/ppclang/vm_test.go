@@ -1,0 +1,753 @@
+package ppclang
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// The bytecode VM's contract is byte-identical behaviour with the
+// tree-walking oracle: same outputs, same errors (string and position),
+// same ppa.Metrics, under success, runtime errors, and fuel/deadline
+// budgets. These tests enforce the contract differentially.
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// valueRepr renders a Value for comparison (parallel values by content).
+func valueRepr(v Value) string {
+	switch {
+	case v.T.Parallel && v.T.Base == BaseInt:
+		return fmt.Sprintf("%s %v", v.T, v.PInt.Slice())
+	case v.T.Parallel && v.T.Base == BaseLogical:
+		return fmt.Sprintf("%s %v", v.T, v.PBool.Slice())
+	default:
+		return v.T.String() + " " + v.String()
+	}
+}
+
+type diffSide struct {
+	m    *ppa.Machine
+	arr  *par.Array
+	out  *strings.Builder
+	ex   Executor
+	cerr error
+}
+
+func newDiffSide(prog *Program, n int, h uint, reference bool, opts []Option) *diffSide {
+	s := &diffSide{m: ppa.New(n, h), out: &strings.Builder{}}
+	s.arr = par.New(s.m)
+	all := append([]Option{WithOutput(s.out), WithReference(reference)}, opts...)
+	s.ex, s.cerr = NewExecutor(prog, s.arr, all...)
+	return s
+}
+
+// diffProgram runs src on both executors (fresh machines) and fails on any
+// divergence in construction errors, call results/errors, print output,
+// metrics, or readable globals. setup binds inputs on both sides; entries
+// are called in order. Returns the oracle side for extra assertions.
+func diffProgram(t *testing.T, src string, n int, h uint, opts []Option, setup func(Executor) error, entries ...string) *diffSide {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	oracle := newDiffSide(prog, n, h, true, opts)
+	vm := newDiffSide(prog, n, h, false, opts)
+	if errString(oracle.cerr) != errString(vm.cerr) {
+		t.Fatalf("construction diverged:\noracle: %v\nvm:     %v", oracle.cerr, vm.cerr)
+	}
+	if om, vmm := oracle.m.Metrics(), vm.m.Metrics(); om != vmm {
+		t.Fatalf("init metrics diverged:\noracle: %+v\nvm:     %+v", om, vmm)
+	}
+	if oracle.cerr != nil {
+		return oracle
+	}
+	if setup != nil {
+		if err := setup(oracle.ex); err != nil {
+			t.Fatalf("setup oracle: %v", err)
+		}
+		if err := setup(vm.ex); err != nil {
+			t.Fatalf("setup vm: %v", err)
+		}
+	}
+	for _, entry := range entries {
+		ov, oerr := oracle.ex.Call(entry)
+		vv, verr := vm.ex.Call(entry)
+		if errString(oerr) != errString(verr) {
+			t.Fatalf("Call(%q) errors diverged:\noracle: %v\nvm:     %v", entry, oerr, verr)
+		}
+		if oerr == nil && valueRepr(ov) != valueRepr(vv) {
+			t.Fatalf("Call(%q) results diverged:\noracle: %s\nvm:     %s", entry, valueRepr(ov), valueRepr(vv))
+		}
+		if om, vmm := oracle.m.Metrics(), vm.m.Metrics(); om != vmm {
+			t.Fatalf("metrics diverged after Call(%q):\noracle: %+v\nvm:     %+v", entry, om, vmm)
+		}
+		if oracle.out.String() != vm.out.String() {
+			t.Fatalf("output diverged after Call(%q):\noracle: %q\nvm:     %q", entry, oracle.out.String(), vm.out.String())
+		}
+	}
+	diffGlobals(t, prog, oracle.ex, vm.ex)
+	return oracle
+}
+
+// diffGlobals compares every host-readable program global across paths.
+func diffGlobals(t *testing.T, prog *Program, a, b Executor) {
+	t.Helper()
+	for _, d := range prog.Globals {
+		for _, name := range d.Names {
+			switch {
+			case d.Type.Parallel && d.Type.Base == BaseInt:
+				av, ae := a.GetParallelInt(name)
+				bv, be := b.GetParallelInt(name)
+				if errString(ae) != errString(be) || fmt.Sprint(av) != fmt.Sprint(bv) {
+					t.Fatalf("global %q diverged: %v/%v vs %v/%v", name, av, ae, bv, be)
+				}
+			case d.Type.Parallel && d.Type.Base == BaseLogical:
+				av, ae := a.GetParallelLogical(name)
+				bv, be := b.GetParallelLogical(name)
+				if errString(ae) != errString(be) || fmt.Sprint(av) != fmt.Sprint(bv) {
+					t.Fatalf("global %q diverged: %v/%v vs %v/%v", name, av, ae, bv, be)
+				}
+			case !d.Type.Parallel && d.Type.Base == BaseInt:
+				av, ae := a.GetInt(name)
+				bv, be := b.GetInt(name)
+				if errString(ae) != errString(be) || av != bv {
+					t.Fatalf("global %q diverged: %v/%v vs %v/%v", name, av, ae, bv, be)
+				}
+			}
+		}
+	}
+}
+
+// TestVMParityPaperProgram sweeps the paper program across geometries and
+// random graphs: identical SOW/PTN and identical machine metrics.
+func TestVMParityPaperProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(9)
+		h := uint(8 + rng.Intn(8))
+		g := graph.GenRandom(n, 0.2+rng.Float64()*0.5, 1+int64(rng.Intn(12)), rng.Int63())
+		dest := rng.Intn(n)
+		inf := ppa.New(1, h).Inf()
+		w := make([]ppa.Word, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				switch wt := g.At(i, j); {
+				case i == j:
+					w[i*n+j] = 0
+				case wt == graph.NoEdge:
+					w[i*n+j] = inf
+				default:
+					w[i*n+j] = ppa.Word(wt)
+				}
+			}
+		}
+		diffProgram(t, PaperMCPSource, n, h, nil, func(ex Executor) error {
+			if err := ex.SetParallelInt("W", w); err != nil {
+				return err
+			}
+			return ex.SetInt("d", int64(dest))
+		}, "minimum_cost_path")
+	}
+}
+
+// TestVMParityShippedPrograms runs sort/widest/DT across geometries.
+func TestVMParityShippedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(8)
+		flat := make([]ppa.Word, n*n)
+		for i := range flat {
+			flat[i] = ppa.Word(rng.Intn(50))
+		}
+		diffProgram(t, SortRowsSource, n, 10, nil, func(ex Executor) error {
+			return ex.SetParallelInt("V", flat)
+		}, "sort_rows")
+
+		fg := make([]bool, n*n)
+		for i := range fg {
+			fg[i] = rng.Float64() < 0.25
+		}
+		fg[rng.Intn(n*n)] = true
+		diffProgram(t, DistanceTransformSource, n, 10, nil, func(ex Executor) error {
+			return ex.SetParallelLogical("FG", fg)
+		}, "distance_transform")
+
+		g := graph.GenRandom(n, 0.4, 1+int64(rng.Intn(20)), rng.Int63())
+		dest := rng.Intn(n)
+		inf := ppa.New(1, 12).Inf()
+		w := make([]ppa.Word, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				switch wt := g.At(i, j); {
+				case i == j:
+					w[i*n+j] = inf
+				case wt == graph.NoEdge:
+					w[i*n+j] = 0
+				default:
+					w[i*n+j] = ppa.Word(wt)
+				}
+			}
+		}
+		diffProgram(t, WidestPathSource, n, 12, nil, func(ex Executor) error {
+			if err := ex.SetParallelInt("W", w); err != nil {
+				return err
+			}
+			return ex.SetInt("d", int64(dest))
+		}, "widest_path")
+	}
+}
+
+// TestVMParityLanguageFeatures drives each construct (and its error
+// paths) through both executors.
+func TestVMParityLanguageFeatures(t *testing.T) {
+	cases := map[string]struct {
+		src     string
+		entries []string
+	}{
+		"arith and compare": {`
+int r;
+void main() { r = (3 + 4) * 2 - 10 / 2 + 9 % 4; r = r + (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) + (1 == 1) + (2 != 2); }
+`, []string{"main"}},
+		"logical short circuit": {`
+int hits;
+int tick() { hits++; return 1; }
+void main() { int a; a = 0 && tick(); a = 1 || tick(); a = 1 && tick(); a = 0 || tick(); }
+`, []string{"main"}},
+		"parallel logical ops": {`
+parallel logical A, B, C;
+void main() { A = ROW == 0; B = COL == 0; C = A && B; C = A || B; C = A == B; C = A != B; C = !A; }
+`, []string{"main"}},
+		"parallel arith saturates": {`
+parallel int V;
+void main() { V = MAXINT + ROW; V = V - MAXINT; V = ROW + COL; }
+`, []string{"main"}},
+		"where elsewhere nesting": {`
+parallel int V;
+void main() {
+	where (ROW == 0) { V = 1; where (COL == 0) V = 2; elsewhere V = 3; }
+	elsewhere { V = 4; }
+}
+`, []string{"main"}},
+		"where int condition": {`
+parallel int V;
+void main() { where (COL) V = 5; }
+`, []string{"main"}},
+		"loops": {`
+int total;
+void main() {
+	for (int i = 0; i < 5; i++) { if (i == 2) continue; if (i == 4) break; total = total + i; }
+	int j; j = 0;
+	while (j < 3) { j++; }
+	do { j--; } while (j > 0);
+	total = total + j;
+}
+`, []string{"main"}},
+		"functions and recursion": {`
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int r;
+void main() { r = fib(10); }
+`, []string{"main"}},
+		"param value semantics": {`
+parallel int V;
+void clobber(parallel int x) { x = 0; }
+void main() { V = ROW; clobber(V); }
+`, []string{"main"}},
+		"builtins": {`
+parallel int V; parallel logical L; int s; logical b;
+void main() {
+	V = shift(ROW, EAST);
+	V = broadcast(V, SOUTH, ROW == 0);
+	V = min(V, EAST, COL == 0);
+	V = max(V, WEST, COL == 0);
+	V = selected_min(V, EAST, COL == 0, ROW == COL);
+	V = selected_max(V, EAST, COL == 0, ROW == COL);
+	L = or(ROW == 0, SOUTH, ROW == 0);
+	L = bit(V, 0);
+	L = shift(L, NORTH);
+	L = broadcast(L, EAST, COL == 0);
+	b = any(L);
+	s = opposite(WEST);
+}
+`, []string{"main"}},
+		"print formats": {`
+parallel int V; parallel logical L;
+void main() { V = ROW; L = COL == 0; print(1, V, L); print(); print(MAXINT); }
+`, []string{"main"}},
+		"global init chain": {`
+int a = 3;
+int b = a + 4;
+parallel int V = ROW + a;
+void main() { }
+`, []string{"main"}},
+		"global init calls function": {`
+int f() { return 7; }
+int a = f();
+void main() { }
+`, []string{"main"}},
+		"global init forward ref fails": {`
+int f() { return later; }
+int a = f();
+int later = 5;
+void main() { }
+`, []string{"main"}},
+		"redeclared global": {`
+int x;
+int x;
+void main() { }
+`, []string{"main"}},
+		"shadow predefined global": {`
+int ROW;
+void main() { }
+`, []string{"main"}},
+		"local shadows global": {`
+int x = 1;
+int r;
+void main() { int x; x = 5; { int x; x = 9; r = r + x; } r = r + x; }
+`, []string{"main"}},
+		"local redeclared": {`
+void main() { int x; int x; }
+`, []string{"main"}},
+		"init resolves against enclosing scope": {`
+int x = 7;
+int r;
+void main() { int x = x + 1; r = x; { int x = x * 2; r = r + x; } }
+`, []string{"main"}},
+		"init self reference undefined": {`
+void main() { int fresh = fresh; }
+`, []string{"main"}},
+		"multi name decl chains": {`
+int r;
+void main() { int a = 2, b = a + 1, c = b * b; r = c; }
+`, []string{"main"}},
+		"dead local redeclare not reached": {`
+void main() { return; int x; int x; }
+`, []string{"main"}},
+		"undefined variable": {`
+void main() { x = 1; }
+`, []string{"main"}},
+		"undefined function": {`
+void main() { nosuch(1); }
+`, []string{"main"}},
+		"division by zero": {`
+int z;
+void main() { z = 1 / z; }
+`, []string{"main"}},
+		"modulo by zero": {`
+int z;
+void main() { z = 1 % z; }
+`, []string{"main"}},
+		"parallel star rejected": {`
+parallel int V;
+void main() { V = V * V; }
+`, []string{"main"}},
+		"unary minus parallel rejected": {`
+parallel int V;
+void main() { V = -V; }
+`, []string{"main"}},
+		"where scalar cond rejected": {`
+void main() { where (1) ; }
+`, []string{"main"}},
+		"if parallel cond rejected": {`
+void main() { if (ROW == 0) ; }
+`, []string{"main"}},
+		"break crosses where": {`
+void main() { while (1) { where (ROW == 0) { break; } } }
+`, []string{"main"}},
+		"return crosses where": {`
+int f() { where (ROW == 0) { return 1; } return 0; }
+void main() { f(); }
+`, []string{"main"}},
+		"return in loop in where ok-ish": {`
+int f() { where (ROW == 0) { while (1) { break; } } return 2; }
+int r;
+void main() { r = f(); }
+`, []string{"main"}},
+		"break outside loop void fn": {`
+void main() { break; }
+`, []string{"main"}},
+		"continue outside loop nonvoid fn": {`
+int f() { continue; }
+void main() { f(); }
+`, []string{"main"}},
+		"missing return": {`
+int f() { if (N == 0) return 1; }
+void main() { f(); }
+`, []string{"main"}},
+		"recursion depth": {`
+int a(int n) { return b(n); }
+int b(int n) { return a(n); }
+void main() { a(0); }
+`, []string{"main"}},
+		"builtin arity": {`
+void main() { shift(ROW); }
+`, []string{"main"}},
+		"builtin bad direction": {`
+void main() { shift(ROW, 7); }
+`, []string{"main"}},
+		"bit out of range": {`
+parallel logical L;
+void main() { L = bit(ROW, 99); }
+`, []string{"main"}},
+		"call arity": {`
+void f(int a) { }
+void main() { f(); }
+`, []string{"main"}},
+		"dup params": {`
+void f(int a, int a) { }
+void main() { f(1, 2); }
+`, []string{"main"}},
+		"void in expression": {`
+void f() { }
+void main() { int x; x = f() + 1; }
+`, []string{"main"}},
+		"assign parallel to scalar": {`
+int s;
+void main() { s = ROW; }
+`, []string{"main"}},
+		"incdec on parallel": {`
+parallel int V;
+void main() { V++; }
+`, []string{"main"}},
+		"incdec globals and return values": {`
+int i;
+int r;
+void main() { r = i++; r = r + i--; r = r + i; }
+`, []string{"main"}},
+		"scalar not representable": {`
+parallel int V;
+void main() { V = 100000; }
+`, []string{"main"}},
+		"empty statements": {`
+void main() { ; if (1) ; else ; for (;0;) ; }
+`, []string{"main"}},
+		"two entry calls reuse state": {`
+int calls;
+void bump() { calls++; }
+`, []string{"bump", "bump"}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			diffProgram(t, tc.src, 3, 8, nil, nil, tc.entries...)
+		})
+	}
+}
+
+// TestVMParityHostAPIErrors: host-facing errors match too.
+func TestVMParityHostAPIErrors(t *testing.T) {
+	src := `
+int s;
+parallel int V;
+parallel logical L;
+void main() { }
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []bool{true, false} {
+		ex, err := NewExecutor(prog, par.New(ppa.New(2, 8)), WithReference(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checks := []error{
+			func() error { _, e := ex.Call("nosuch"); return e }(),
+			func() error { _, e := ex.GetInt("nope"); return e }(),
+			func() error { _, e := ex.GetInt("V"); return e }(),
+			ex.SetParallelInt("V", make([]ppa.Word, 3)),
+			ex.SetParallelLogical("L", make([]bool, 7)),
+			ex.SetParallelInt("L", make([]ppa.Word, 4)),
+		}
+		want := []string{
+			`ppclang: undefined function "nosuch"`,
+			`ppclang: no global "nope"`,
+			`ppclang: global "V" is parallel int, not int`,
+			`ppclang: "V" needs 4 values, got 3`,
+			`ppclang: "L" needs 4 values, got 7`,
+			`ppclang: global "L" is parallel logical, not parallel int`,
+		}
+		for i, e := range checks {
+			if errString(e) != want[i] {
+				t.Errorf("ref=%v check %d: got %q, want %q", ref, i, errString(e), want[i])
+			}
+		}
+	}
+	// Non-niladic entry points are rejected identically.
+	prog2, _ := Compile(`void f(int a) { }`)
+	for _, ref := range []bool{true, false} {
+		ex, err := NewExecutor(prog2, par.New(ppa.New(2, 8)), WithReference(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, e := ex.Call("f")
+		if got := errString(e); got != "ppclang: f takes 1 parameters; Call supports only niladic entry points" {
+			t.Errorf("ref=%v: %q", ref, got)
+		}
+	}
+}
+
+// fuelTestSource runs long enough to abort at any small budget.
+const fuelTestSource = `
+int total;
+int work(int k) { int acc; for (int i = 0; i < k; i++) { acc = acc + i; } return acc; }
+parallel int V;
+void main() {
+	for (int round = 0; round < 4; round++) {
+		total = total + work(round + 3);
+		where (ROW == 0) { V = V + 1; }
+	}
+}
+`
+
+// TestVMFuelParity: for every budget the two paths fail (or succeed) at
+// the identical statement with identical metrics, and the error is a
+// typed FuelError matching ErrFuelExhausted.
+func TestVMFuelParity(t *testing.T) {
+	prog, err := Compile(fuelTestSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the unbounded statement count first, then probe every budget up
+	// to beyond it.
+	exhausted := 0
+	for budget := int64(1); budget <= 220; budget++ {
+		oracle := newDiffSide(prog, 3, 8, true, []Option{WithFuel(budget)})
+		vm := newDiffSide(prog, 3, 8, false, []Option{WithFuel(budget)})
+		if errString(oracle.cerr) != errString(vm.cerr) {
+			t.Fatalf("budget %d: construction diverged: %v vs %v", budget, oracle.cerr, vm.cerr)
+		}
+		_, oerr := oracle.ex.Call("main")
+		_, verr := vm.ex.Call("main")
+		if errString(oerr) != errString(verr) {
+			t.Fatalf("budget %d: errors diverged:\noracle: %v\nvm:     %v", budget, oerr, verr)
+		}
+		if om, vmm := oracle.m.Metrics(), vm.m.Metrics(); om != vmm {
+			t.Fatalf("budget %d: metrics diverged:\noracle: %+v\nvm:     %+v", budget, om, vmm)
+		}
+		if oerr != nil {
+			exhausted++
+			if !errors.Is(oerr, ErrFuelExhausted) || !errors.Is(verr, ErrFuelExhausted) {
+				t.Fatalf("budget %d: error not ErrFuelExhausted: %v", budget, verr)
+			}
+			var fe *FuelError
+			if !errors.As(verr, &fe) || fe.Limit != budget {
+				t.Fatalf("budget %d: FuelError limit mismatch: %v", budget, verr)
+			}
+		}
+	}
+	if exhausted == 0 {
+		t.Fatal("no budget exhausted fuel; test source too small")
+	}
+}
+
+// TestVMFuelResetsPerCall: the budget is per host Call, not cumulative.
+func TestVMFuelResetsPerCall(t *testing.T) {
+	src := `void main() { int a; a = 1; a = 2; }`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []bool{true, false} {
+		ex, err := NewExecutor(prog, par.New(ppa.New(2, 8)), WithReference(ref), WithFuel(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := ex.Call("main"); err != nil {
+				t.Fatalf("ref=%v call %d: %v", ref, i, err)
+			}
+		}
+	}
+}
+
+// TestVMDeadline: a cancelled context aborts both paths with the same
+// DeadlineError.
+func TestVMDeadline(t *testing.T) {
+	src := `void main() { int i; for (i = 0; i < 100000; i++) ; }`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var msgs []string
+	for _, ref := range []bool{true, false} {
+		ex, err := NewExecutor(prog, par.New(ppa.New(2, 8)), WithReference(ref), WithContext(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cerr := ex.Call("main")
+		if cerr == nil {
+			t.Fatalf("ref=%v: cancelled context did not abort", ref)
+		}
+		if !errors.Is(cerr, context.Canceled) {
+			t.Fatalf("ref=%v: error does not unwrap to context.Canceled: %v", ref, cerr)
+		}
+		var de *DeadlineError
+		if !errors.As(cerr, &de) {
+			t.Fatalf("ref=%v: not a DeadlineError: %v", ref, cerr)
+		}
+		msgs = append(msgs, cerr.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("deadline errors diverged: %q vs %q", msgs[0], msgs[1])
+	}
+}
+
+// TestVMNoLeakedTemporaries: an aborted run leaves no values on the VM
+// stack and no extra local frames.
+func TestVMNoLeakedTemporaries(t *testing.T) {
+	src := `
+int f(int n) { return f(n + 1); }
+void main() { f(0); }
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(prog, par.New(ppa.New(2, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Call("main"); err == nil {
+		t.Fatal("runaway recursion not caught")
+	}
+	if len(vm.stack) != 0 {
+		t.Errorf("stack not cleared: %d values", len(vm.stack))
+	}
+	if len(vm.locals) != 0 {
+		t.Errorf("locals not unwound: %d values", len(vm.locals))
+	}
+	if vm.depth != 0 {
+		t.Errorf("depth not restored: %d", vm.depth)
+	}
+}
+
+// TestDisassemble: the disassembly names every function and resolves
+// builtin and jump operands.
+func TestDisassemble(t *testing.T) {
+	prog, err := Compile(PaperMCPSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Disassemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"minimum_cost_path", "builtin", "where", "jmpt", "fuel", "storeg"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+	// Round-trip: disassembly is stable across calls (cached Code).
+	text2, err := Disassemble(prog)
+	if err != nil || text != text2 {
+		t.Errorf("disassembly not stable: %v", err)
+	}
+}
+
+// TestExecutorSelection: NewExecutor returns the VM by default and the
+// tree-walker under WithReference.
+func TestExecutorSelection(t *testing.T) {
+	prog, err := Compile(`void main() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(prog, par.New(ppa.New(2, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ex.(*VM); !ok {
+		t.Errorf("default executor is %T, want *VM", ex)
+	}
+	ex, err = NewExecutor(prog, par.New(ppa.New(2, 8)), WithReference(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ex.(*Interp); !ok {
+		t.Errorf("reference executor is %T, want *Interp", ex)
+	}
+}
+
+// TestVMParityRandomPrograms cross-checks generated programs built from
+// the full statement grammar (a seeded mini-fuzzer that always produces
+// parseable sources, many of which still fail at runtime).
+func TestVMParityRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	exprs := []string{
+		"0", "1", "3", "N", "BITS", "MAXINT", "ROW", "COL", "i", "V", "L",
+		"ROW + COL", "V - 1", "i * 2", "i / 2", "i % 3", "-i", "!L",
+		"ROW == COL", "i < N", "L && (ROW == 0)", "i > 0 || L",
+		"shift(V, EAST)", "min(V, EAST, COL == 0)", "any(L)", "bit(V, 0)",
+		"broadcast(V, SOUTH, ROW == 0)", "opposite(NORTH)", "f(i)",
+		"i++", "V = ROW", "L = COL == 0", "i = i + 1",
+	}
+	stmts := []string{
+		"i = i + 1;", "V = V + 1;", "L = !L;", "print(i);", ";",
+		"if (i < 2) i = 5; else i = 6;", "while (i > 0) i--;",
+		"for (int k = 0; k < 2; k++) i = i + k;",
+		"do i--; while (i > 3);",
+		"where (L) V = 1; elsewhere V = 2;",
+		"where (ROW == 0) { V = V + 1; }",
+		"{ int t; t = i; i = t + 1; }",
+		"int z = i; i = z;",
+		"break;", "continue;", "return;",
+	}
+	for trial := 0; trial < 60; trial++ {
+		var sb strings.Builder
+		sb.WriteString("int i;\nparallel int V;\nparallel logical L;\n")
+		sb.WriteString("int f(int x) { return x + 1; }\n")
+		sb.WriteString("void main() {\n")
+		for k := 0; k < 3+rng.Intn(6); k++ {
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&sb, "\ti = %s == 0;\n", exprs[rng.Intn(len(exprs))])
+			} else {
+				fmt.Fprintf(&sb, "\t%s\n", stmts[rng.Intn(len(stmts))])
+			}
+		}
+		sb.WriteString("}\n")
+		src := sb.String()
+		if _, err := Compile(src); err != nil {
+			continue
+		}
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			diffProgram(t, src, 3, 8, []Option{WithFuel(5000)}, nil, "main")
+		})
+	}
+}
+
+// TestVMParityAllNiladicEntries: every niladic function of a program is a
+// valid entry point on both paths.
+func TestVMParityAllNiladicEntries(t *testing.T) {
+	src := `
+int state;
+int get() { return state; }
+void bump() { state++; }
+void twice() { bump(); bump(); }
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []string
+	for name, f := range prog.Funcs {
+		if len(f.Params) == 0 {
+			entries = append(entries, name)
+		}
+	}
+	sort.Strings(entries)
+	diffProgram(t, src, 2, 8, nil, nil, entries...)
+}
