@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json pprof tables fuzz examples serve loadtest loadtest-json clean
+.PHONY: all build vet test race cover bench bench-json bench-tables-json pprof tables fuzz examples serve route loadtest loadtest-json fleet-json clean
 
 all: build vet test
 
@@ -24,11 +24,20 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Fleet scaling benchmark behind the consistent-hash router: for each
+# fleet size boot that many in-process ppaserved backends behind an
+# in-process pparouter and run a cache-miss row (backend scaling) and a
+# Zipf row (front-door cache). -backend-delay emulates fixed per-batch
+# device occupancy so the scaling curve is measurable on small hosts.
+bench-json:
+	$(GO) run ./cmd/ppaload -fleet 1,2,4 -gen connected -n 32 -seed 1 \
+		-graphs 32 -c 32 -requests 8 -dests 1 -backend-delay 16ms -json > BENCH_PR7.json
+
 # Machine-readable snapshot: E1-E6 cycle tables + wall-clock solve cost
 # (including the workers-scaling curve, the fused-vs-reference session
 # ablation, the virtualization curve k = n/m in {1, 2, 4, 8}, and the
 # PPC bytecode-vs-reference execution curve).
-bench-json:
+bench-tables-json:
 	$(GO) run ./cmd/benchtab -json > BENCH_PR6.json
 
 # CPU profile of the simulator's hot path (repeated n=64 session solves);
@@ -39,6 +48,16 @@ pprof:
 # Run the solver service on :8080 (see README "Serving").
 serve:
 	$(GO) run ./cmd/ppaserved
+
+# Run the fleet router on :8080 (see README "Scaling out"); point
+# BACKENDS at comma-separated ppaserved URLs.
+route:
+	$(GO) run ./cmd/pparouter -backends $(BACKENDS)
+
+# Same fleet sweep as bench-json, to stdout for a quick look.
+fleet-json:
+	$(GO) run ./cmd/ppaload -fleet 1,2,4 -gen connected -n 32 -seed 1 \
+		-graphs 32 -c 32 -requests 8 -dests 1 -backend-delay 16ms -json
 
 # Closed-loop load test against an in-process server; every response is
 # verified against Bellman-Ford. Point at a live server with

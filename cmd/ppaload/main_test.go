@@ -2,9 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
+	"net/http"
 	"strings"
 	"testing"
+	"time"
+
+	"ppamcp/internal/serve"
 )
 
 // TestSelfServeSmoke runs the full closed loop in-process: spin up a
@@ -74,6 +80,106 @@ func TestFlagValidation(t *testing.T) {
 		var buf bytes.Buffer
 		if err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestTargetsRoundRobin spreads clients over two real in-process
+// servers via -targets and requires both to see traffic.
+func TestTargetsRoundRobin(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		svc := serve.New(serve.Config{Workers: 1, MaxVertices: 16})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		addrs = append(addrs, "http://"+ln.Addr().String())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			svc.Shutdown(ctx)
+		}()
+	}
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-targets", strings.Join(addrs, ","),
+		"-gen", "connected", "-n", "12", "-seed", "3",
+		"-c", "4", "-requests", "3", "-dests", "1", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(buf.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\noutput:\n%s", err, buf.String())
+	}
+	if sum.OK != 12 || sum.Verified != 12 {
+		t.Errorf("ok/verified = %d/%d, want 12/12", sum.OK, sum.Verified)
+	}
+	if sum.Target != strings.Join(addrs, ",") {
+		t.Errorf("target = %q, want both addresses", sum.Target)
+	}
+}
+
+// TestMultiGraphZipf rotates over several graphs with a Zipf skew
+// against a single self-served backend: every response must still
+// verify against the right graph's reference.
+func TestMultiGraphZipf(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-selfserve", "-gen", "connected", "-n", "12", "-seed", "5",
+		"-graphs", "4", "-zipf", "1.4",
+		"-c", "4", "-requests", "4", "-dests", "1", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(buf.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\noutput:\n%s", err, buf.String())
+	}
+	if sum.OK != 16 || sum.Verified != 16 {
+		t.Errorf("ok/verified = %d/%d, want 16/16", sum.OK, sum.Verified)
+	}
+	if sum.Graphs != 4 || sum.Zipf != 1.4 {
+		t.Errorf("graphs/zipf = %d/%v, want 4/1.4", sum.Graphs, sum.Zipf)
+	}
+}
+
+// TestFleetSweep runs the full in-process fleet benchmark at sizes 1
+// and 2: both rows per size must fully verify, and the Zipf row must
+// see front-door cache traffic.
+func TestFleetSweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-fleet", "1,2", "-gen", "connected", "-n", "12", "-seed", "7",
+		"-graphs", "6", "-c", "4", "-requests", "6", "-dests", "1", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	var rep FleetReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\noutput:\n%s", err, buf.String())
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 sizes x 2 mixes)", len(rep.Rows))
+	}
+	if rep.HostCPUs < 1 {
+		t.Errorf("host_cpus = %d", rep.HostCPUs)
+	}
+	for _, row := range rep.Rows {
+		if row.OK+row.Unserved != 24 || row.Verified != row.OK {
+			t.Errorf("fleet=%d mix=%s: ok=%d unserved=%d verified=%d, want all served+verified",
+				row.Backends, row.Mix, row.OK, row.Unserved, row.Verified)
+		}
+		if row.Mix == "zipf" && row.CacheHits+row.CacheCollapsed == 0 {
+			t.Errorf("fleet=%d zipf row saw no front-door cache traffic", row.Backends)
 		}
 	}
 }

@@ -1,0 +1,123 @@
+// Command pparouter is the fleet front door: a consistent-hash router
+// that spreads solve traffic across N ppaserved backends while keeping
+// it graph-affine (identical graphs land on the backend already holding
+// a warm session), with a front-door result cache, single-flight miss
+// collapse, active health checking, and bounded failover (see
+// internal/router).
+//
+// Endpoints:
+//
+//	POST /v1/solve  (forwarded; same wire format as ppaserved)
+//	GET  /healthz   (router + fleet health, JSON)
+//	GET  /metrics   (Prometheus text format)
+//
+// Example:
+//
+//	pparouter -addr :8080 -backends http://10.0.0.1:8081,http://10.0.0.2:8081
+//
+// SIGINT/SIGTERM trigger a graceful drain: new work is refused with 503,
+// in-flight forwards complete, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ppamcp/internal/router"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pparouter:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (then drains)
+// or the listener fails. When ready is non-nil the bound address is sent
+// on it once the server is accepting — the hook the tests use to talk to
+// an ephemeral-port instance.
+func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("pparouter", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8080", "listen address")
+	backends := fs.String("backends", "", "comma-separated ppaserved base URLs (required)")
+	vnodes := fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "active health-check period")
+	healthTimeout := fs.Duration("health-timeout", time.Second, "per-probe timeout")
+	evictAfter := fs.Int("evict-after", 2, "consecutive probe failures that evict a backend")
+	retryBudget := fs.Int("retry-budget", 2, "additional backends tried after the primary fails")
+	cacheEntries := fs.Int("cache-entries", 4096, "front-door result cache entries (negative disables)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "front-door result cache byte bound")
+	maxN := fs.Int("max-n", 512, "largest accepted graph (vertices)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if strings.TrimSpace(*backends) == "" {
+		return fmt.Errorf("-backends is required (comma-separated ppaserved URLs)")
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:       strings.Split(*backends, ","),
+		VNodes:         *vnodes,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		EvictAfter:     *evictAfter,
+		RetryBudget:    *retryBudget,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		MaxVertices:    *maxN,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(out, "pparouter listening on %s (backends=%d vnodes=%d cache=%d retry-budget=%d)\n",
+		ln.Addr(), len(strings.Split(*backends, ",")), *vnodes, *cacheEntries, *retryBudget)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "pparouter: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("http drain: %w", err)
+	}
+	if err := rt.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("router drain: %w", err)
+	}
+	fmt.Fprintln(out, "pparouter: drained")
+	return nil
+}

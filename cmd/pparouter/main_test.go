@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ppamcp/internal/serve"
+)
+
+// syncBuffer lets the daemon goroutine and the test share the output log.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startBackends boots n real in-process ppaserved services and returns
+// their base URLs.
+func startBackends(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		svc := serve.New(serve.Config{Workers: 2, MaxVertices: 64})
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			svc.Shutdown(ctx)
+		})
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// TestRouterDaemonServesAndDrains boots the real pparouter daemon in
+// front of two real backends, solves through it twice (miss then
+// front-door hit), checks /healthz and /metrics, then delivers the
+// shutdown signal and expects a clean drain.
+func TestRouterDaemonServesAndDrains(t *testing.T) {
+	backends := startBackends(t, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-backends", strings.Join(backends, ","),
+			"-health-interval", "100ms",
+		}, out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v\noutput:\n%s", err, out)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, body %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), `"healthy_backends":2`) {
+		t.Errorf("healthz body %s, want 2 healthy backends", data)
+	}
+
+	const body = `{"gen":{"gen":"connected","n":12,"seed":5},"dests":[0,7]}`
+	solve := func() (*http.Response, serve.SolveResponse) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve status = %d, body %s", resp.StatusCode, data)
+		}
+		var sr serve.SolveResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatalf("solve response: %v", err)
+		}
+		return resp, sr
+	}
+	first, sr := solve()
+	if sr.N != 12 || len(sr.Results) != 2 {
+		t.Fatalf("solve response n=%d results=%d, want n=12 results=2", sr.N, len(sr.Results))
+	}
+	if src := first.Header.Get("X-Ppa-Cache"); src != "miss" {
+		t.Errorf("first solve cache = %q, want miss", src)
+	}
+	second, _ := solve()
+	if src := second.Header.Get("X-Ppa-Cache"); src != "hit" {
+		t.Errorf("second solve cache = %q, want hit", src)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"pparouter_ring_size 2", "pparouter_cache_hits_total 1"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	cancel() // what SIGINT/SIGTERM does in main
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\noutput:\n%s", err, out)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not drain\noutput:\n%s", out)
+	}
+	log := out.String()
+	for _, want := range []string{"pparouter listening on", "pparouter: draining", "pparouter: drained"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("output missing %q:\n%s", want, log)
+		}
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+func TestRouterDaemonRequiresBackends(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, &buf, nil)
+	if err == nil || !strings.Contains(err.Error(), "-backends") {
+		t.Fatalf("run without -backends returned %v, want an error naming the flag", err)
+	}
+}
+
+func TestRouterDaemonBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-vnodes", "not-a-number"}, &buf, nil)
+	if err == nil {
+		t.Fatal("run accepted a malformed flag")
+	}
+}

@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	maxBatch := fs.Int("max-batch", 16, "requests coalesced per session checkout")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	solveDelay := fs.Duration("solve-delay", 0, "emulated per-solve device occupancy for fleet benches on small hosts (0 = off)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		SolveDelay:     *solveDelay,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,31 @@
+package graph
+
+// Fingerprint hashes the solve-relevant identity of a graph at machine
+// word width h (FNV-1a over n, h, and the dense weight matrix). It is
+// the shared placement key of the serving stack: internal/serve
+// micro-batches requests whose fingerprints match (with an exact graph
+// compare behind it, so a collision costs a missed coalesce, never a
+// wrong answer), and internal/router consistent-hashes it across the
+// backend fleet so identical graphs land on the backend already holding
+// a warm session for them. Router and server MUST hash identically —
+// that is why this lives here and not in either of them.
+func Fingerprint(g *Graph, h uint) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fp := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			fp ^= v & 0xff
+			fp *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(g.N))
+	mix(uint64(h))
+	for _, w := range g.W {
+		mix(uint64(w))
+	}
+	return fp
+}

@@ -1,0 +1,161 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheLRUEntryBound: the entry bound evicts cold entries in LRU
+// order, and Get promotes.
+func TestCacheLRUEntryBound(t *testing.T) {
+	c := NewCache(3, 0)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 is the coldest.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived; LRU order not honored")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 3 entries, 1 eviction", st)
+	}
+}
+
+// TestCacheByteBound: the byte bound evicts until the footprint fits,
+// and an entry larger than the whole bound is refused outright.
+func TestCacheByteBound(t *testing.T) {
+	perEntry := int64(1000 + 2 + entryOverhead) // body + key + overhead
+	c := NewCache(0, 3*perEntry)
+	body := make([]byte, 1000)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("b%d", i), body)
+	}
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Errorf("entries = %d, want 3 (byte bound)", st.Entries)
+	}
+	if st.Bytes > 3*perEntry {
+		t.Errorf("bytes = %d exceeds bound %d", st.Bytes, 3*perEntry)
+	}
+	if _, ok := c.Get("b0"); ok {
+		t.Error("oldest entry survived the byte bound")
+	}
+
+	c.Put("huge", make([]byte, 4*perEntry))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("an entry larger than the byte bound was stored")
+	}
+	if got := c.Stats().Entries; got != 3 {
+		t.Errorf("oversized Put disturbed the cache: %d entries", got)
+	}
+}
+
+// TestSingleFlightCollapse: K concurrent callers for one key produce
+// exactly one fn invocation; followers share the leader's result and
+// are counted.
+func TestSingleFlightCollapse(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const K = 8
+
+	var wg sync.WaitGroup
+	results := make([]*upstream, K)
+	shared := make([]bool, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, sh, err := g.Do(context.Background(), "key", func() *upstream {
+				calls.Add(1)
+				<-release // hold the flight open until all followers joined
+				return &upstream{status: 200, body: []byte("body")}
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			results[i], shared[i] = res, sh
+		}(i)
+	}
+	// Let the followers pile onto the open flight, then land it.
+	for g.Collapsed() < K-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers, want 1", got, K)
+	}
+	leaders := 0
+	for i := range results {
+		if results[i] == nil || string(results[i].body) != "body" {
+			t.Fatalf("caller %d got %+v", i, results[i])
+		}
+		if !shared[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders, want 1", leaders)
+	}
+	if got := g.Collapsed(); got != K-1 {
+		t.Errorf("collapsed = %d, want %d", got, K-1)
+	}
+
+	// The flight landed: a later caller starts a fresh one (failures are
+	// not cached).
+	_, sh, _ := g.Do(context.Background(), "key", func() *upstream {
+		calls.Add(1)
+		return &upstream{status: 200}
+	})
+	if sh || calls.Load() != 2 {
+		t.Errorf("flight entry leaked: shared=%v calls=%d", sh, calls.Load())
+	}
+}
+
+// TestSingleFlightFollowerDeadline: a follower whose context expires
+// while waiting returns the context error without cancelling the
+// leader.
+func TestSingleFlightFollowerDeadline(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	leaderDone := make(chan *upstream, 1)
+	go func() {
+		res, _, _ := g.Do(context.Background(), "k", func() *upstream {
+			<-release
+			return &upstream{status: 200}
+		})
+		leaderDone <- res
+	}()
+	for g.inFlight("k") == nil {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, sh, err := g.Do(ctx, "k", func() *upstream { return nil })
+	if !sh || err == nil {
+		t.Fatalf("follower: shared=%v err=%v, want shared deadline error", sh, err)
+	}
+
+	close(release)
+	if res := <-leaderDone; res == nil || res.status != 200 {
+		t.Fatalf("leader was disturbed by follower deadline: %+v", res)
+	}
+}

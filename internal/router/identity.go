@@ -1,0 +1,142 @@
+package router
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"sync"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/serve"
+)
+
+// identity is everything the router derives from a request's graph:
+// where it goes and what names its results.
+//
+// Two different hashes on purpose:
+//
+//   - fp (graph.Fingerprint, 64-bit FNV) places the request on the ring.
+//     A collision here costs nothing but a misplaced warm-session
+//     affinity — the backend still answers correctly — so the cheap hash
+//     the server tier already batches on is the right key.
+//   - digest (SHA-256 over n, h and the dense weight matrix) keys the
+//     front-door result cache. A collision there would serve one graph's
+//     answer for another, so the cache uses a hash for which collisions
+//     are cryptographically unreachable instead of merely unlikely.
+type identity struct {
+	n      int
+	h      uint
+	fp     uint64
+	digest [sha256.Size]byte
+}
+
+// graphDigest is the collision-proof solve identity of (g, h).
+func graphDigest(g *graph.Graph, h uint) [sha256.Size]byte {
+	hash := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.N))
+	hash.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(h))
+	hash.Write(buf[:])
+	for _, w := range g.W {
+		binary.LittleEndian.PutUint64(buf[:], uint64(w))
+		hash.Write(buf[:])
+	}
+	var out [sha256.Size]byte
+	hash.Sum(out[:0])
+	return out
+}
+
+// identCache memoizes request bytes -> identity so the router
+// materializes each distinct graph spec once, not once per request:
+// building an n-vertex graph is O(n^2) work, and a production mix
+// repeats the same few graphs with varying destination lists. Keyed by
+// the verbatim graph/gen JSON plus the requested bits — two spellings of
+// the same graph miss the memo but still converge on the same digest, so
+// correctness never depends on the memo hitting.
+type identCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	ll         *list.List
+	byKey      map[string]*list.Element
+}
+
+type identEntry struct {
+	key string
+	id  identity
+}
+
+func newIdentCache(maxEntries int) *identCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &identCache{
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		byKey:      make(map[string]*list.Element),
+	}
+}
+
+// identKey is the memo key for a request: the raw graph or gen bytes
+// plus the requested width.
+func identKey(req *serve.SolveRequest) string {
+	return string(req.Graph) + "\x00" + string(req.Gen) + "\x00" + strconv.FormatUint(uint64(req.Bits), 10)
+}
+
+// resolve returns the identity for req, building the graph only on memo
+// miss. maxN bounds the accepted graph exactly as the backends do, so
+// oversized requests die here with a 400 instead of fanning out.
+func (c *identCache) resolve(req *serve.SolveRequest, maxN int) (identity, error) {
+	key := identKey(req)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		id := el.Value.(*identEntry).id
+		c.mu.Unlock()
+		return id, nil
+	}
+	c.mu.Unlock()
+
+	g, err := req.BuildGraph(maxN)
+	if err != nil {
+		return identity{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return identity{}, err
+	}
+	h, err := serve.PickBits(g, req.Bits)
+	if err != nil {
+		return identity{}, err
+	}
+	id := identity{n: g.N, h: h, fp: graph.Fingerprint(g, h), digest: graphDigest(g, h)}
+
+	c.mu.Lock()
+	if _, ok := c.byKey[key]; !ok {
+		c.byKey[key] = c.ll.PushFront(&identEntry{key: key, id: id})
+		for c.ll.Len() > c.maxEntries {
+			tail := c.ll.Back()
+			c.ll.Remove(tail)
+			delete(c.byKey, tail.Value.(*identEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return id, nil
+}
+
+// resultKey names a solve result in the front-door cache: the exact
+// graph digest, the resolved word width, and the destination list in
+// request order. Everything else in the request (timeout, spelling of
+// the graph) cannot change the result.
+func resultKey(id identity, dests []int) string {
+	buf := make([]byte, 0, 2*sha256.Size+8+len(dests)*4)
+	buf = append(buf, hex.EncodeToString(id.digest[:])...)
+	buf = append(buf, '|')
+	buf = strconv.AppendUint(buf, uint64(id.h), 10)
+	for _, d := range dests {
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(d), 10)
+	}
+	return string(buf)
+}

@@ -1,0 +1,128 @@
+package router
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over backend names with virtual nodes.
+// Construction is a pure function of the member set — order of the input
+// slice is ignored and no randomness is involved — so every router
+// restart (and every router replica) derives the same placement for the
+// same fleet. Keys are the 64-bit graph fingerprints the server tier
+// micro-batches on (graph.Fingerprint): identical graphs therefore land
+// on the backend already holding a warm session and populated batch
+// cache for them.
+//
+// The virtual nodes buy two properties: load spreads ~uniformly even
+// with few members, and a membership change only moves the keys owned
+// by the departed (or arrived) member — everything else stays put, which
+// is what keeps the fleet's warm sessions valuable through a rolling
+// restart.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted by hash, ties broken by member name
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// fnv64a is FNV-1a over a string, passed through a 64-bit finalizer.
+// Raw FNV disperses poorly over the near-identical short strings vnode
+// labels are made of (same host, same "#i" tail): point positions clump
+// and one member can own most of the keyspace. The multiply-xorshift
+// finalizer (Murmur3's fmix64) spreads every input bit across the word,
+// which is what makes the arc lengths — and therefore the load shares —
+// come out near-uniform.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (minimum 1;
+// 64 is a good default). Duplicate members collapse to one.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	seen := make(map[string]bool, len(members))
+	ms := make([]string, 0, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			ms = append(ms, m)
+		}
+	}
+	sort.Strings(ms)
+	r := &Ring{members: ms, points: make([]ringPoint, 0, len(ms)*vnodes)}
+	for _, m := range ms {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{fnv64a(m + "#" + strconv.Itoa(i)), m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the member set the ring was built from (sorted).
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Lookup returns the member owning key: the first virtual node clockwise
+// from the key's position. ok is false on an empty ring.
+func (r *Ring) Lookup(key uint64) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].member, true
+}
+
+// Sequence returns up to max distinct members in clockwise ring order
+// starting at key's owner — the deterministic failover order: the owner
+// first, then the members whose vnodes follow it. max <= 0 returns all
+// members.
+func (r *Ring) Sequence(key uint64, max int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(r.members) {
+		max = len(r.members)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}

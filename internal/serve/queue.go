@@ -64,30 +64,6 @@ func newQueue(depth int) *queue {
 	return &queue{open: make(map[uint64][]*batch), ch: make(chan *batch, depth)}
 }
 
-// fingerprint hashes the solve-relevant identity of a graph + width
-// (FNV-1a); joining a batch additionally compares the graphs exactly, so
-// a collision costs a missed coalesce opportunity, never a wrong answer.
-func fingerprint(g *graph.Graph, h uint) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	fp := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			fp ^= v & 0xff
-			fp *= prime64
-			v >>= 8
-		}
-	}
-	mix(uint64(g.N))
-	mix(uint64(h))
-	for _, w := range g.W {
-		mix(uint64(w))
-	}
-	return fp
-}
-
 func sameGraph(a, b *graph.Graph) bool {
 	if a.N != b.N {
 		return false
@@ -101,9 +77,12 @@ func sameGraph(a, b *graph.Graph) bool {
 }
 
 // enqueue admits j: joining an open batch for the same graph if one is
-// queued (no new slot consumed), otherwise claiming a FIFO slot.
+// queued (no new slot consumed), otherwise claiming a FIFO slot. Batches
+// are keyed by graph.Fingerprint — the same key the router tier hashes
+// across the fleet — followed by an exact compare, so a collision costs
+// a missed coalesce opportunity, never a wrong answer.
 func (q *queue) enqueue(j *job, g *graph.Graph, h uint, maxBatch int) error {
-	fp := fingerprint(g, h)
+	fp := graph.Fingerprint(g, h)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {

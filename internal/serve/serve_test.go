@@ -631,20 +631,62 @@ func TestShutdownRefusesNewWork(t *testing.T) {
 // TestPickBits pins the width-quantization policy pooled sessions rely on.
 func TestPickBits(t *testing.T) {
 	small := graph.GenChain(8, 3) // needs ~5 bits -> quantized to 8
-	h, err := pickBits(small, 0)
+	h, err := PickBits(small, 0)
 	if err != nil || h != 8 {
-		t.Errorf("pickBits(small, auto) = %d, %v; want 8", h, err)
+		t.Errorf("PickBits(small, auto) = %d, %v; want 8", h, err)
 	}
-	h, err = pickBits(small, 11) // explicit widths are honored exactly
+	h, err = PickBits(small, 11) // explicit widths are honored exactly
 	if err != nil || h != 11 {
-		t.Errorf("pickBits(small, 11) = %d, %v; want 11", h, err)
+		t.Errorf("PickBits(small, 11) = %d, %v; want 11", h, err)
 	}
-	if _, err = pickBits(small, 200); err == nil {
+	if _, err = PickBits(small, 200); err == nil {
 		t.Error("pickBits accepted h=200")
 	}
 	wide := graph.New(2)
 	wide.SetEdge(0, 1, int64(1)<<62)
-	if _, err = pickBits(wide, 0); err == nil {
+	if _, err = PickBits(wide, 0); err == nil {
 		t.Error("pickBits accepted costs beyond the machine maximum")
+	}
+}
+
+// TestHealthzBody pins the /healthz JSON contract the router tier
+// consumes: 200 + {"status":"ok",...} while serving, 503 +
+// {"status":"draining","draining":true,...} once shutdown begins — the
+// status-code contract load balancers drain on is unchanged.
+func TestHealthzBody(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func() (int, HealthStatus) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hs HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+			t.Fatalf("healthz body is not JSON: %v", err)
+		}
+		return resp.StatusCode, hs
+	}
+
+	code, hs := get()
+	if code != http.StatusOK || hs.Status != "ok" || hs.Draining {
+		t.Errorf("healthz while serving = %d %+v, want 200 ok", code, hs)
+	}
+	if hs.QueueDepth != 0 || hs.InflightBatches != 0 {
+		t.Errorf("idle server reports load: %+v", hs)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, hs = get()
+	if code != http.StatusServiceUnavailable || hs.Status != "draining" || !hs.Draining {
+		t.Errorf("healthz while draining = %d %+v, want 503 draining", code, hs)
 	}
 }

@@ -55,6 +55,12 @@ type Config struct {
 	// (defaults 30s and 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// SolveDelay, when nonzero, sleeps this long for every destination
+	// actually solved (cache-shared destinations pay it once). It
+	// emulates the wall-clock occupancy of a fixed-capacity PPA device,
+	// so fleet-scaling benchmarks stay meaningful on hosts with fewer
+	// cores than backends; production configs leave it zero.
+	SolveDelay time.Duration
 	// MaxBodyBytes bounds the request body (default 8 MiB).
 	MaxBodyBytes int64
 	// RetryAfter is the backoff hint sent with 429 (default 1s).
@@ -217,6 +223,13 @@ func (s *Server) runBatch(b *batch) {
 					if err != nil {
 						return err
 					}
+					if s.cfg.SolveDelay > 0 {
+						select {
+						case <-time.After(s.cfg.SolveDelay):
+						case <-j.ctx.Done():
+							return j.ctx.Err()
+						}
+					}
 					s.metrics.AddSolves(1, r.Metrics)
 					cache[d] = r
 				}
@@ -299,7 +312,7 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request) int {
 			return writeError(w, http.StatusBadRequest, "dest %d out of range [0,%d)", d, g.N)
 		}
 	}
-	h, err := pickBits(g, req.Bits)
+	h, err := PickBits(g, req.Bits)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, "%v", err)
 	}
@@ -345,11 +358,13 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request) int {
 	}
 }
 
-// pickBits chooses the machine word width: an explicit request is taken
+// PickBits chooses the machine word width: an explicit request is taken
 // as-is (width experiments), otherwise the smallest sufficient width is
 // rounded up to a multiple of 8 so graphs of slightly different weight
-// scales still share pooled sessions.
-func pickBits(g *graph.Graph, reqBits uint) (uint, error) {
+// scales still share pooled sessions. Exported because the router tier
+// must resolve the width the same way before fingerprinting — placement
+// and result-cache keys are functions of (graph, h).
+func PickBits(g *graph.Graph, reqBits uint) (uint, error) {
 	if reqBits > 0 {
 		if reqBits > ppa.MaxBits {
 			return 0, fmt.Errorf("bits %d exceeds machine maximum %d", reqBits, ppa.MaxBits)
@@ -367,15 +382,25 @@ func pickBits(g *graph.Graph, reqBits uint) (uint, error) {
 	return h, nil
 }
 
+// handleHealthz keeps the load-balancer status-code contract (200
+// serving, 503 draining) and carries a small JSON body so a router can
+// weight and evict on load — pool occupancy, queue depth, in-flight
+// batches — not just liveness.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.down.Load() {
-		s.metrics.RecordRequest("/healthz", http.StatusServiceUnavailable)
-		http.Error(w, "shutting down", http.StatusServiceUnavailable)
-		return
+	hs := HealthStatus{
+		Status:          "ok",
+		PoolIdle:        s.pool.Stats().Idle,
+		QueueDepth:      s.q.depth(),
+		InflightBatches: s.inflight.Load(),
 	}
-	s.metrics.RecordRequest("/healthz", http.StatusOK)
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	code := http.StatusOK
+	if s.down.Load() {
+		hs.Status = "draining"
+		hs.Draining = true
+		code = http.StatusServiceUnavailable
+	}
+	s.metrics.RecordRequest("/healthz", code)
+	writeJSON(w, code, hs)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -128,3 +128,20 @@ type SolveResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// HealthStatus is the body of GET /healthz. The status code carries the
+// load-balancer contract (200 while serving, 503 once draining); the
+// body lets the router tier weight and evict backends on load, not just
+// liveness. Fields are point-in-time gauges.
+type HealthStatus struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// PoolIdle is the number of warm sessions parked in the pool.
+	PoolIdle int `json:"pool_idle"`
+	// QueueDepth is the number of batches waiting for a worker.
+	QueueDepth int `json:"queue_depth"`
+	// InflightBatches is the number of batches being solved right now.
+	InflightBatches int64 `json:"inflight_batches"`
+	// Draining mirrors the 503 status code for JSON-only consumers.
+	Draining bool `json:"draining"`
+}
