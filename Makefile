@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json bench-tables-json pprof tables fuzz examples serve route loadtest loadtest-json fleet-json clean
+.PHONY: all build vet test race cover bench bench-json bench-fleet-json bench-tables-json pprof tables fuzz examples serve route loadtest loadtest-json fleet-json clean
 
 all: build vet test
 
@@ -24,12 +24,19 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Machine-readable benchmark snapshot for the current PR: E1-E6 cycle
+# tables plus the wall-clock rows, including the all-pairs batching curve
+# (one warm SolveSweep over all n destinations vs the same table solved
+# one warm destination at a time, n in {16, 32, 64}).
+bench-json:
+	$(GO) run ./cmd/benchtab -json > BENCH_PR8.json
+
 # Fleet scaling benchmark behind the consistent-hash router: for each
 # fleet size boot that many in-process ppaserved backends behind an
 # in-process pparouter and run a cache-miss row (backend scaling) and a
 # Zipf row (front-door cache). -backend-delay emulates fixed per-batch
 # device occupancy so the scaling curve is measurable on small hosts.
-bench-json:
+bench-fleet-json:
 	$(GO) run ./cmd/ppaload -fleet 1,2,4 -gen connected -n 32 -seed 1 \
 		-graphs 32 -c 32 -requests 8 -dests 1 -backend-delay 16ms -json > BENCH_PR7.json
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -95,6 +96,49 @@ func runWallClock() []wallClock {
 	for _, phys := range []int{64, 32, 16, 8} {
 		session(fmt.Sprintf("SolveWallClock/n=64/session-virt-m=%d", phys),
 			core.Options{PhysicalSide: phys})
+	}
+	// All-pairs batching curve: one warm SolveSweep over all n
+	// destinations vs the same table solved one warm destination at a
+	// time. The gap is what the sweep's incremental per-destination init
+	// and shadow-charged broadcasts buy on the host.
+	for _, n := range []int{16, 32, 64} {
+		n := n
+		ga := graph.GenRandomConnected(n, 0.3, 9, 5)
+		dests := make([]int, n)
+		for d := range dests {
+			dests[d] = d
+		}
+		add(fmt.Sprintf("AllPairsWallClock/n=%d/per-destination", n), func(b *testing.B) {
+			s, err := core.NewSession(ga, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, d := range dests {
+					if _, err := s.Solve(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		add(fmt.Sprintf("AllPairsWallClock/n=%d/sweep", n), func(b *testing.B) {
+			s, err := core.NewSession(ga, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := s.SolveSweep(context.Background(), dests, func(*core.Result) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 	// PPC execution curve: the paper's listing run end to end through the
 	// language stack. bytecode vs reference is the flat-opcode compiler's

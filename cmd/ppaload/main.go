@@ -18,15 +18,20 @@
 // -zipf s (s > 1) draws the graph per request from a Zipf distribution
 // instead of a uniform stripe, concentrating load on a few hot graphs
 // the way real traffic does — the front-door cache's natural prey.
+// -allpairs switches every request to POST /v1/allpairs: each client
+// streams full n-destination tables, every row is verified, and the
+// report adds time-to-first-row and time-to-full-table percentiles.
 //
 // Examples:
 //
 //	ppaload -url http://localhost:8080 -gen connected -n 64 -c 32 -requests 10
 //	ppaload -targets http://a:8081,http://b:8081 -graphs 8 -zipf 1.4 -json
 //	ppaload -fleet 1,2,4 -backend-delay 8ms -json
+//	ppaload -selfserve -allpairs -gen connected -n 64 -c 4 -requests 3 -json
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -55,6 +60,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ppaload:", err)
 		os.Exit(1)
 	}
+}
+
+// Percentiles summarizes one latency distribution in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
 }
 
 // Summary is the machine-readable report for one load run (-json).
@@ -92,12 +105,14 @@ type Summary struct {
 	// (X-Ppa-Backend header) — the router's observed load balance.
 	BackendSpread map[string]int `json:"backend_spread,omitempty"`
 
-	LatencyMS struct {
-		P50 float64 `json:"p50"`
-		P90 float64 `json:"p90"`
-		P99 float64 `json:"p99"`
-		Max float64 `json:"max"`
-	} `json:"latency_ms"`
+	LatencyMS Percentiles `json:"latency_ms"`
+
+	// All-pairs streaming mode (-allpairs): rows received across all
+	// streams, time-to-first-row and time-to-full-table distributions.
+	AllPairs     bool         `json:"allpairs,omitempty"`
+	RowsStreamed int64        `json:"rows_streamed,omitempty"`
+	FirstRowMS   *Percentiles `json:"first_row_ms,omitempty"`
+	FullTableMS  *Percentiles `json:"full_table_ms,omitempty"`
 }
 
 // FleetReport is the -fleet output: one miss row and one Zipf row per
@@ -127,6 +142,7 @@ func run(args []string, out io.Writer) error {
 	clients := fs.Int("c", 32, "concurrent closed-loop clients")
 	perClient := fs.Int("requests", 10, "requests per client")
 	destsPer := fs.Int("dests", 2, "destinations per request")
+	allPairs := fs.Bool("allpairs", false, "stream full tables from /v1/allpairs instead of /v1/solve (ignores -dests)")
 	graphs := fs.Int("graphs", 1, "distinct graphs to rotate over (generator seeds seed..seed+K-1)")
 	zipfS := fs.Float64("zipf", 0, "Zipf skew s > 1 for graph selection (0 = uniform stripe)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
@@ -162,6 +178,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *graphs > 1 && w.File != "" {
 		return fmt.Errorf("-graphs > 1 needs a generator workload, not -graph file")
+	}
+	if *allPairs && *fleet != "" {
+		return fmt.Errorf("-allpairs drives backends directly; it does not combine with -fleet")
 	}
 
 	gs, err := buildGraphs(&w, *graphs)
@@ -221,7 +240,7 @@ func run(args []string, out io.Writer) error {
 		targets: targetList, w: w, graphs: gs,
 		clients: *clients, perClient: *perClient, destsPer: *destsPer,
 		timeoutMS: *timeoutMS, bits: *bits, inline: *inline,
-		verify: *verify, zipfS: *zipfS, out: out,
+		verify: *verify, zipfS: *zipfS, allPairs: *allPairs, out: out,
 	})
 	if err != nil {
 		return err
@@ -285,6 +304,7 @@ type loadSpec struct {
 	zipfS     float64 // 0 = uniform stripe over graphs
 	mix       string  // label for the summary ("", "miss", "zipf")
 	backends  int     // informational, for fleet rows
+	allPairs  bool    // stream full tables from /v1/allpairs
 	out       io.Writer
 }
 
@@ -376,7 +396,7 @@ func runLoad(s loadSpec) (Summary, error) {
 		Graphs: len(s.graphs), Zipf: s.zipfS, Mix: s.mix, Backends: s.backends,
 	}
 	var mu sync.Mutex // guards sum tallies and latencies
-	var latencies []float64
+	var latencies, firstRows, fullTables []float64
 	httpClient := &http.Client{Timeout: 5 * time.Minute}
 
 	start := time.Now()
@@ -388,6 +408,75 @@ func runLoad(s loadSpec) (Summary, error) {
 			target := s.targets[c%len(s.targets)]
 			for r := 0; r < s.perClient; r++ {
 				gi, dests := s.pickGraph(zipf, &zipfMu, c, r)
+				if s.allPairs {
+					apReq := serve.AllPairsRequest{Bits: s.bits, TimeoutMS: s.timeoutMS}
+					if s.inline || s.w.File != "" {
+						apReq.Graph = graphJSON[gi]
+					} else {
+						apReq.Gen = specJSON[gi]
+					}
+					body, _ := json.Marshal(apReq)
+
+					var ar apResult
+					var reqErr error
+					for attempt := 0; attempt < 5; attempt++ {
+						ar, reqErr = apPost(httpClient, target, body)
+						if ar.code != http.StatusTooManyRequests {
+							break
+						}
+						mu.Lock()
+						sum.Shed429++
+						mu.Unlock()
+						time.Sleep(50 * time.Millisecond)
+					}
+
+					mu.Lock()
+					sum.Requests++
+					latencies = append(latencies, float64(ar.total.Milliseconds()))
+					sum.RowsStreamed += int64(len(ar.rows))
+					switch {
+					case reqErr != nil:
+						sum.Errors++
+					case ar.code == http.StatusOK && ar.done:
+						sum.OK++
+						sum.Solves += int64(len(ar.rows))
+						if ar.trailer.PoolHit {
+							sum.PoolHits++
+						}
+						firstRows = append(firstRows, float64(ar.firstRow.Milliseconds()))
+						fullTables = append(fullTables, float64(ar.total.Milliseconds()))
+					case ar.code == http.StatusOK:
+						// The stream was committed but ended without a done
+						// trailer: a mid-flight deadline or failure.
+						if strings.Contains(ar.errLine, "deadline") || strings.Contains(ar.errLine, "cancel") {
+							sum.Deadline++
+						} else {
+							sum.Errors++
+						}
+					case ar.code == http.StatusTooManyRequests:
+						sum.Unserved++
+					case ar.code == http.StatusGatewayTimeout:
+						sum.Deadline++
+					default:
+						sum.Errors++
+					}
+					mu.Unlock()
+
+					if ar.code == http.StatusOK && ar.done && s.verify {
+						if err := verifyTable(s.graphs[gi], ar.rows, reference(gi)); err != nil {
+							mu.Lock()
+							sum.Errors++
+							sum.OK--
+							mu.Unlock()
+							fmt.Fprintf(s.out, "VERIFY FAILED (client %d req %d): %v\n", c, r, err)
+						} else {
+							mu.Lock()
+							sum.Verified++
+							mu.Unlock()
+						}
+					}
+					continue
+				}
 				req := serve.SolveRequest{Dests: dests, Bits: s.bits, TimeoutMS: s.timeoutMS}
 				if s.inline || s.w.File != "" {
 					req.Graph = graphJSON[gi]
@@ -475,21 +564,29 @@ func runLoad(s loadSpec) (Summary, error) {
 	if sum.OK > 0 {
 		sum.CacheHitRatio = float64(sum.CacheHits+sum.CacheCollapsed) / float64(sum.OK)
 	}
-	sort.Float64s(latencies)
-	pct := func(p float64) float64 {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
-	sum.LatencyMS.P50 = pct(0.50)
-	sum.LatencyMS.P90 = pct(0.90)
-	sum.LatencyMS.P99 = pct(0.99)
-	if n := len(latencies); n > 0 {
-		sum.LatencyMS.Max = latencies[n-1]
+	sum.LatencyMS = percentilesOf(latencies)
+	if s.allPairs {
+		sum.AllPairs = true
+		fr, ft := percentilesOf(firstRows), percentilesOf(fullTables)
+		sum.FirstRowMS, sum.FullTableMS = &fr, &ft
 	}
 	return sum, nil
+}
+
+// percentilesOf sorts ms in place and summarizes it.
+func percentilesOf(ms []float64) Percentiles {
+	sort.Float64s(ms)
+	pct := func(p float64) float64 {
+		if len(ms) == 0 {
+			return 0
+		}
+		return ms[int(p*float64(len(ms)-1))]
+	}
+	out := Percentiles{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99)}
+	if n := len(ms); n > 0 {
+		out.Max = ms[n-1]
+	}
+	return out
 }
 
 // checkSummary turns bad tallies into a process-level failure.
@@ -515,6 +612,10 @@ func printSummary(out io.Writer, w *cli.Workload, sum *Summary, verify bool) {
 	}
 	fmt.Fprintf(out, "latency ms: p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
 		sum.LatencyMS.P50, sum.LatencyMS.P90, sum.LatencyMS.P99, sum.LatencyMS.Max)
+	if sum.AllPairs && sum.FirstRowMS != nil {
+		fmt.Fprintf(out, "allpairs: %d rows streamed; first-row ms p50=%.0f p99=%.0f; full-table ms p50=%.0f p99=%.0f\n",
+			sum.RowsStreamed, sum.FirstRowMS.P50, sum.FirstRowMS.P99, sum.FullTableMS.P50, sum.FullTableMS.P99)
+	}
 	if verify {
 		fmt.Fprintf(out, "verified %d/%d responses against Bellman-Ford\n", sum.Verified, sum.OK)
 	}
@@ -781,6 +882,95 @@ func post(c *http.Client, target string, body []byte) (postResult, error) {
 		return pr, err
 	}
 	return pr, nil
+}
+
+// apResult is one /v1/allpairs exchange as the client saw it: the parsed
+// stream plus the two latencies the mode exists to measure — time to the
+// first streamed row and time to the full table.
+type apResult struct {
+	code     int
+	rows     []serve.DestResult
+	done     bool
+	trailer  serve.AllPairsTrailer
+	errLine  string
+	firstRow time.Duration
+	total    time.Duration
+}
+
+// apPost issues one all-pairs request and drains the NDJSON stream. Lines
+// are classified by their discriminating key: the header comes first,
+// "done" marks the trailer, "error" a mid-stream failure, anything else a
+// destination row.
+func apPost(c *http.Client, target string, body []byte) (apResult, error) {
+	var ar apResult
+	t0 := time.Now()
+	resp, err := c.Post(target+"/v1/allpairs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ar, err
+	}
+	defer resp.Body.Close()
+	ar.code = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		ar.total = time.Since(t0)
+		return ar, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	sawHeader := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !sawHeader {
+			sawHeader = true
+			continue
+		}
+		var probe struct {
+			Done  *bool   `json:"done"`
+			Error *string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return ar, err
+		}
+		switch {
+		case probe.Error != nil:
+			ar.errLine = *probe.Error
+		case probe.Done != nil:
+			if err := json.Unmarshal(line, &ar.trailer); err != nil {
+				return ar, err
+			}
+			ar.done = ar.trailer.Done
+		default:
+			var dr serve.DestResult
+			if err := json.Unmarshal(line, &dr); err != nil {
+				return ar, err
+			}
+			if len(ar.rows) == 0 {
+				ar.firstRow = time.Since(t0)
+			}
+			ar.rows = append(ar.rows, dr)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ar, err
+	}
+	ar.total = time.Since(t0)
+	return ar, nil
+}
+
+// verifyTable checks a streamed all-pairs table: one row per destination
+// in ascending order, each verified like a solve response.
+func verifyTable(g *graph.Graph, rows []serve.DestResult, reference func(int) (*graph.Result, error)) error {
+	if len(rows) != g.N {
+		return fmt.Errorf("%d rows for n=%d", len(rows), g.N)
+	}
+	dests := make([]int, g.N)
+	for d := range dests {
+		dests[d] = d
+	}
+	return verifyResponse(g, &serve.SolveResponse{Results: rows}, dests, reference)
 }
 
 // verifyResponse checks distances against Bellman-Ford and certifies the

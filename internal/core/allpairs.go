@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,12 +28,17 @@ type AllPairs struct {
 	Iterations int
 }
 
-// SolveAllPairs runs Solve for every destination and assembles the full
-// distance and next-hop matrices. The n solves are independent (one
-// simulated machine each), so they are fanned out over
-// min(GOMAXPROCS, n) goroutines; results are deterministic because each
-// destination's solve is self-contained and the aggregation order is
-// fixed.
+// SolveAllPairs runs the DP for every destination and assembles the full
+// distance and next-hop matrices. Destinations are split into contiguous
+// shards over min(GOMAXPROCS, n) workers; each worker drives its shard
+// through one warm session's SolveSweep (one machine, one weight DMA, the
+// selector planes retargeted incrementally per destination) and closes
+// the session when its shard is done. Results are deterministic for any
+// worker count: each destination's solve is self-contained, the
+// aggregation order is fixed, and on failure the reported error is the
+// one at the smallest failing destination index — every shard stops at
+// its own first error, so the shard containing the globally smallest
+// failing index always reaches and records it.
 func SolveAllPairs(g *graph.Graph, opt Options) (*AllPairs, error) {
 	n := g.N
 	ap := &AllPairs{
@@ -47,30 +53,39 @@ func SolveAllPairs(g *graph.Graph, opt Options) (*AllPairs, error) {
 		workers = n
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			// One session per worker: the machine, weight matrix and
-			// coordinate masks are built once and reused across all the
-			// destinations this worker draws.
 			session, err := NewSession(g, opt)
 			if err != nil {
-				for dest := range next {
-					errs[dest] = err
-				}
+				errs[lo] = err
 				return
 			}
-			for dest := range next {
-				results[dest], errs[dest] = session.Solve(dest)
+			defer session.Close()
+			dests := make([]int, hi-lo)
+			for i := range dests {
+				dests[i] = lo + i
 			}
-		}()
+			err = session.SolveSweep(context.Background(), dests, func(r *Result) error {
+				results[r.Dest] = r
+				return nil
+			})
+			if err != nil {
+				// The sweep stopped at its shard's first failing
+				// destination: the one after the last yielded result.
+				first := lo
+				for first < hi-1 && results[first] != nil {
+					first++
+				}
+				errs[first] = err
+			}
+		}(lo, hi)
 	}
-	for dest := 0; dest < n; dest++ {
-		next <- dest
-	}
-	close(next)
 	wg.Wait()
 
 	for dest := 0; dest < n; dest++ {

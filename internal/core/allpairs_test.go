@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"ppamcp/internal/graph"
 )
@@ -83,6 +87,67 @@ func TestAllPairsPropagatesErrors(t *testing.T) {
 	if _, err := SolveAllPairs(bad, Options{}); err == nil {
 		t.Error("invalid graph accepted")
 	}
+}
+
+// TestAllPairsFirstErrorByIndex pins the deterministic error contract:
+// when solves fail, SolveAllPairs reports the error of the smallest
+// failing destination index — for any worker count — not whichever shard
+// happened to fail first in wall-clock order.
+func TestAllPairsFirstErrorByIndex(t *testing.T) {
+	g := graph.GenDiameter(16, 7) // long diameter: many dests need >1 round
+	opt := Options{MaxIterations: 1}
+	// Reference: the smallest destination whose sequential solve fails
+	// under the same iteration cap.
+	want := -1
+	for d := 0; d < g.N && want < 0; d++ {
+		if _, err := Solve(g, d, opt); err != nil {
+			want = d
+		}
+	}
+	if want < 0 {
+		t.Fatal("test graph converges in one round for every destination")
+	}
+	for _, procs := range []int{1, 2, 5, 16} {
+		prev := runtime.GOMAXPROCS(procs)
+		_, err := SolveAllPairs(g, opt)
+		runtime.GOMAXPROCS(prev)
+		if err == nil {
+			t.Fatalf("procs=%d: capped all-pairs solve succeeded", procs)
+		}
+		wantPrefix := fmt.Sprintf("core: all-pairs destination %d:", want)
+		if !strings.HasPrefix(err.Error(), wantPrefix) {
+			t.Errorf("procs=%d: error %q, want prefix %q", procs, err, wantPrefix)
+		}
+	}
+}
+
+// TestAllPairsClosesSessions is the session-leak regression test: every
+// worker session (and its persistent ring-pool goroutines) must be closed
+// when SolveAllPairs returns, on success and on failure alike.
+func TestAllPairsClosesSessions(t *testing.T) {
+	g := graph.GenRandomConnected(12, 0.3, 9, 21)
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		if _, err := SolveAllPairs(g, Options{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := SolveAllPairs(g, Options{Workers: 4, MaxIterations: 1}); err == nil {
+		t.Fatal("capped all-pairs solve succeeded")
+	}
+	// Ring-pool workers exit on Close asynchronously; give the scheduler a
+	// moment before declaring a leak.
+	var after int
+	for wait := 0; wait < 100; wait++ {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked across SolveAllPairs: %d before, %d after", before, after)
 }
 
 func TestSolveFromSourceMatchesReversedBellmanFord(t *testing.T) {

@@ -154,6 +154,11 @@ type Session struct {
 	// new weight matrix to machine words must not allocate once the
 	// session is warm (the session-pool hot path of internal/serve).
 	wbuf []ppa.Word
+
+	// sw is the batched-sweep scratch (sweep.go), allocated on first
+	// SolveSweep and reused for every destination thereafter. It holds no
+	// graph data, so Reload does not invalidate it.
+	sw *sweepState
 }
 
 // NewSession builds a session with a fresh machine (Options as in Solve).

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/par"
+	"ppamcp/internal/ppa"
+)
+
+// This file is the batched multi-destination sweep driver: one warm
+// session streams the single-destination DP for a whole list of
+// destinations, paying the weight DMA and the session setup once.
+//
+// The fast path (solveSweepFast) is a fused host execution of exactly the
+// instruction sequence SolveContext issues, under the same shadow-charge
+// discipline as par's fused reductions (par/fused.go): every wired-OR and
+// global-OR is a real fabric transaction, every broadcast whose data
+// movement the host has computed algebraically is charged through
+// ppa.Machine.ChargeBroadcast with the same switch configuration, and
+// every SIMD instruction of the reference pipeline is counted. Metrics,
+// observer event streams, iteration counts and outputs are byte-identical
+// to a sequential Session.Solve loop by construction (pinned by the
+// sweep parity tests).
+//
+// What makes the sweep cheap is liveness: between iterations the DP's
+// only live machine state is row d of SOW and PTN. Every broadcast the
+// loop issues reads either row d (open = ROW==d) or the diagonal (which
+// reflects row d's update one statement later), and every store to rows
+// != d is overwritten before it is next read. The fast path therefore
+// keeps the DP state as three n-vectors (sowd, ptnd and the candidate
+// row minima), re-materializing the full n x n candidate plane only as
+// packed bit planes for the wired-OR minimum walks — one fused pass that
+// replaces the broadcast + saturating add + masked store + plane-slicing
+// traversals of the general path. The per-destination re-initialization
+// is an incremental plane edit: the ROW==d / COL==d selector planes are
+// retargeted with two stripe edits (FillRange / FillStride) instead of
+// full EqConst rebuilds, charged as the EqConst instructions they shadow.
+
+// sweepState is the per-session scratch of the fast path, allocated on
+// first use and reused across every destination of every sweep — the
+// steady-state sweep performs O(1) allocations per destination (the
+// Result it yields).
+type sweepState struct {
+	dest             int // current selector-plane target (-1 = none yet)
+	rowBits, colBits *ppa.Bitset
+	enable, drive    *ppa.Bitset
+	pred             *ppa.Bitset
+	planes           []uint64 // h candidate bit planes, packed lane order
+	colPlanes        []uint64 // cached bit planes of the COL coordinate
+	cand             []ppa.Word
+	sowd, ptnd       []ppa.Word
+	wpp              int // words per plane
+}
+
+func (s *Session) sweep() *sweepState {
+	if s.sw != nil {
+		return s.sw
+	}
+	n := s.m.N()
+	size := n * n
+	h := int(s.m.Bits())
+	wpp := (size + 63) >> 6
+	w := &sweepState{
+		dest:      -1,
+		rowBits:   ppa.NewBitset(size),
+		colBits:   ppa.NewBitset(size),
+		enable:    ppa.NewBitset(size),
+		drive:     ppa.NewBitset(size),
+		pred:      ppa.NewBitset(size),
+		planes:    make([]uint64, h*wpp),
+		colPlanes: make([]uint64, h*wpp),
+		cand:      make([]ppa.Word, size),
+		sowd:      make([]ppa.Word, n),
+		ptnd:      make([]ppa.Word, n),
+		wpp:       wpp,
+	}
+	// COL is constant for the session: slice its planes once instead of
+	// once per SelectedMin (the single hottest traversal of the general
+	// path's profile).
+	par.SlicePlanes(w.colPlanes, s.col.Words(), h, wpp)
+	s.sw = w
+	return w
+}
+
+// SolveSweep runs the DP for each destination in dests, in order, on the
+// session's warm fabric, calling yield with each destination's Result as
+// it completes — the batched all-pairs driver. Results, Iterations and
+// Metrics of every yielded Result are identical to what a sequential
+// Session.Solve loop would produce. The sweep stops at the first error: a
+// failed solve (the error is returned; earlier yields remain valid) or a
+// non-nil error from yield (returned unwrapped, so callers can use a
+// sentinel to stop early). The context is checked between DP iterations,
+// as in SolveContext.
+//
+// Each yielded Result is freshly allocated and remains valid after the
+// sweep. A Session is still not safe for concurrent use; SolveAllPairs
+// shards destinations across per-worker sessions.
+func (s *Session) SolveSweep(ctx context.Context, dests []int, yield func(*Result) error) error {
+	for _, d := range dests {
+		var r *Result
+		var err error
+		if pm := s.sweepMachine(); pm != nil {
+			r, err = s.solveSweepFast(ctx, pm, d)
+		} else {
+			// General path: virtualized fabrics, injected faults, the
+			// switch-only bus model, reference kernels and the paper's
+			// verbatim init all run the reference instruction sequence —
+			// trivially parity-exact.
+			r, err = s.SolveContext(ctx, d)
+		}
+		if err != nil {
+			return err
+		}
+		if err := yield(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepMachine returns the plain machine the fused sweep path may drive,
+// or nil when the reference sequence must run. Re-checked per destination
+// so a fault injected mid-sweep (e.g. from a yield callback) demotes the
+// remainder of the sweep to the reference path, mirroring fusedOn.
+func (s *Session) sweepMachine() *ppa.Machine {
+	if s.opt.SwitchOnlyBus || s.opt.ReferenceKernels || s.opt.PaperInit || !s.a.Fused() {
+		return nil
+	}
+	pm, ok := s.m.(*ppa.Machine)
+	if !ok || pm.Faulty() {
+		return nil
+	}
+	return pm
+}
+
+// sweepCand computes the statement-10 candidate plane
+// cand(i, j) = sat(SOW[d][j] + w_ij) for i != d, with row d holding
+// SOW[d] itself (the masked store skips it) — the fused equivalent of
+// broadcast-South + AddSat + Assign-where-not-d.
+func sweepCand(dst, sowd, w []ppa.Word, d, n int, inf ppa.Word) {
+	for i := 0; i < n; i++ {
+		row := dst[i*n : i*n+n]
+		if i == d {
+			copy(row, sowd)
+			continue
+		}
+		wrow := w[i*n : i*n+n]
+		for j, wv := range wrow {
+			sv := sowd[j] + wv // lanes are in [0, inf]: no overflow
+			if sv > inf {
+				sv = inf
+			}
+			row[j] = sv
+		}
+	}
+}
+
+// solveSweepFast is one destination of the fused sweep (see the file
+// comment for the discipline and the liveness argument).
+func (s *Session) solveSweepFast(ctx context.Context, pm *ppa.Machine, dest int) (*Result, error) {
+	g := s.g
+	n := g.N
+	if dest < 0 || dest >= n {
+		return nil, fmt.Errorf("core: destination %d out of range [0,%d)", dest, n)
+	}
+	h := pm.Bits()
+	hh := int(h)
+	size := int64(n) * int64(n)
+	inf := ppa.Infinity(h)
+	maxIter := s.opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n + 1
+	}
+	w := s.sweep()
+	W := s.W.Words()
+	diagBits := s.diag.Bits()
+	headBits := s.rowHead.Bits()
+	// charge mirrors par.Array.instr k times: one controller instruction,
+	// executed by all n*n PEs.
+	charge := func(k int) {
+		for i := 0; i < k; i++ {
+			pm.CountInstr()
+			pm.CountPE(size)
+		}
+	}
+	startMetrics := pm.Metrics()
+
+	// Per-solve init, shadowing SolveContext statements 4-7. The selector
+	// planes are retargeted with stripe edits; the charges are those of
+	// the EqConst rebuilds they replace.
+	if w.dest != dest {
+		if w.dest >= 0 {
+			w.rowBits.FillRange(w.dest*n, w.dest*n+n, false)
+			w.colBits.FillStride(w.dest, n, n, false)
+		}
+		w.rowBits.FillRange(dest*n, dest*n+n, true)
+		w.colBits.FillStride(dest, n, n, true)
+		w.dest = dest
+	}
+	charge(2) // rowIsD = ROW.EqConst(d); colIsD = COL.EqConst(d)
+	charge(1) // notD = rowIsD.Not()
+	// Corrected init: column d of W moved onto row d (two bus cycles),
+	// SOW[d][d] pinned to 0, PTN row d seeded with d.
+	for j := 0; j < n; j++ {
+		w.sowd[j] = W[j*n+dest]
+		w.ptnd[j] = ppa.Word(dest)
+	}
+	w.sowd[dest] = 0
+	pm.ChargeBroadcast(ppa.East, w.colBits) // acrossRows: (j, c) <- w_jd
+	pm.ChargeBroadcast(ppa.South, diagBits) // ontoRowD: (r, j) <- w_jd
+	charge(2)                               // SOW.Assign; PTN.AssignConst (where ROW==d)
+	charge(1)                               // atDD = rowIsD.And(colIsD)
+	charge(1)                               // SOW.AssignConst(0) (where atDD)
+	w.pred.Fill(false)
+
+	ew, dw := w.enable.Words(), w.drive.Words()
+	iterations := 0
+	var loopErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			loopErr = err
+			break
+		}
+		iterations++
+		if iterations > maxIter {
+			loopErr = fmt.Errorf("core: DP did not converge within %d rounds", maxIter)
+			break
+		}
+
+		// Statement 10, fused: candidate plane sliced straight into bit
+		// planes for the minimum walk.
+		sweepCand(w.cand, w.sowd, W, dest, n, inf)
+		par.SlicePlanes(w.planes, w.cand, hh, w.wpp)
+		pm.ChargeBroadcast(ppa.South, w.rowBits) // down = broadcast(SOW, SOUTH, ROW==d)
+		charge(2)                                // cand = down.AddSat(W); SOW.Assign (where !=d)
+
+		// Statement 11: Min(SOW, WEST, COL==n-1) — the fused walk of
+		// par.fusedReduce with the gathers pre-done by SlicePlanes.
+		charge(hh) // per-plane BitPlane gathers
+		w.enable.Fill(true)
+		charge(1) // enable = True()
+		for j := hh - 1; j >= 0; j-- {
+			pw := w.planes[j*w.wpp : (j+1)*w.wpp]
+			for k, e := range ew {
+				dw[k] = ^pw[k] & e
+			}
+			charge(2) // Not + And(enable)
+			pm.WiredOrBits(ppa.West, headBits, w.drive, w.drive)
+			for k, dv := range dw {
+				ew[k] &^= dv & pw[k]
+			}
+			charge(2) // And + masked withdraw
+		}
+		charge(1)                              // result = src.Copy()
+		pm.ChargeBroadcast(ppa.East, w.enable) // survivors send upstream
+		pm.ChargeBroadcast(ppa.West, headBits) // heads spread the minima
+		charge(1)                              // MinSOW.Assign (where !=d)
+		charge(1)                              // sel = rowMin.Eq(SOW)
+
+		// Statement 12: SelectedMin(COL, WEST, COL==n-1, sel). The
+		// survivors of the minimum walk are exactly sel, so the walk
+		// continues in place over the cached column planes.
+		charge(hh) // gathers
+		charge(1)  // enable = sel.Copy()
+		for j := hh - 1; j >= 0; j-- {
+			pw := w.colPlanes[j*w.wpp : (j+1)*w.wpp]
+			for k, e := range ew {
+				dw[k] = ^pw[k] & e
+			}
+			charge(2)
+			pm.WiredOrBits(ppa.West, headBits, w.drive, w.drive)
+			for k, dv := range dw {
+				ew[k] &^= dv & pw[k]
+			}
+			charge(2)
+		}
+		charge(1)                              // result = src.Copy()
+		pm.ChargeBroadcast(ppa.East, w.enable) // single survivor per row
+		pm.ChargeBroadcast(ppa.West, headBits)
+		charge(1) // PTN.Assign (where !=d)
+
+		// Statements 14-19: fold the per-row minima back into row d via
+		// the diagonal; update PTN where the cost improved. After both
+		// walks each row's enable holds exactly the first lane attaining
+		// the row minimum: its column is the SelectedMin result and its
+		// candidate value the Min result.
+		pm.ChargeBroadcast(ppa.South, diagBits) // newRow
+		pm.ChargeBroadcast(ppa.South, diagBits) // newPTN
+		charge(4)                               // OldSOW.Assign; SOW.Assign; changed = Ne; PTN.Assign
+		w.pred.FillRange(dest*n, dest*n+n, false)
+		for j := 0; j < n; j++ {
+			jf := w.enable.NextSet(j*n, j*n+n)
+			nv := w.cand[jf]
+			if j == dest {
+				nv = 0 // MinSOW[d][d] stays pinned to 0
+			}
+			if nv != w.sowd[j] {
+				w.pred.Set(dest*n + j)
+				w.ptnd[j] = ppa.Word(jf - j*n)
+				w.sowd[j] = nv
+			}
+		}
+
+		// Statement 20: while at least one SOW in row d has changed.
+		charge(2) // ne = SOW.Ne(OldSOW); pred = rowIsD.And(ne)
+		if !pm.GlobalOrBits(w.pred) {
+			break
+		}
+	}
+	if loopErr != nil {
+		return nil, loopErr
+	}
+
+	res := &Result{
+		Result: graph.Result{
+			Dest:       dest,
+			Dist:       make([]int64, n),
+			Next:       make([]int, n),
+			Iterations: iterations,
+		},
+		Metrics: pm.Metrics().Sub(startMetrics),
+		Bits:    h,
+	}
+	for i := 0; i < n; i++ {
+		sow := w.sowd[i]
+		switch {
+		case i == dest:
+			res.Dist[i] = 0
+			res.Next[i] = -1
+		case sow == inf:
+			res.Dist[i] = graph.NoEdge
+			res.Next[i] = -1
+		default:
+			res.Dist[i] = int64(sow)
+			res.Next[i] = int(w.ptnd[i])
+		}
+	}
+	return res, nil
+}

@@ -34,6 +34,13 @@ func (x *Var) Slice() []ppa.Word {
 	return append([]ppa.Word(nil), x.v...)
 }
 
+// Words exposes the variable's machine storage (row-major, length N*N)
+// without copying. Read-only for callers: it is the hook fused host
+// drivers (core's batched sweep) use to consume a resident plane — the
+// weight matrix, the coordinate masks — without a DMA round trip. Writing
+// through it would bypass the activity mask and the instruction counters.
+func (x *Var) Words() []ppa.Word { return x.v }
+
 // Load overwrites the variable with host data (row-major, length N*N),
 // ignoring the activity mask: the host->array DMA path, the in-place
 // counterpart of Array.FromSlice. It allocates nothing, which is what lets
@@ -345,6 +352,12 @@ func (x *Bool) Release() {
 
 // Slice copies the logical out to the host.
 func (x *Bool) Slice() []bool { return x.v.Bools() }
+
+// Bits exposes the logical's packed lane storage without copying.
+// Read-only for callers, like Var.Words: fused host drivers pass a
+// resident switch plane straight to the fabric (ppa.Machine.WiredOrBits,
+// ChargeBroadcast) without rebuilding it bit by bit.
+func (x *Bool) Bits() *ppa.Bitset { return x.v }
 
 // At returns the value held by PE (row, col).
 func (x *Bool) At(row, col int) bool { return x.v.Get(row*x.a.N() + col) }

@@ -236,6 +236,21 @@ func (m *Machine) BroadcastBits(d Direction, open *Bitset, src, dst []Word) {
 	m.dispatch(false, m.n*m.n)
 }
 
+// ChargeBroadcast charges one segmented-bus broadcast transaction without
+// moving any data: the metrics accounting, the fault application and the
+// observer event are exactly those of BroadcastBits with configuration
+// open. It exists for host-side fused drivers (core's batched sweep
+// kernel) that compute a broadcast's effect algebraically but must keep
+// the machine's cost counters and event stream identical to the reference
+// instruction sequence — the same shadow-charge discipline as package
+// par's fused reductions.
+func (m *Machine) ChargeBroadcast(d Direction, open *Bitset) {
+	m.checkBits("open", open)
+	open = m.effectiveOpenBits(open)
+	m.observeOpens(OpBroadcast, d, open)
+	m.metrics.BusCycles++
+}
+
 // WiredOr performs one 1-bit wired-OR bus transaction in direction d.
 // Open PEs segment each ring into clusters (a cluster is an Open head plus
 // the downstream Short PEs up to, but excluding, the next Open PE,

@@ -455,3 +455,43 @@ func TestMetricsAddSubString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// TestChargeBroadcastMatchesBroadcastBits pins the shadow-charge contract
+// of ChargeBroadcast: metrics deltas and observer events identical to a
+// real BroadcastBits with the same configuration, on healthy and faulty
+// machines alike — only the data movement is absent.
+func TestChargeBroadcastMatchesBroadcastBits(t *testing.T) {
+	const n = 6
+	open := NewBitset(n * n)
+	open.FillRange(2*n, 2*n+n, true)
+	for _, faulty := range []bool{false, true} {
+		real := New(n, 4)
+		shadow := New(n, 4)
+		if faulty {
+			real.InjectFault(3, StuckOpen)
+			shadow.InjectFault(3, StuckOpen)
+		}
+		var realEvs, shadowEvs []Event
+		real.SetObserver(func(e Event) { realEvs = append(realEvs, e) })
+		shadow.SetObserver(func(e Event) { shadowEvs = append(shadowEvs, e) })
+		src := make([]Word, n*n)
+		dst := make([]Word, n*n)
+		for _, d := range []Direction{East, West, North, South} {
+			real.BroadcastBits(d, open, src, dst)
+			shadow.ChargeBroadcast(d, open)
+		}
+		if real.Metrics() != shadow.Metrics() {
+			t.Fatalf("faulty=%v: metrics diverge: real %v, shadow %v",
+				faulty, real.Metrics(), shadow.Metrics())
+		}
+		if len(realEvs) != len(shadowEvs) {
+			t.Fatalf("faulty=%v: event counts diverge", faulty)
+		}
+		for i := range realEvs {
+			if realEvs[i] != shadowEvs[i] {
+				t.Fatalf("faulty=%v event %d: real %+v, shadow %+v",
+					faulty, i, realEvs[i], shadowEvs[i])
+			}
+		}
+	}
+}

@@ -21,16 +21,26 @@ var (
 type job struct {
 	ctx   context.Context
 	dests []int
-	done  chan jobDone
+	// rows, when non-nil, marks a streaming all-pairs job: the worker
+	// sends every destination's result on rows as it lands (the channel is
+	// buffered to n, so a handler that gave up never blocks the worker),
+	// closes rows when the sweep ends, and only then finishes done with
+	// the aggregate cost or error. Streaming jobs never coalesce: the
+	// whole point of the sweep is that one session serves all n
+	// destinations, so sharing a checkout buys nothing and would
+	// interleave two streams' solve order.
+	rows chan DestResult
+	done chan jobDone
 }
 
 type jobDone struct {
-	results []DestResult
-	cost    ppa.Metrics
-	poolHit bool
-	batched int
-	err     error
-	status  int // HTTP status to report err with
+	results    []DestResult
+	cost       ppa.Metrics
+	iterations int
+	poolHit    bool
+	batched    int
+	err        error
+	status     int // HTTP status to report err with
 }
 
 func (j *job) finish(d jobDone) { j.done <- d }
@@ -88,17 +98,24 @@ func (q *queue) enqueue(j *job, g *graph.Graph, h uint, maxBatch int) error {
 	if q.closed {
 		return ErrShuttingDown
 	}
-	for _, b := range q.open[fp] {
-		if b.h == h && len(b.jobs) < maxBatch && sameGraph(b.g, g) {
-			b.jobs = append(b.jobs, j)
-			q.coalesced++
-			return nil
+	if j.rows == nil {
+		for _, b := range q.open[fp] {
+			if b.h == h && len(b.jobs) < maxBatch && sameGraph(b.g, g) {
+				b.jobs = append(b.jobs, j)
+				q.coalesced++
+				return nil
+			}
 		}
 	}
 	b := &batch{g: g, h: h, fp: fp, jobs: []*job{j}}
 	select {
 	case q.ch <- b:
-		q.open[fp] = append(q.open[fp], b)
+		// A streaming batch is exclusive: it is never registered as open,
+		// so later same-graph jobs cannot join it (and it cannot be found
+		// by take's open-list scan, which tolerates absence).
+		if j.rows == nil {
+			q.open[fp] = append(q.open[fp], b)
+		}
 		q.batches++
 		return nil
 	default:

@@ -132,6 +132,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/allpairs", s.handleAllPairs)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.wg.Add(cfg.Workers)
@@ -174,7 +175,11 @@ func (s *Server) worker() {
 	for b := range s.q.ch {
 		s.q.take(b)
 		s.inflight.Add(1)
-		s.runBatch(b)
+		if b.jobs[0].rows != nil {
+			s.runAllPairs(b)
+		} else {
+			s.runBatch(b)
+		}
 		s.inflight.Add(-1)
 	}
 }
@@ -248,6 +253,74 @@ func (s *Server) runBatch(b *batch) {
 		default:
 			j.finish(jobDone{err: jerr, status: http.StatusBadRequest})
 		}
+	}
+	if healthy {
+		s.pool.Put(sess)
+	} else {
+		sess.Close()
+	}
+}
+
+// runAllPairs serves one streaming all-pairs job: a single warm session
+// sweeps every destination 0..n-1 (one weight DMA, selector planes
+// retargeted incrementally) and each row is pushed to the handler the
+// moment it lands. Streaming batches are exclusive, so b holds exactly
+// one job. The panic and deadline contracts match runBatch: a panic
+// fails this job and drops the session; the job's context is observed
+// between destinations and between DP iterations.
+func (s *Server) runAllPairs(b *batch) {
+	j := b.jobs[0]
+	defer close(j.rows)
+	sess, hit, err := s.pool.Get(b.g, b.h)
+	if err != nil {
+		j.finish(jobDone{err: err, status: http.StatusBadRequest})
+		return
+	}
+	dests := make([]int, b.g.N)
+	for d := range dests {
+		dests[d] = d
+	}
+	var cost ppa.Metrics
+	iterations := 0
+	healthy := true
+	jerr := func() (jerr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				healthy = false
+				s.metrics.RecordPanic()
+				jerr = fmt.Errorf("serve: solve panicked: %v", r)
+			}
+		}()
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		return sess.SolveSweep(j.ctx, dests, func(r *core.Result) error {
+			if s.hookBeforeSolve != nil {
+				s.hookBeforeSolve(r.Dest)
+			}
+			s.metrics.AddSolves(1, r.Metrics)
+			cost = cost.Add(r.Metrics)
+			iterations += r.Iterations
+			j.rows <- toDestResult(r)
+			if s.cfg.SolveDelay > 0 {
+				select {
+				case <-time.After(s.cfg.SolveDelay):
+				case <-j.ctx.Done():
+					return j.ctx.Err()
+				}
+			}
+			return nil
+		})
+	}()
+	switch {
+	case jerr == nil:
+		j.finish(jobDone{cost: cost, iterations: iterations, poolHit: hit, batched: 1})
+	case errors.Is(jerr, context.Canceled) || errors.Is(jerr, context.DeadlineExceeded):
+		j.finish(jobDone{err: jerr, status: http.StatusGatewayTimeout})
+	case !healthy:
+		j.finish(jobDone{err: jerr, status: http.StatusInternalServerError})
+	default:
+		j.finish(jobDone{err: jerr, status: http.StatusBadRequest})
 	}
 	if healthy {
 		s.pool.Put(sess)
@@ -356,6 +429,119 @@ func (s *Server) solve(w http.ResponseWriter, r *http.Request) int {
 		s.metrics.RecordDeadline()
 		return writeError(w, http.StatusGatewayTimeout, "%v", ctx.Err())
 	}
+}
+
+// handleAllPairs is POST /v1/allpairs.
+func (s *Server) handleAllPairs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := s.allPairs(w, r)
+	s.metrics.RecordRequest("/v1/allpairs", code)
+	s.metrics.ObserveLatency(time.Since(start))
+}
+
+// allPairs admits the request, enqueues an exclusive streaming job, and
+// relays rows as NDJSON. The status code is held back until the first
+// event: an error before any row maps to the same HTTP statuses as
+// /v1/solve, while an error mid-stream (the 200 is already on the wire)
+// becomes a final ErrorResponse line with no done:true trailer.
+func (s *Server) allPairs(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	if s.down.Load() {
+		return writeError(w, http.StatusServiceUnavailable, "shutting down")
+	}
+	var req AllPairsRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	g, err := req.BuildGraph(s.cfg.MaxVertices)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	if err := g.Validate(); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	if g.N > s.cfg.MaxDests {
+		return writeError(w, http.StatusBadRequest, "all-pairs over %d dests exceeds server limit %d", g.N, s.cfg.MaxDests)
+	}
+	h, err := PickBits(g, req.Bits)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// rows is buffered to n so the worker can finish the sweep and move on
+	// even if this handler stops reading.
+	j := &job{ctx: ctx, rows: make(chan DestResult, g.N), done: make(chan jobDone, 1)}
+	switch err := s.q.enqueue(j, g, h, s.cfg.MaxBatch); {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		return writeError(w, http.StatusTooManyRequests, "queue full; retry later")
+	case errors.Is(err, ErrShuttingDown):
+		return writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case err != nil:
+		return writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	header := func() {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_ = enc.Encode(AllPairsHeader{N: g.N, Bits: h})
+		flush()
+	}
+	streaming := false
+	rows := 0
+	// The worker closes j.rows when the sweep ends (success or failure)
+	// and observes j.ctx between destinations, so this loop terminates
+	// even when the client's deadline fires mid-sweep.
+	for row := range j.rows {
+		if !streaming {
+			header()
+			streaming = true
+		}
+		_ = enc.Encode(row)
+		rows++
+		flush()
+	}
+	d := <-j.done
+	if d.err != nil {
+		if d.status == http.StatusGatewayTimeout {
+			s.metrics.RecordDeadline()
+		}
+		if !streaming {
+			return writeError(w, d.status, "%v", d.err)
+		}
+		_ = enc.Encode(ErrorResponse{Error: d.err.Error()})
+		flush()
+		return http.StatusOK
+	}
+	if !streaming {
+		header()
+	}
+	_ = enc.Encode(AllPairsTrailer{
+		Done: true, Rows: rows, Cost: d.cost,
+		Iterations: d.iterations, PoolHit: d.poolHit,
+	})
+	flush()
+	return http.StatusOK
 }
 
 // PickBits chooses the machine word width: an explicit request is taken

@@ -124,7 +124,48 @@ type SolveResponse struct {
 	Batched int `json:"batched"`
 }
 
-// ErrorResponse is the body of every non-2xx reply.
+// AllPairsRequest is the body of POST /v1/allpairs: one graph (inline or
+// generated, as in SolveRequest), no destination list — the server sweeps
+// every destination 0..n-1 on one warm session and streams the rows back
+// as NDJSON. Width and deadline semantics match /v1/solve.
+type AllPairsRequest struct {
+	Graph     json.RawMessage `json:"graph,omitempty"`
+	Gen       json.RawMessage `json:"gen,omitempty"`
+	Bits      uint            `json:"bits,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+}
+
+// BuildGraph materializes the request's graph under the same admission
+// rules as /v1/solve.
+func (r *AllPairsRequest) BuildGraph(maxN int) (*graph.Graph, error) {
+	sr := SolveRequest{Graph: r.Graph, Gen: r.Gen}
+	return sr.BuildGraph(maxN)
+}
+
+// AllPairsHeader is the first NDJSON line of a /v1/allpairs stream. The
+// n destination rows follow (each a DestResult, in ascending dest order),
+// then an AllPairsTrailer. A stream that ends without a done:true trailer
+// is incomplete; its last line is an ErrorResponse naming the failure.
+type AllPairsHeader struct {
+	N    int  `json:"n"`
+	Bits uint `json:"bits"`
+}
+
+// AllPairsTrailer is the final NDJSON line of a complete stream.
+type AllPairsTrailer struct {
+	Done bool `json:"done"`
+	// Rows is the number of destination rows streamed (= n on success).
+	Rows int `json:"rows"`
+	// Cost is the summed machine cost over the whole sweep; Iterations
+	// the summed DP round count.
+	Cost       ppa.Metrics `json:"cost"`
+	Iterations int         `json:"iterations"`
+	// PoolHit reports whether the sweep ran on a recycled warm session.
+	PoolHit bool `json:"pool_hit"`
+}
+
+// ErrorResponse is the body of every non-2xx reply, and the final line of
+// an incomplete /v1/allpairs stream.
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
