@@ -25,11 +25,11 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable benchmark snapshot for the current PR: E1-E6 cycle
-# tables plus the wall-clock rows, including the all-pairs batching curve
-# (one warm SolveSweep over all n destinations vs the same table solved
-# one warm destination at a time, n in {16, 32, 64}).
+# tables plus the wall-clock rows, including the incremental re-solve
+# curve (k weight edits through Session.Update + warm Resolve vs the same
+# edits replayed as full Reload + cold Solve, k in {1, 4, 16, 64}).
 bench-json:
-	$(GO) run ./cmd/benchtab -json > BENCH_PR8.json
+	$(GO) run ./cmd/benchtab -json > BENCH_PR9.json
 
 # Fleet scaling benchmark behind the consistent-hash router: for each
 # fleet size boot that many in-process ppaserved backends behind an
@@ -88,6 +88,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCompile -fuzztime=30s ./internal/ppclang/
 	$(GO) test -fuzz=FuzzDiffExec -fuzztime=30s ./internal/ppclang/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzUpdateResolve -fuzztime=30s ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -140,6 +140,83 @@ func runWallClock() []wallClock {
 			}
 		})
 	}
+	// Incremental re-solve curve: k weight edits applied to a live session
+	// (O(k) delta DMA + warm-start re-solve) vs the same edits replayed
+	// from scratch (full weight reload + cold solve). The warm/cold gap at
+	// small k is the whole point of Session.Update/Resolve; at k = n the
+	// churn is global and the two converge.
+	for _, k := range []int{1, 4, 16, 64} {
+		k := k
+		gd := graph.GenRandomConnected(64, 0.3, 9, 5)
+		var edges [][2]int
+		for i := 0; i < gd.N; i++ {
+			for j := 0; j < gd.N; j++ {
+				if i != j && gd.HasEdge(i, j) {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		// nextBatch rotates weight rewrites over the edge list; w' =
+		// (w mod 9) + 1 always differs from w, so every edit is effective
+		// and the graphs stay step-for-step identical across the two rows.
+		nextBatch := func(g *graph.Graph, tick int, ups []graph.WeightUpdate) []graph.WeightUpdate {
+			ups = ups[:0]
+			for e := 0; e < k; e++ {
+				uv := edges[(tick*k+e)*7%len(edges)]
+				w := g.At(uv[0], uv[1])
+				ups = append(ups, graph.WeightUpdate{U: uv[0], V: uv[1], W: (w % 9) + 1})
+			}
+			return ups
+		}
+		add(fmt.Sprintf("UpdateResolve/n=64/k=%d/warm", k), func(b *testing.B) {
+			s, err := core.NewSession(gd.Clone(), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Resolve(context.Background(), 1); err != nil {
+				b.Fatal(err)
+			}
+			ups := make([]graph.WeightUpdate, 0, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ups = nextBatch(s.Graph(), i, ups)
+				if err := s.Update(ups); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Resolve(context.Background(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(fmt.Sprintf("UpdateResolve/n=64/k=%d/cold", k), func(b *testing.B) {
+			gc := gd.Clone()
+			s, err := core.NewSession(gc, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Solve(1); err != nil {
+				b.Fatal(err)
+			}
+			ups := make([]graph.WeightUpdate, 0, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ups = nextBatch(gc, i, ups)
+				if err := gc.Apply(ups); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Reload(gc); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Solve(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	// PPC execution curve: the paper's listing run end to end through the
 	// language stack. bytecode vs reference is the flat-opcode compiler's
 	// win over the tree-walking oracle (identical metrics either way).

@@ -21,6 +21,12 @@
 // -allpairs switches every request to POST /v1/allpairs: each client
 // streams full n-destination tables, every row is verified, and the
 // report adds time-to-first-row and time-to-full-table percentiles.
+// -updates N switches to dynamic-graph session mode: each client opens
+// one streaming session, pushes N weight-delta batches through it
+// (verifying every re-solved generation against Bellman-Ford on a local
+// mirror), then replays the same number of mutations as cold inline
+// solves — reporting updates/sec vs cold solves/sec and staleness
+// percentiles.
 //
 // Examples:
 //
@@ -113,6 +119,18 @@ type Summary struct {
 	RowsStreamed int64        `json:"rows_streamed,omitempty"`
 	FirstRowMS   *Percentiles `json:"first_row_ms,omitempty"`
 	FullTableMS  *Percentiles `json:"full_table_ms,omitempty"`
+
+	// Dynamic-graph session mode (-updates): delta batches pushed through
+	// streaming sessions vs the same mutations replayed as cold inline
+	// solves. StalenessMS is the delta-POST-to-re-solved-rows latency;
+	// WarmIterations sums the re-solves' DP round counts (the warm-start
+	// win the mode exists to measure).
+	UpdatesMode    bool         `json:"updates_mode,omitempty"`
+	UpdateBatch    int          `json:"update_batch,omitempty"`
+	UpdatesPerSec  float64      `json:"updates_per_sec,omitempty"`
+	ColdPerSec     float64      `json:"cold_solves_per_sec,omitempty"`
+	StalenessMS    *Percentiles `json:"staleness_ms,omitempty"`
+	WarmIterations int64        `json:"warm_iterations,omitempty"`
 }
 
 // FleetReport is the -fleet output: one miss row and one Zipf row per
@@ -143,6 +161,8 @@ func run(args []string, out io.Writer) error {
 	perClient := fs.Int("requests", 10, "requests per client")
 	destsPer := fs.Int("dests", 2, "destinations per request")
 	allPairs := fs.Bool("allpairs", false, "stream full tables from /v1/allpairs instead of /v1/solve (ignores -dests)")
+	updates := fs.Int("updates", 0, "dynamic-graph session mode: update batches per client pushed through /v1/session (ignores -requests)")
+	updateSize := fs.Int("update-size", 1, "weight edits per update batch in -updates mode")
 	graphs := fs.Int("graphs", 1, "distinct graphs to rotate over (generator seeds seed..seed+K-1)")
 	zipfS := fs.Float64("zipf", 0, "Zipf skew s > 1 for graph selection (0 = uniform stripe)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
@@ -182,6 +202,12 @@ func run(args []string, out io.Writer) error {
 	if *allPairs && *fleet != "" {
 		return fmt.Errorf("-allpairs drives backends directly; it does not combine with -fleet")
 	}
+	if *updates > 0 && (*allPairs || *fleet != "" || *zipfS != 0) {
+		return fmt.Errorf("-updates does not combine with -allpairs, -fleet or -zipf")
+	}
+	if *updates > 0 && *updateSize < 1 {
+		return fmt.Errorf("-update-size must be positive")
+	}
 
 	gs, err := buildGraphs(&w, *graphs)
 	if err != nil {
@@ -220,7 +246,16 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-targets is empty after parsing")
 		}
 	case *selfserve:
-		svc := serve.New(serve.Config{Workers: *workers, MaxVertices: n})
+		cfg := serve.Config{Workers: *workers, MaxVertices: n}
+		if *updates > 0 {
+			// Every client owns one session; don't let the session quota
+			// under-admit the requested concurrency.
+			cfg.MaxSessions = *clients
+			if *destsPer > cfg.MaxSessionDests {
+				cfg.MaxSessionDests = *destsPer
+			}
+		}
+		svc := serve.New(cfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -236,12 +271,21 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
-	sum, err := runLoad(loadSpec{
-		targets: targetList, w: w, graphs: gs,
-		clients: *clients, perClient: *perClient, destsPer: *destsPer,
-		timeoutMS: *timeoutMS, bits: *bits, inline: *inline,
-		verify: *verify, zipfS: *zipfS, allPairs: *allPairs, out: out,
-	})
+	var sum Summary
+	if *updates > 0 {
+		sum, err = runUpdates(loadSpec{
+			targets: targetList, w: w, graphs: gs,
+			clients: *clients, perClient: *updates, destsPer: *destsPer,
+			verify: *verify, out: out,
+		}, *updates, *updateSize)
+	} else {
+		sum, err = runLoad(loadSpec{
+			targets: targetList, w: w, graphs: gs,
+			clients: *clients, perClient: *perClient, destsPer: *destsPer,
+			timeoutMS: *timeoutMS, bits: *bits, inline: *inline,
+			verify: *verify, zipfS: *zipfS, allPairs: *allPairs, out: out,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -252,6 +296,8 @@ func run(args []string, out io.Writer) error {
 		if err := enc.Encode(sum); err != nil {
 			return err
 		}
+	} else if sum.UpdatesMode {
+		printUpdatesSummary(out, &sum, *verify)
 	} else {
 		printSummary(out, &w, &sum, *verify)
 	}

@@ -1,0 +1,421 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/serve"
+)
+
+// This file is the -updates closed loop: each client owns one dynamic
+// graph session (POST /v1/session + the NDJSON re-solve stream), feeds it
+// a stream of weight-delta batches, verifies every re-solved generation
+// against Bellman-Ford on a client-side mirror, and measures the update
+// staleness — the time from posting a delta to holding the re-solved rows
+// it produced. A second phase issues the same number of mutations as
+// plain /v1/solve requests with the full graph inline (every request a
+// reload-and-cold-solve), giving the updates/sec vs cold solves/sec
+// comparison the incremental path exists for.
+
+// updSession is one client's session state: the live stream decoder plus
+// the mirror graph the verifier tracks.
+type updSession struct {
+	id     string
+	client *http.Client
+	target string
+	body   *bufio.Scanner
+	close  func()
+	mirror *graph.Graph
+	dests  []int
+}
+
+func updCreate(c *http.Client, target string, g *graph.Graph, dests []int) (*updSession, error) {
+	gj, err := json.Marshal(g)
+	if err != nil {
+		return nil, err
+	}
+	body, _ := json.Marshal(serve.SessionCreateRequest{Graph: gj, Dests: dests})
+	resp, err := c.Post(target+"/v1/session", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("create session: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var sc serve.SessionCreated
+	if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
+		return nil, err
+	}
+
+	sreq, err := http.NewRequest(http.MethodGet, target+"/v1/session/"+sc.SessionID+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	sresp, err := c.Do(sreq)
+	if err != nil {
+		return nil, err
+	}
+	if sresp.StatusCode != http.StatusOK {
+		sresp.Body.Close()
+		return nil, fmt.Errorf("open stream: status %d", sresp.StatusCode)
+	}
+	sc2 := bufio.NewScanner(sresp.Body)
+	sc2.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	us := &updSession{
+		id: sc.SessionID, client: c, target: target,
+		body: sc2, close: func() { sresp.Body.Close() },
+		mirror: g.Clone(), dests: dests,
+	}
+	// First line is the header.
+	if _, err := us.nextLine(); err != nil {
+		us.close()
+		return nil, fmt.Errorf("stream header: %w", err)
+	}
+	return us, nil
+}
+
+// nextLine reads one raw NDJSON line from the stream.
+func (us *updSession) nextLine() ([]byte, error) {
+	for us.body.Scan() {
+		line := bytes.TrimSpace(us.body.Bytes())
+		if len(line) > 0 {
+			return append([]byte(nil), line...), nil
+		}
+	}
+	if err := us.body.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// readGeneration collects one re-solve generation (rows + trailer) for
+// the expected seq and verifies every row against the mirror.
+func (us *updSession) readGeneration(seq uint64, verify bool) (*serve.SessionTrailer, error) {
+	rows := make([]serve.DestResult, 0, len(us.dests))
+	for {
+		line, err := us.nextLine()
+		if err != nil {
+			return nil, fmt.Errorf("seq %d: stream ended early: %w", seq, err)
+		}
+		var probe struct {
+			Error *string `json:"error"`
+			Dest  *int    `json:"dest"`
+			Rows  *int    `json:"rows"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, err
+		}
+		switch {
+		case probe.Error != nil:
+			return nil, fmt.Errorf("seq %d: stream error: %s", seq, *probe.Error)
+		case probe.Dest != nil:
+			var row serve.SessionRow
+			if err := json.Unmarshal(line, &row); err != nil {
+				return nil, err
+			}
+			if row.Seq != seq {
+				return nil, fmt.Errorf("row seq %d, want %d", row.Seq, seq)
+			}
+			rows = append(rows, row.DestResult)
+		default:
+			var tr serve.SessionTrailer
+			if err := json.Unmarshal(line, &tr); err != nil {
+				return nil, err
+			}
+			if tr.Seq != seq || tr.Rows != len(us.dests) {
+				return nil, fmt.Errorf("trailer %+v, want seq %d with %d rows", tr, seq, len(us.dests))
+			}
+			if verify {
+				ref := func(dest int) (*graph.Result, error) { return graph.BellmanFord(us.mirror, dest) }
+				if err := verifyResponse(us.mirror, &serve.SolveResponse{Results: rows}, us.dests, ref); err != nil {
+					return nil, err
+				}
+			}
+			return &tr, nil
+		}
+	}
+}
+
+// postUpdates sends one delta batch, retrying 429 with backoff, and
+// applies it to the mirror on acceptance.
+func (us *updSession) postUpdates(ups []serve.WireUpdate, shed *int) (*serve.UpdateAccepted, error) {
+	body, _ := json.Marshal(serve.SessionUpdateRequest{Updates: ups})
+	for attempt := 0; ; attempt++ {
+		resp, err := us.client.Post(us.target+"/v1/session/"+us.id+"/update", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 5 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			*shed++
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("update: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		var ua serve.UpdateAccepted
+		if err := json.NewDecoder(resp.Body).Decode(&ua); err != nil {
+			return nil, err
+		}
+		gus := make([]graph.WeightUpdate, len(ups))
+		for i, u := range ups {
+			w := u.W
+			if w == -1 {
+				w = graph.NoEdge
+			}
+			gus[i] = graph.WeightUpdate{U: u.U, V: u.V, W: w}
+		}
+		if err := us.mirror.Apply(gus); err != nil {
+			return nil, err
+		}
+		return &ua, nil
+	}
+}
+
+func (us *updSession) delete() {
+	req, err := http.NewRequest(http.MethodDelete, us.target+"/v1/session/"+us.id, nil)
+	if err == nil {
+		if resp, err := us.client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+	us.close()
+}
+
+// mutateBatch builds the i-th delta batch for a mirror: weight rewrites
+// of existing edges, rotating over the edge list so the whole graph
+// churns. w' = (w mod 9) + 1 never equals w for the generator's weight
+// range, so every edit is effective.
+func mutateBatch(mirror *graph.Graph, edges [][2]int, i, size int) []serve.WireUpdate {
+	ups := make([]serve.WireUpdate, 0, size)
+	for e := 0; e < size; e++ {
+		uv := edges[(i*size+e)*7%len(edges)]
+		w := mirror.At(uv[0], uv[1])
+		if w == graph.NoEdge {
+			w = 9
+		}
+		ups = append(ups, serve.WireUpdate{U: uv[0], V: uv[1], W: (w % 9) + 1})
+	}
+	return ups
+}
+
+// runUpdates drives the -updates closed loop and fills the Summary's
+// dynamic-graph fields. Each of s.clients clients owns one session on its
+// own graph; batches update batches flow through each, then the same
+// number of mutations are replayed as cold inline /v1/solve requests for
+// the baseline.
+func runUpdates(s loadSpec, batches, batchSize int) (Summary, error) {
+	sum := Summary{
+		Target: strings.Join(s.targets, ","), Gen: s.w, N: s.graphs[0].N,
+		Clients: s.clients, PerClient: batches, DestsPerRequest: s.destsPer,
+		Graphs: len(s.graphs), Mix: "updates",
+		UpdatesMode: true, UpdateBatch: batchSize,
+	}
+	var mu sync.Mutex
+	var staleness, coldLat []float64
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+
+	n := s.graphs[0].N
+	dests := make([]int, s.destsPer)
+	for i := range dests {
+		dests[i] = (i * n) / s.destsPer
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, s.clients)
+	mirrors := make([]*graph.Graph, s.clients)
+	for c := 0; c < s.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g := s.graphs[c%len(s.graphs)]
+			us, err := updCreate(httpClient, s.targets[c%len(s.targets)], g, dests)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer us.delete()
+			if _, err := us.readGeneration(0, s.verify); err != nil {
+				errCh <- err
+				return
+			}
+			var edges [][2]int
+			for i := 0; i < g.N; i++ {
+				for j := 0; j < g.N; j++ {
+					if i != j && g.HasEdge(i, j) {
+						edges = append(edges, [2]int{i, j})
+					}
+				}
+			}
+			if len(edges) == 0 {
+				errCh <- fmt.Errorf("client %d: graph has no edges to mutate", c)
+				return
+			}
+			for i := 0; i < batches; i++ {
+				ups := mutateBatch(us.mirror, edges, i, batchSize)
+				t0 := time.Now()
+				shed := 0
+				ua, err := us.postUpdates(ups, &shed)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d batch %d: %w", c, i, err)
+					return
+				}
+				tr, err := us.readGeneration(ua.Seq, s.verify)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d batch %d: %w", c, i, err)
+					return
+				}
+				stale := time.Since(t0)
+				mu.Lock()
+				sum.Requests++
+				sum.OK++
+				sum.Shed429 += shed
+				sum.Solves += int64(tr.Rows)
+				sum.WarmIterations += int64(tr.Iterations)
+				staleness = append(staleness, float64(stale.Microseconds())/1000)
+				if s.verify {
+					sum.Verified++
+				}
+				mu.Unlock()
+			}
+			mirrors[c] = us.mirror
+			errCh <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return sum, err
+		}
+	}
+	updDur := time.Since(start).Seconds()
+	if updDur > 0 {
+		sum.UpdatesPerSec = float64(sum.OK) / updDur
+	}
+
+	// Cold baseline: the same mutation stream, but every step ships the
+	// whole graph to /v1/solve — a reload and a from-scratch solve per
+	// change. Distinct weights per request defeat coalescing and any
+	// front cache, as a changing graph would.
+	coldStart := time.Now()
+	coldOK := 0
+	var cwg sync.WaitGroup
+	cerrCh := make(chan error, s.clients)
+	for c := 0; c < s.clients; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			mirror := mirrors[c]
+			if mirror == nil {
+				cerrCh <- fmt.Errorf("client %d: no mirror", c)
+				return
+			}
+			var edges [][2]int
+			for i := 0; i < mirror.N; i++ {
+				for j := 0; j < mirror.N; j++ {
+					if i != j && mirror.HasEdge(i, j) {
+						edges = append(edges, [2]int{i, j})
+					}
+				}
+			}
+			for i := 0; i < batches; i++ {
+				ups := mutateBatch(mirror, edges, i+batches, batchSize)
+				gus := make([]graph.WeightUpdate, len(ups))
+				for k, u := range ups {
+					gus[k] = graph.WeightUpdate{U: u.U, V: u.V, W: u.W}
+				}
+				if err := mirror.Apply(gus); err != nil {
+					cerrCh <- err
+					return
+				}
+				gj, _ := json.Marshal(mirror)
+				body, _ := json.Marshal(serve.SolveRequest{Graph: gj, Dests: dests})
+				t0 := time.Now()
+				pr, err := post(httpClient, s.targets[c%len(s.targets)], body)
+				lat := time.Since(t0)
+				if err != nil {
+					cerrCh <- err
+					return
+				}
+				if pr.code == http.StatusTooManyRequests {
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				if pr.code != http.StatusOK {
+					cerrCh <- fmt.Errorf("cold solve: status %d", pr.code)
+					return
+				}
+				if s.verify {
+					ref := func(dest int) (*graph.Result, error) { return graph.BellmanFord(mirror, dest) }
+					if err := verifyResponse(mirror, &pr.sr, dests, ref); err != nil {
+						cerrCh <- err
+						return
+					}
+				}
+				mu.Lock()
+				coldOK++
+				coldLat = append(coldLat, float64(lat.Microseconds())/1000)
+				mu.Unlock()
+			}
+			cerrCh <- nil
+		}(c)
+	}
+	cwg.Wait()
+	close(cerrCh)
+	for err := range cerrCh {
+		if err != nil {
+			return sum, err
+		}
+	}
+	coldDur := time.Since(coldStart).Seconds()
+	if coldDur > 0 && coldOK > 0 {
+		sum.ColdPerSec = float64(coldOK) / coldDur
+	}
+
+	sum.DurationS = updDur + coldDur
+	sum.Throughput = sum.UpdatesPerSec
+	sum.LatencyMS = percentilesOf(coldLat)
+	st := percentilesOf(staleness)
+	sum.StalenessMS = &st
+	return sum, nil
+}
+
+func printUpdatesSummary(out io.Writer, sum *Summary, verify bool) {
+	fmt.Fprintf(out, "dynamic sessions: %d clients x %d update batches (k=%d) x %d dests on n=%d\n",
+		sum.Clients, sum.PerClient, sum.UpdateBatch, sum.DestsPerRequest, sum.N)
+	fmt.Fprintf(out, "updates: %.1f update+re-solve/s  vs cold: %.1f reload+solve/s  (%.1fx)\n",
+		sum.UpdatesPerSec, sum.ColdPerSec, ratioOr0(sum.UpdatesPerSec, sum.ColdPerSec))
+	if sum.StalenessMS != nil {
+		fmt.Fprintf(out, "staleness ms (delta POST -> re-solved rows): p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+			sum.StalenessMS.P50, sum.StalenessMS.P90, sum.StalenessMS.P99, sum.StalenessMS.Max)
+	}
+	fmt.Fprintf(out, "cold-solve latency ms: p50=%.1f p99=%.1f  warm iterations total %d over %d re-solves\n",
+		sum.LatencyMS.P50, sum.LatencyMS.P99, sum.WarmIterations, sum.Solves)
+	if verify {
+		fmt.Fprintf(out, "verified %d/%d re-solved generations against Bellman-Ford (plus all cold rows)\n",
+			sum.Verified, sum.OK)
+	}
+}
+
+func ratioOr0(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -5,10 +5,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve  {"gen": {"gen":"connected","n":64,"seed":7}, "dests": [0,3]}
-//	POST /v1/solve  {"graph": {"n":3,"edges":[[0,1,5],[1,2,7]]}, "dests": [2]}
-//	GET  /healthz
-//	GET  /metrics   (Prometheus text format)
+//	POST   /v1/solve  {"gen": {"gen":"connected","n":64,"seed":7}, "dests": [0,3]}
+//	POST   /v1/solve  {"graph": {"n":3,"edges":[[0,1,5],[1,2,7]]}, "dests": [2]}
+//	POST   /v1/allpairs            (NDJSON row stream, one per destination)
+//	POST   /v1/session             (dynamic-graph session bound to graph + dests)
+//	POST   /v1/session/{id}/update (weight-delta batch; re-solved rows stream)
+//	GET    /v1/session/{id}/stream (long-lived NDJSON re-solve stream)
+//	DELETE /v1/session/{id}        (graceful close: drain, then closed line)
+//	GET    /healthz
+//	GET    /metrics   (Prometheus text format)
 //
 // SIGINT/SIGTERM trigger a graceful drain: new work is refused with 503,
 // queued and in-flight solves complete, then the process exits.
@@ -59,6 +64,11 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 	solveDelay := fs.Duration("solve-delay", 0, "emulated per-solve device occupancy for fleet benches on small hosts (0 = off)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	maxSessions := fs.Int("max-sessions", 16, "concurrent dynamic-graph sessions (full answers 429)")
+	sessionIdle := fs.Duration("session-idle", 2*time.Minute, "idle timeout before a session is evicted")
+	maxSessionDests := fs.Int("max-session-dests", 16, "largest destination set per session")
+	sessionQueue := fs.Int("session-queue", 32, "pending update batches per session (full answers 429)")
+	maxUpdateBatch := fs.Int("max-update-batch", 4096, "largest weight-delta batch per update POST")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +85,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		SolveDelay:     *solveDelay,
+
+		MaxSessions:        *maxSessions,
+		SessionIdleTimeout: *sessionIdle,
+		MaxSessionDests:    *maxSessionDests,
+		SessionQueueDepth:  *sessionQueue,
+		MaxUpdateBatch:     *maxUpdateBatch,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -159,6 +159,23 @@ type Session struct {
 	// SolveSweep and reused for every destination thereafter. It holds no
 	// graph data, so Reload does not invalidate it.
 	sw *sweepState
+
+	// Incremental re-solve state (update.go / resolve.go): version counts
+	// effective Update batches, warm retains per-destination solutions for
+	// Resolve to warm-start from, incLog records the weight increases that
+	// can invalidate them (entries older than logFloor have been
+	// truncated, so snapshots from before logFloor are unusable). ownG
+	// marks s.g as session-owned — Update clones the caller's graph before
+	// the first mutation. rs is the warm-path scratch; upIdx/upVals stage
+	// the sparse weight DMA.
+	version  uint64
+	logFloor uint64
+	incLog   []incEntry
+	warm     map[int]*warmDest
+	ownG     bool
+	rs       *resolveState
+	upIdx    []int
+	upVals   []ppa.Word
 }
 
 // NewSession builds a session with a fresh machine (Options as in Solve).
@@ -272,6 +289,8 @@ func (s *Session) Reload(g *graph.Graph) error {
 	}
 	s.W.Load(s.wbuf)
 	s.g = g
+	s.ownG = false
+	s.invalidateWarm()
 	return nil
 }
 
@@ -302,11 +321,9 @@ func (s *Session) SolveContext(ctx context.Context, dest int) (*Result, error) {
 	}
 	startMetrics := m.Metrics()
 
-	col := s.col
 	rowIsD := s.row.EqConst(ppa.Word(dest))
 	colIsD := s.col.EqConst(ppa.Word(dest))
 	diag := s.diag
-	rowHead := s.rowHead
 	notD := rowIsD.Not()
 
 	W := s.W
@@ -341,10 +358,60 @@ func (s *Session) SolveContext(ctx context.Context, dest int) (*Result, error) {
 	})
 	atDD.Release()
 
-	// Step 2 — RMCP computation (statements 8-20). Early exits
-	// (cancellation, non-convergence) break out with loopErr set so the
-	// temporaries below are still released — a cancelled request must not
-	// leak pool storage when its session is reused.
+	// Step 2 — RMCP computation (statements 8-20), shared with the warm
+	// re-solve path.
+	iterations, loopErr := s.runDP(ctx, maxIter, rowIsD, notD, SOW, PTN, MinSOW, OldSOW)
+
+	var res *Result
+	if loopErr == nil {
+		res = &Result{
+			Result: graph.Result{
+				Dest:       dest,
+				Dist:       make([]int64, n),
+				Next:       make([]int, n),
+				Iterations: iterations,
+			},
+			Metrics: m.Metrics().Sub(startMetrics),
+			Bits:    h,
+		}
+		for i := 0; i < n; i++ {
+			sow := SOW.At(dest, i)
+			switch {
+			case i == dest:
+				res.Dist[i] = 0
+				res.Next[i] = -1
+			case sow == inf:
+				res.Dist[i] = graph.NoEdge
+				res.Next[i] = -1
+			default:
+				res.Dist[i] = int64(sow)
+				res.Next[i] = int(PTN.At(dest, i))
+			}
+		}
+	}
+	OldSOW.Release()
+	MinSOW.Release()
+	PTN.Release()
+	SOW.Release()
+	notD.Release()
+	colIsD.Release()
+	rowIsD.Release()
+	if loopErr != nil {
+		return nil, loopErr
+	}
+	return res, nil
+}
+
+// runDP runs the RMCP iteration (statements 8-20) to convergence on
+// already-initialized solution planes — the loop shared by the cold solve
+// (SolveContext) and the warm re-solve (Session.Resolve), which differ
+// only in how SOW and PTN are seeded. Early exits (cancellation,
+// non-convergence) return with the error set and all loop temporaries
+// released — a cancelled request must not leak pool storage when its
+// session is reused; the caller still owns the planes it passed in.
+func (s *Session) runDP(ctx context.Context, maxIter int, rowIsD, notD *par.Bool, SOW, PTN, MinSOW, OldSOW *par.Var) (int, error) {
+	a, opt := s.a, s.opt
+	col, diag, rowHead, W := s.col, s.diag, s.rowHead, s.W
 	iterations := 0
 	var loopErr error
 	for {
@@ -420,45 +487,7 @@ func (s *Session) SolveContext(ctx context.Context, dest int) (*Result, error) {
 			break
 		}
 	}
-
-	var res *Result
-	if loopErr == nil {
-		res = &Result{
-			Result: graph.Result{
-				Dest:       dest,
-				Dist:       make([]int64, n),
-				Next:       make([]int, n),
-				Iterations: iterations,
-			},
-			Metrics: m.Metrics().Sub(startMetrics),
-			Bits:    h,
-		}
-		for i := 0; i < n; i++ {
-			sow := SOW.At(dest, i)
-			switch {
-			case i == dest:
-				res.Dist[i] = 0
-				res.Next[i] = -1
-			case sow == inf:
-				res.Dist[i] = graph.NoEdge
-				res.Next[i] = -1
-			default:
-				res.Dist[i] = int64(sow)
-				res.Next[i] = int(PTN.At(dest, i))
-			}
-		}
-	}
-	OldSOW.Release()
-	MinSOW.Release()
-	PTN.Release()
-	SOW.Release()
-	notD.Release()
-	colIsD.Release()
-	rowIsD.Release()
-	if loopErr != nil {
-		return nil, loopErr
-	}
-	return res, nil
+	return iterations, loopErr
 }
 
 // loadWeights converts the host matrix to machine words: NoEdge becomes

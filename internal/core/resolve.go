@@ -1,0 +1,481 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ppamcp/internal/graph"
+	"ppamcp/internal/ppa"
+)
+
+// This file is the DP half of the incremental re-solve path. Resolve is
+// Solve for dynamic graphs: the first call per destination is exactly a
+// cold solve (same instruction sequence, same Metrics), but the solution
+// is retained, and later calls warm-start the DP from it instead of from
+// the 1-edge seeds.
+//
+// Why warm-starting is sound: the DP round operator
+// T(x)_i = min_j sat(w_ij + x_j) (the self term w_ii = 0 makes rounds
+// monotone non-increasing) drives ANY pointwise upper bound of the true
+// distances down to them within n-1 rounds. Old distances stay upper
+// bounds across weight decreases (the recorded paths only get cheaper),
+// so decrease-only deltas re-seed directly; a weight increase on edge
+// (u, v) can break exactly the recorded paths that traverse it, so the
+// seed entries of u's subtree in the retained shortest-path tree are
+// invalidated back to MAXINT (update.go logs increases for this). The
+// surviving entries quote paths that avoid every increased edge, hence
+// remain valid upper bounds.
+//
+// The converged distances equal the from-scratch ones exactly. The next
+// pointers need one more step: the cold DP's PTN is the smallest column j
+// with a tight edge (w_ij + dist_j = dist_i) whose own minimal optimal
+// path uses one edge less (PTN is written only on the round where SOW
+// last strictly improves, and the attaining set at that round is exactly
+// those j). A warm trajectory takes different rounds, so after
+// convergence Resolve reconstructs that canonical choice on the host —
+// a BFS from the destination over reversed tight edges assigns the
+// edge-count levels, then each vertex picks its smallest tight successor
+// one level down — making warm results bit-identical to cold ones, not
+// just cost-equal.
+//
+// Like the batched sweep, the warm path has a fused fast lane
+// (resolveFast): rounds are computed as O(n²) host word scans while every
+// fabric transaction of the reference sequence is shadow-charged
+// (ChargeBroadcast / ChargeWiredOr with the same switch planes, a real
+// GlobalOrBits on the maintained predicate plane) and every SIMD
+// instruction counted, so Metrics, Iterations and the observer event
+// stream are byte-identical to the general warm path (resolveGeneral,
+// which runs the real machine program and serves virtualized, reference,
+// and switch-only fabrics).
+
+// resolveState is the warm-path scratch, allocated on first Resolve and
+// reused for every re-solve thereafter (steady state allocates only the
+// yielded Result).
+type resolveState struct {
+	sow   []ppa.Word // working distances: seed in, converged out
+	rmin  []ppa.Word // per-row candidate minima (fast path)
+	rarg  []int32    // per-row first arg-min (fast path)
+	next  []int32    // canonical next pointers out
+	hops  []int32    // tight-edge BFS levels
+	q     []int32    // BFS queue
+	head  []int32    // shortest-path-tree children lists (invalidation)
+	sib   []int32
+	stack []int32
+}
+
+func (s *Session) resolveScratch() *resolveState {
+	if s.rs != nil {
+		return s.rs
+	}
+	n := s.m.N()
+	s.rs = &resolveState{
+		sow:   make([]ppa.Word, n),
+		rmin:  make([]ppa.Word, n),
+		rarg:  make([]int32, n),
+		next:  make([]int32, n),
+		hops:  make([]int32, n),
+		q:     make([]int32, 0, n),
+		head:  make([]int32, n),
+		sib:   make([]int32, n),
+		stack: make([]int32, 0, n),
+	}
+	return s.rs
+}
+
+// Resolve solves for dest on the session's current graph, warm-starting
+// from the previous Resolve of the same destination when one is retained
+// and still valid. Dist and Next are identical to a from-scratch
+// Reload+Solve in every case; on the first call per destination (or after
+// Reload, or when invalidated) the Metrics and Iterations are also
+// byte-identical to Solve's, while a warm re-solve legitimately reports
+// fewer iterations — that is the win (see DESIGN §12).
+//
+// Sessions on faulty fabrics and PaperInit sessions never warm-start:
+// their solves are not fixpoints of the healthy DP operator, so a
+// previous solution is not a safe seed. They run the cold path every
+// time.
+func (s *Session) Resolve(ctx context.Context, dest int) (*Result, error) {
+	n := s.m.N()
+	if dest < 0 || dest >= n {
+		return nil, fmt.Errorf("core: destination %d out of range [0,%d)", dest, n)
+	}
+	if w := s.warmUsable(dest); w != nil {
+		return s.resolveWarm(ctx, dest, w)
+	}
+	var r *Result
+	var err error
+	if pm := s.sweepMachine(); pm != nil {
+		r, err = s.solveSweepFast(ctx, pm, dest)
+	} else {
+		r, err = s.SolveContext(ctx, dest)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.retainable() {
+		s.retain(dest, r)
+	}
+	return r, nil
+}
+
+// retainable reports whether solutions may be retained and reused as warm
+// seeds on this session.
+func (s *Session) retainable() bool {
+	if s.opt.PaperInit {
+		return false
+	}
+	if f, ok := s.m.(interface{ Faulty() bool }); ok && f.Faulty() {
+		return false
+	}
+	return true
+}
+
+// warmUsable returns the retained solution Resolve may warm-start from,
+// or nil when the cold path must run.
+func (s *Session) warmUsable(dest int) *warmDest {
+	if s.warm == nil || !s.retainable() {
+		return nil
+	}
+	w := s.warm[dest]
+	if w == nil || w.ver < s.logFloor {
+		return nil
+	}
+	return w
+}
+
+// resolveWarm is the warm re-solve: seed from the snapshot, invalidate
+// what the logged increases may have broken, iterate to convergence,
+// reconstruct the canonical next pointers, refresh the snapshot.
+func (s *Session) resolveWarm(ctx context.Context, dest int, w *warmDest) (*Result, error) {
+	n := s.m.N()
+	h := s.m.Bits()
+	inf := ppa.Infinity(h)
+	maxIter := s.opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n + 1
+	}
+	rs := s.resolveScratch()
+	copy(rs.sow, w.sow)
+	s.applyIncreases(w, rs, inf)
+
+	startMetrics := s.m.Metrics()
+	var iterations int
+	var err error
+	if pm := s.sweepMachine(); pm != nil {
+		iterations, err = s.resolveFast(ctx, pm, dest, rs, maxIter)
+	} else {
+		iterations, err = s.resolveGeneral(ctx, dest, rs, maxIter)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.canonicalNext(dest, rs, inf)
+
+	res := &Result{
+		Result: graph.Result{
+			Dest:       dest,
+			Dist:       make([]int64, n),
+			Next:       make([]int, n),
+			Iterations: iterations,
+		},
+		Metrics: s.m.Metrics().Sub(startMetrics),
+		Bits:    h,
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i == dest:
+			res.Dist[i] = 0
+			res.Next[i] = -1
+		case rs.sow[i] == inf:
+			res.Dist[i] = graph.NoEdge
+			res.Next[i] = -1
+		default:
+			res.Dist[i] = int64(rs.sow[i])
+			res.Next[i] = int(rs.next[i])
+		}
+	}
+	copy(w.sow, rs.sow)
+	w.sow[dest] = 0
+	copy(w.next, rs.next)
+	w.ver = s.version
+	s.pruneLog()
+	return res, nil
+}
+
+// applyIncreases raises to MAXINT every seed entry whose recorded path may
+// traverse an edge that increased since the snapshot: for each logged
+// increase (u, v) newer than the snapshot with next[u] == v, the whole
+// subtree of u in the retained shortest-path tree (every vertex whose
+// recorded path passes through u). Conservative — a survivor's recorded
+// path avoids all increased edges, so its cost is unchanged and the seed
+// stays an upper bound.
+func (s *Session) applyIncreases(w *warmDest, rs *resolveState, inf ppa.Word) {
+	applicable := false
+	for _, e := range s.incLog {
+		if e.ver > w.ver {
+			applicable = true
+			break
+		}
+	}
+	if !applicable {
+		return
+	}
+	n := s.m.N()
+	head, sib := rs.head, rs.sib
+	for i := range head {
+		head[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if p := w.next[i]; p >= 0 {
+			sib[i] = head[p]
+			head[p] = int32(i)
+		}
+	}
+	stack := rs.stack[:0]
+	for _, e := range s.incLog {
+		if e.ver <= w.ver {
+			continue
+		}
+		u := int(e.u)
+		if w.next[u] != e.v || rs.sow[u] == inf {
+			continue
+		}
+		// Iterative subtree walk; an entry already at MAXINT was either
+		// invalidated by an earlier increase or unreachable — both final.
+		stack = append(stack, int32(u))
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if rs.sow[x] == inf {
+				continue
+			}
+			rs.sow[x] = inf
+			for c := head[x]; c >= 0; c = sib[c] {
+				stack = append(stack, c)
+			}
+		}
+	}
+	rs.stack = stack[:0]
+}
+
+// resolveGeneral runs the warm DP as the real machine program — the path
+// for virtualized fabrics, reference kernels and the switch-only bus
+// model. Init is two instructions (ROW==d, its negation) plus the
+// row-d seed DMA; the loop is SolveContext's own (runDP).
+func (s *Session) resolveGeneral(ctx context.Context, dest int, rs *resolveState, maxIter int) (int, error) {
+	a := s.a
+	n := s.m.N()
+	rowIsD := s.row.EqConst(ppa.Word(dest))
+	notD := rowIsD.Not()
+	SOW := a.Zeros()
+	PTN := a.Zeros()
+	MinSOW := a.Zeros() // zero row d keeps SOW[d][d] pinned to 0, as in Solve
+	OldSOW := a.Zeros()
+	SOW.LoadRow(dest, rs.sow)
+	// PTN's DP output is superseded by the canonical host reconstruction
+	// (see the file comment), so its zero seed is fine: the loop only ever
+	// writes it.
+	iterations, loopErr := s.runDP(ctx, maxIter, rowIsD, notD, SOW, PTN, MinSOW, OldSOW)
+	if loopErr == nil {
+		for i := 0; i < n; i++ {
+			rs.sow[i] = SOW.At(dest, i)
+		}
+	}
+	OldSOW.Release()
+	MinSOW.Release()
+	PTN.Release()
+	SOW.Release()
+	notD.Release()
+	rowIsD.Release()
+	if loopErr != nil {
+		return 0, loopErr
+	}
+	return iterations, nil
+}
+
+// resolveFast is the fused warm loop: rounds as host word scans over the
+// candidate vectors, every fabric transaction of resolveGeneral's
+// sequence shadow-charged in order with the same switch planes (the
+// attaining-lane sets the walks would leave in `enable` are rebuilt so
+// observer Opens counts match), and the statement-20 predicate resolved
+// by a real global-OR. Metrics/Iterations/event-stream parity with
+// resolveGeneral is pinned by TestResolveFastGeneralParity.
+func (s *Session) resolveFast(ctx context.Context, pm *ppa.Machine, dest int, rs *resolveState, maxIter int) (int, error) {
+	n := s.m.N()
+	h := pm.Bits()
+	hh := int(h)
+	size := int64(n) * int64(n)
+	inf := ppa.Infinity(h)
+	w := s.sweep()
+	W := s.W.Words()
+	diagBits := s.diag.Bits()
+	headBits := s.rowHead.Bits()
+	charge := func(k int) {
+		for i := 0; i < k; i++ {
+			pm.CountInstr()
+			pm.CountPE(size)
+		}
+	}
+
+	// Warm init, shadowing resolveGeneral: selector retarget charged as
+	// the EqConst it replaces, the Not, and the uncharged row-d seed DMA.
+	w.retarget(dest, n)
+	charge(1) // rowIsD = ROW.EqConst(d)
+	charge(1) // notD = rowIsD.Not()
+	copy(w.sowd, rs.sow)
+	w.pred.Fill(false)
+
+	iterations := 0
+	var loopErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			loopErr = err
+			break
+		}
+		iterations++
+		if iterations > maxIter {
+			loopErr = fmt.Errorf("core: DP did not converge within %d rounds", maxIter)
+			break
+		}
+
+		// Statement 10: candidate plane, then each row's minimum and first
+		// arg-min in one scan — the values both bus walks would extract.
+		sweepCand(w.cand, w.sowd, W, dest, n, inf)
+		pm.ChargeBroadcast(ppa.South, w.rowBits)
+		charge(2) // cand = down.AddSat(W); SOW.Assign (where !=d)
+		for i := 0; i < n; i++ {
+			row := w.cand[i*n : i*n+n]
+			mv, ma := row[0], 0
+			for j := 1; j < n; j++ {
+				if row[j] < mv {
+					mv, ma = row[j], j
+				}
+			}
+			rs.rmin[i], rs.rarg[i] = mv, int32(ma)
+		}
+
+		// Statement 11: Min(SOW, WEST, COL==n-1), charge-only walk.
+		charge(hh) // per-plane gathers
+		charge(1)  // enable = True()
+		for j := 0; j < hh; j++ {
+			charge(2) // Not + And(enable)
+			pm.ChargeWiredOr(ppa.West, headBits)
+			charge(2) // And + masked withdraw
+		}
+		charge(1) // result = src.Copy()
+		// After the walk, enable holds every lane attaining its row
+		// minimum — rebuilt so the broadcast event's Opens count matches.
+		w.enable.Fill(false)
+		for i := 0; i < n; i++ {
+			row := w.cand[i*n : i*n+n]
+			mv := rs.rmin[i]
+			for j, v := range row {
+				if v == mv {
+					w.enable.Set(i*n + j)
+				}
+			}
+		}
+		pm.ChargeBroadcast(ppa.East, w.enable) // survivors send upstream
+		pm.ChargeBroadcast(ppa.West, headBits) // heads spread the minima
+		charge(1)                              // MinSOW.Assign (where !=d)
+		charge(1)                              // sel = rowMin.Eq(SOW)
+
+		// Statement 12: SelectedMin(COL, WEST, COL==n-1, sel).
+		charge(hh) // gathers
+		charge(1)  // enable = sel.Copy()
+		for j := 0; j < hh; j++ {
+			charge(2)
+			pm.ChargeWiredOr(ppa.West, headBits)
+			charge(2)
+		}
+		charge(1) // result = src.Copy()
+		// The column walk leaves exactly the first attaining lane per row.
+		w.enable.Fill(false)
+		for i := 0; i < n; i++ {
+			w.enable.Set(i*n + int(rs.rarg[i]))
+		}
+		pm.ChargeBroadcast(ppa.East, w.enable)
+		pm.ChargeBroadcast(ppa.West, headBits)
+		charge(1) // PTN.Assign (where !=d)
+
+		// Statements 14-19: fold into row d via the diagonal.
+		pm.ChargeBroadcast(ppa.South, diagBits) // newRow
+		pm.ChargeBroadcast(ppa.South, diagBits) // newPTN
+		charge(4)                               // OldSOW.Assign; SOW.Assign; changed = Ne; PTN.Assign
+		w.pred.FillRange(dest*n, dest*n+n, false)
+		for j := 0; j < n; j++ {
+			nv := rs.rmin[j]
+			if j == dest {
+				nv = 0 // MinSOW[d][d] stays pinned to 0
+			}
+			if nv != w.sowd[j] {
+				w.pred.Set(dest*n + j)
+				w.sowd[j] = nv
+			}
+		}
+
+		// Statement 20: while at least one SOW in row d has changed.
+		charge(2) // ne = SOW.Ne(OldSOW); pred = rowIsD.And(ne)
+		if !pm.GlobalOrBits(w.pred) {
+			break
+		}
+	}
+	if loopErr != nil {
+		return 0, loopErr
+	}
+	copy(rs.sow, w.sowd)
+	return iterations, nil
+}
+
+// canonicalNext rebuilds, from converged distances, the next pointers the
+// cold DP reports: BFS from dest over reversed tight edges assigns each
+// reachable vertex the minimum edge count among its optimal paths, then
+// each vertex takes the smallest tight successor one level down (the
+// attaining set of the round where cold SOW last strictly improved).
+func (s *Session) canonicalNext(dest int, rs *resolveState, inf ppa.Word) {
+	n := s.m.N()
+	W := s.W.Words()
+	hops := rs.hops
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[dest] = 0
+	q := append(rs.q[:0], int32(dest))
+	for qh := 0; qh < len(q); qh++ {
+		j := int(q[qh])
+		dj := rs.sow[j]
+		for i := 0; i < n; i++ {
+			if hops[i] >= 0 || i == j {
+				continue
+			}
+			di := rs.sow[i]
+			if di == inf {
+				continue
+			}
+			// Words are at most Infinity(h) <= 2^62-1: no int64 overflow.
+			if wij := W[i*n+j]; wij != inf && di == wij+dj {
+				hops[i] = hops[j] + 1
+				q = append(q, int32(i))
+			}
+		}
+	}
+	rs.q = q[:0]
+	for i := 0; i < n; i++ {
+		if i == dest || rs.sow[i] == inf {
+			rs.next[i] = -1
+			continue
+		}
+		di := rs.sow[i]
+		target := hops[i] - 1
+		rs.next[i] = -1 // a tight successor always exists; belt and braces
+		for j := 0; j < n; j++ {
+			if j == i || hops[j] != target {
+				continue
+			}
+			if wij := W[i*n+j]; wij != inf && di == wij+rs.sow[j] {
+				rs.next[i] = int32(j)
+				break
+			}
+		}
+	}
+}

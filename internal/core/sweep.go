@@ -54,6 +54,22 @@ type sweepState struct {
 	wpp              int // words per plane
 }
 
+// retarget repoints the cached ROW==d / COL==d selector planes at a new
+// destination with two stripe edits each — the host-side move the fast
+// paths charge as the EqConst rebuilds it replaces.
+func (w *sweepState) retarget(dest, n int) {
+	if w.dest == dest {
+		return
+	}
+	if w.dest >= 0 {
+		w.rowBits.FillRange(w.dest*n, w.dest*n+n, false)
+		w.colBits.FillStride(w.dest, n, n, false)
+	}
+	w.rowBits.FillRange(dest*n, dest*n+n, true)
+	w.colBits.FillStride(dest, n, n, true)
+	w.dest = dest
+}
+
 func (s *Session) sweep() *sweepState {
 	if s.sw != nil {
 		return s.sw
@@ -190,15 +206,7 @@ func (s *Session) solveSweepFast(ctx context.Context, pm *ppa.Machine, dest int)
 	// Per-solve init, shadowing SolveContext statements 4-7. The selector
 	// planes are retargeted with stripe edits; the charges are those of
 	// the EqConst rebuilds they replace.
-	if w.dest != dest {
-		if w.dest >= 0 {
-			w.rowBits.FillRange(w.dest*n, w.dest*n+n, false)
-			w.colBits.FillStride(w.dest, n, n, false)
-		}
-		w.rowBits.FillRange(dest*n, dest*n+n, true)
-		w.colBits.FillStride(dest, n, n, true)
-		w.dest = dest
-	}
+	w.retarget(dest, n)
 	charge(2) // rowIsD = ROW.EqConst(d); colIsD = COL.EqConst(d)
 	charge(1) // notD = rowIsD.Not()
 	// Corrected init: column d of W moved onto row d (two bus cycles),

@@ -1,0 +1,47 @@
+package graph
+
+import "fmt"
+
+// WeightUpdate is one dynamic-graph edit: set the weight of edge U -> V to
+// W, or delete the edge when W is NoEdge. It is the vocabulary shared by
+// the incremental solver (core.Session.Update), the streaming update
+// sessions of internal/serve, and the differential tests — "a weight
+// changed" travels through every layer as this triple.
+type WeightUpdate struct {
+	U int   `json:"u"`
+	V int   `json:"v"`
+	W int64 `json:"w"`
+}
+
+// Validate checks the update against an n-vertex graph: endpoints in
+// range, weight non-negative or the NoEdge sentinel.
+func (u WeightUpdate) Validate(n int) error {
+	if u.U < 0 || u.U >= n {
+		return fmt.Errorf("graph: update source %d out of range [0,%d)", u.U, n)
+	}
+	if u.V < 0 || u.V >= n {
+		return fmt.Errorf("graph: update target %d out of range [0,%d)", u.V, n)
+	}
+	if u.W != NoEdge && u.W < 0 {
+		return fmt.Errorf("graph: negative weight %d on update %d->%d", u.W, u.U, u.V)
+	}
+	return nil
+}
+
+// Removes reports whether the update deletes its edge.
+func (u WeightUpdate) Removes() bool { return u.W == NoEdge }
+
+// Apply applies the updates in order. The batch is atomic: every update is
+// validated first, and on error the graph is unchanged. Updates may repeat
+// an edge; the last write wins.
+func (g *Graph) Apply(updates []WeightUpdate) error {
+	for _, u := range updates {
+		if err := u.Validate(g.N); err != nil {
+			return err
+		}
+	}
+	for _, u := range updates {
+		g.W[u.U*g.N+u.V] = u.W
+	}
+	return nil
+}

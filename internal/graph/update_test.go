@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+func TestWeightUpdateValidate(t *testing.T) {
+	cases := []struct {
+		u  WeightUpdate
+		ok bool
+	}{
+		{WeightUpdate{U: 0, V: 1, W: 5}, true},
+		{WeightUpdate{U: 3, V: 0, W: 0}, true},
+		{WeightUpdate{U: 1, V: 2, W: NoEdge}, true},
+		{WeightUpdate{U: -1, V: 0, W: 1}, false},
+		{WeightUpdate{U: 4, V: 0, W: 1}, false},
+		{WeightUpdate{U: 0, V: -1, W: 1}, false},
+		{WeightUpdate{U: 0, V: 4, W: 1}, false},
+		{WeightUpdate{U: 0, V: 1, W: -7}, false},
+	}
+	for _, c := range cases {
+		err := c.u.Validate(4)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.u, err, c.ok)
+		}
+	}
+	if !(WeightUpdate{W: NoEdge}).Removes() {
+		t.Error("W=NoEdge should report Removes")
+	}
+	if (WeightUpdate{W: 3}).Removes() {
+		t.Error("finite weight should not report Removes")
+	}
+}
+
+func TestGraphApply(t *testing.T) {
+	g := GenChain(4, 3)
+	if err := g.Apply([]WeightUpdate{
+		{U: 0, V: 2, W: 7},      // insert
+		{U: 0, V: 1, W: NoEdge}, // remove
+		{U: 2, V: 3, W: 1},      // change
+		{U: 2, V: 3, W: 2},      // last write wins
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.At(0, 2); got != 7 {
+		t.Errorf("At(0,2) = %d, want 7", got)
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("edge 0->1 should be removed")
+	}
+	if got := g.At(2, 3); got != 2 {
+		t.Errorf("At(2,3) = %d, want 2", got)
+	}
+}
+
+func TestGraphApplyAtomic(t *testing.T) {
+	g := GenChain(4, 3)
+	before := g.Clone()
+	err := g.Apply([]WeightUpdate{
+		{U: 0, V: 1, W: 9},  // valid...
+		{U: 0, V: 99, W: 1}, // ...but the batch has a bad one
+	})
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	for i := range g.W {
+		if g.W[i] != before.W[i] {
+			t.Fatalf("graph mutated by rejected batch at word %d", i)
+		}
+	}
+}

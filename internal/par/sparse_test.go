@@ -1,0 +1,81 @@
+package par
+
+import (
+	"testing"
+
+	"ppamcp/internal/ppa"
+)
+
+func TestLoadSparse(t *testing.T) {
+	a := ctx(4, 8)
+	x := a.Zeros()
+	before := a.Machine().Metrics()
+	x.LoadSparse([]int{1, 7, 14}, []ppa.Word{10, 20, 30})
+	if after := a.Machine().Metrics(); after != before {
+		t.Errorf("LoadSparse charged machine cycles: %+v -> %+v", before, after)
+	}
+	want := map[int]ppa.Word{1: 10, 7: 20, 14: 30}
+	for i := 0; i < 16; i++ {
+		if got := x.At(i/4, i%4); got != want[i] {
+			t.Errorf("lane %d = %d, want %d", i, got, want[i])
+		}
+	}
+	// Duplicate index: last write wins, like sequential stores.
+	x.LoadSparse([]int{5, 5}, []ppa.Word{1, 2})
+	if got := x.At(1, 1); got != 2 {
+		t.Errorf("duplicate index lane = %d, want 2", got)
+	}
+}
+
+func TestLoadSparsePanics(t *testing.T) {
+	a := ctx(3, 8)
+	x := a.Zeros()
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("length mismatch", func() {
+		x.LoadSparse([]int{0, 1}, []ppa.Word{1})
+	})
+	expectPanic("index out of range", func() {
+		x.LoadSparse([]int{9}, []ppa.Word{1})
+	})
+	expectPanic("word too wide", func() {
+		x.LoadSparse([]int{0}, []ppa.Word{1 << 9})
+	})
+}
+
+func TestLoadRow(t *testing.T) {
+	a := ctx(3, 8)
+	x := a.Zeros()
+	before := a.Machine().Metrics()
+	x.LoadRow(1, []ppa.Word{4, 5, 6})
+	if after := a.Machine().Metrics(); after != before {
+		t.Errorf("LoadRow charged machine cycles: %+v -> %+v", before, after)
+	}
+	for j := 0; j < 3; j++ {
+		if got := x.At(1, j); got != ppa.Word(4+j) {
+			t.Errorf("(1,%d) = %d", j, got)
+		}
+		if x.At(0, j) != 0 || x.At(2, j) != 0 {
+			t.Errorf("LoadRow touched a foreign row at column %d", j)
+		}
+	}
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("row out of range", func() { x.LoadRow(3, []ppa.Word{1, 2, 3}) })
+	expectPanic("bad length", func() { x.LoadRow(0, []ppa.Word{1}) })
+	expectPanic("word too wide", func() { x.LoadRow(0, []ppa.Word{0, 1 << 9, 0}) })
+}

@@ -57,6 +57,45 @@ func (x *Var) Load(data []ppa.Word) {
 	}
 }
 
+// LoadSparse patches the variable at the given flat (row-major) indices
+// with the corresponding values, ignoring the activity mask — the sparse
+// host->array DMA path. Where Load re-streams the whole plane, LoadSparse
+// moves exactly len(idx) words: a k-edge weight update costs O(k) DMA
+// instead of O(N²). Like Load it allocates nothing and charges nothing
+// (DMA is off the cost model); idx and vals must have equal length and
+// every index must be in [0, N*N).
+func (x *Var) LoadSparse(idx []int, vals []ppa.Word) {
+	if len(idx) != len(vals) {
+		panic(fmt.Sprintf("par: LoadSparse %d indices, %d values", len(idx), len(vals)))
+	}
+	h := x.a.m.Bits()
+	for k, i := range idx {
+		if i < 0 || i >= len(x.v) {
+			panic(fmt.Sprintf("par: LoadSparse index %d out of range [0,%d)", i, len(x.v)))
+		}
+		ppa.CheckWord(vals[k], h)
+		x.v[i] = vals[k]
+	}
+}
+
+// LoadRow overwrites one row of the variable with host data (length N),
+// ignoring the activity mask: the striped DMA path warm re-solves use to
+// seed row d of a solution plane without touching the rest.
+func (x *Var) LoadRow(row int, data []ppa.Word) {
+	n := x.a.N()
+	if row < 0 || row >= n {
+		panic(fmt.Sprintf("par: LoadRow row %d out of range [0,%d)", row, n))
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("par: LoadRow length %d, want %d", len(data), n))
+	}
+	h := x.a.m.Bits()
+	for j, w := range data {
+		ppa.CheckWord(w, h)
+		x.v[row*n+j] = w
+	}
+}
+
 // At returns the value held by PE (row, col) (host read-back).
 func (x *Var) At(row, col int) ppa.Word {
 	return x.v[row*x.a.N()+col]

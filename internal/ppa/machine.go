@@ -251,6 +251,19 @@ func (m *Machine) ChargeBroadcast(d Direction, open *Bitset) {
 	m.metrics.BusCycles++
 }
 
+// ChargeWiredOr is ChargeBroadcast's wired-OR counterpart: it charges one
+// wired-OR bus cycle and emits the observer event of a WiredOrBits with
+// configuration open, without resolving any clusters. Host drivers that
+// compute a reduction's outcome algebraically (core's warm re-solve) use
+// it to keep the cost counters and event stream identical to the
+// reference instruction sequence.
+func (m *Machine) ChargeWiredOr(d Direction, open *Bitset) {
+	m.checkBits("open", open)
+	open = m.effectiveOpenBits(open)
+	m.observeOpens(OpWiredOr, d, open)
+	m.metrics.WiredOrCycles++
+}
+
 // WiredOr performs one 1-bit wired-OR bus transaction in direction d.
 // Open PEs segment each ring into clusters (a cluster is an Open head plus
 // the downstream Short PEs up to, but excluding, the next Open PE,

@@ -495,3 +495,43 @@ func TestChargeBroadcastMatchesBroadcastBits(t *testing.T) {
 		}
 	}
 }
+
+// TestChargeWiredOrMatchesWiredOrBits pins the same shadow-charge
+// contract for the wired-OR counterpart used by core's warm re-solve.
+func TestChargeWiredOrMatchesWiredOrBits(t *testing.T) {
+	const n = 6
+	open := NewBitset(n * n)
+	for i := 0; i < n; i++ {
+		open.Set(i*n + (n - 1))
+	}
+	for _, faulty := range []bool{false, true} {
+		real := New(n, 4)
+		shadow := New(n, 4)
+		if faulty {
+			real.InjectFault(3, StuckOpen)
+			shadow.InjectFault(3, StuckOpen)
+		}
+		var realEvs, shadowEvs []Event
+		real.SetObserver(func(e Event) { realEvs = append(realEvs, e) })
+		shadow.SetObserver(func(e Event) { shadowEvs = append(shadowEvs, e) })
+		drive := NewBitset(n * n)
+		dst := NewBitset(n * n)
+		for _, d := range []Direction{East, West, North, South} {
+			real.WiredOrBits(d, open, drive, dst)
+			shadow.ChargeWiredOr(d, open)
+		}
+		if real.Metrics() != shadow.Metrics() {
+			t.Fatalf("faulty=%v: metrics diverge: real %v, shadow %v",
+				faulty, real.Metrics(), shadow.Metrics())
+		}
+		if len(realEvs) != len(shadowEvs) {
+			t.Fatalf("faulty=%v: event counts diverge", faulty)
+		}
+		for i := range realEvs {
+			if realEvs[i] != shadowEvs[i] {
+				t.Fatalf("faulty=%v event %d: real %+v, shadow %+v",
+					faulty, i, realEvs[i], shadowEvs[i])
+			}
+		}
+	}
+}

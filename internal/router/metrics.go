@@ -151,11 +151,32 @@ func (m *Metrics) WritePrometheus(w io.Writer, fleet []BackendHealth, cache Cach
 			healthy++
 		}
 		fmt.Fprintf(w, "pparouter_ring_backend_healthy{backend=%q} %d\n", b.URL, v)
-		fmt.Fprintf(w, "pparouter_backend_queue_depth{backend=%q} %d\n", b.URL, b.Last.QueueDepth)
-		fmt.Fprintf(w, "pparouter_backend_pool_idle{backend=%q} %d\n", b.URL, b.Last.PoolIdle)
 	}
 	fmt.Fprintf(w, "pparouter_ring_size %d\n", healthy)
 	fmt.Fprintf(w, "pparouter_ring_members %d\n", len(fleet))
+
+	// Load gauges relayed from each backend's /healthz body: the fleet's
+	// queue depths and pool occupancy in one scrape, per backend.
+	fmt.Fprintf(w, "# HELP pparouter_backend_queue_depth Admission queue depth last reported by the backend's /healthz.\n")
+	fmt.Fprintf(w, "# TYPE pparouter_backend_queue_depth gauge\n")
+	for _, b := range fleet {
+		fmt.Fprintf(w, "pparouter_backend_queue_depth{backend=%q} %d\n", b.URL, b.Last.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP pparouter_backend_pool_idle Warm sessions parked in the backend's pool, per its /healthz.\n")
+	fmt.Fprintf(w, "# TYPE pparouter_backend_pool_idle gauge\n")
+	for _, b := range fleet {
+		fmt.Fprintf(w, "pparouter_backend_pool_idle{backend=%q} %d\n", b.URL, b.Last.PoolIdle)
+	}
+	fmt.Fprintf(w, "# HELP pparouter_backend_inflight_batches Batches being solved right now, per the backend's /healthz.\n")
+	fmt.Fprintf(w, "# TYPE pparouter_backend_inflight_batches gauge\n")
+	for _, b := range fleet {
+		fmt.Fprintf(w, "pparouter_backend_inflight_batches{backend=%q} %d\n", b.URL, b.Last.InflightBatches)
+	}
+	fmt.Fprintf(w, "# HELP pparouter_backend_sessions Live dynamic-graph sessions, per the backend's /healthz.\n")
+	fmt.Fprintf(w, "# TYPE pparouter_backend_sessions gauge\n")
+	for _, b := range fleet {
+		fmt.Fprintf(w, "pparouter_backend_sessions{backend=%q} %d\n", b.URL, b.Last.Sessions)
+	}
 
 	fmt.Fprintf(w, "# HELP pparouter_cache Front-door result cache (LRU keyed by graph digest + dests + width).\n")
 	fmt.Fprintf(w, "pparouter_cache_hits_total %d\n", cache.Hits)

@@ -466,6 +466,13 @@ func TestRouterE2EMultiBackend(t *testing.T) {
 		"pparouter_backend_requests_total",
 		"pparouter_singleflight_collapsed_total",
 		`pparouter_requests_total{path="/v1/solve",code="200"}`,
+		"# TYPE pparouter_backend_queue_depth gauge",
+		"pparouter_backend_queue_depth{backend=",
+		"# TYPE pparouter_backend_pool_idle gauge",
+		"# TYPE pparouter_backend_inflight_batches gauge",
+		"pparouter_backend_inflight_batches{backend=",
+		"# TYPE pparouter_backend_sessions gauge",
+		"pparouter_backend_sessions{backend=",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)

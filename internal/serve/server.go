@@ -65,6 +65,20 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the backoff hint sent with 429 (default 1s).
 	RetryAfter time.Duration
+	// MaxSessions bounds concurrent dynamic-graph sessions (default 16);
+	// at the limit POST /v1/session answers 429.
+	MaxSessions int
+	// SessionIdleTimeout evicts a session with no update or stream
+	// activity for this long (default 2m).
+	SessionIdleTimeout time.Duration
+	// MaxSessionDests bounds a session's destination set (default 16) —
+	// every accepted update re-solves the whole set.
+	MaxSessionDests int
+	// SessionQueueDepth bounds a session's pending update batches
+	// (default 32); a full queue answers 429.
+	SessionQueueDepth int
+	// MaxUpdateBatch bounds the edits in one update batch (default 4096).
+	MaxUpdateBatch int
 }
 
 func (c *Config) fillDefaults() {
@@ -101,6 +115,21 @@ func (c *Config) fillDefaults() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = 2 * time.Minute
+	}
+	if c.MaxSessionDests <= 0 {
+		c.MaxSessionDests = 16
+	}
+	if c.SessionQueueDepth <= 0 {
+		c.SessionQueueDepth = 32
+	}
+	if c.MaxUpdateBatch <= 0 {
+		c.MaxUpdateBatch = 4096
+	}
 }
 
 // Server is the solver service. Create with New, mount Handler on an
@@ -116,6 +145,12 @@ type Server struct {
 	inflight atomic.Int64
 	down     atomic.Bool
 
+	// Dynamic-graph sessions (session.go).
+	sessMu      sync.Mutex
+	sessions    map[string]*liveSession
+	sessWG      sync.WaitGroup
+	janitorStop chan struct{}
+
 	// hookBeforeSolve, when non-nil, runs before every destination solve;
 	// tests use it to inject panics and verify request isolation.
 	hookBeforeSolve func(dest int)
@@ -125,20 +160,28 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.PoolCap, cfg.RingWorkers, cfg.PhysicalSide),
-		q:       newQueue(cfg.QueueDepth),
-		metrics: NewMetrics(),
+		cfg:         cfg,
+		pool:        NewPool(cfg.PoolCap, cfg.RingWorkers, cfg.PhysicalSide),
+		q:           newQueue(cfg.QueueDepth),
+		metrics:     NewMetrics(),
+		sessions:    make(map[string]*liveSession),
+		janitorStop: make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/allpairs", s.handleAllPairs)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/session/{id}/update", s.handleSessionUpdate)
+	s.mux.HandleFunc("GET /v1/session/{id}/stream", s.handleSessionStream)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	s.sessWG.Add(1)
+	go s.sessionJanitor()
 	return s
 }
 
@@ -148,16 +191,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the service's aggregate counters (shared, live).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Shutdown drains: admission stops (new solves get 503), queued and
-// in-flight batches complete, workers exit. It returns ctx's error if the
-// drain outlives it. Callers stop the http.Server first so no handler is
-// left waiting on a worker that has already exited.
+// Shutdown drains: admission stops (new solves and sessions get 503),
+// queued and in-flight batches complete, session runners finish their
+// already-accepted updates and close their streams, workers exit. It
+// returns ctx's error if the drain outlives it (hard-cancelling any
+// session runner still blocked on an unread stream). Callers stop the
+// http.Server first so no handler is left waiting on a worker that has
+// already exited.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.down.Store(true)
 	s.q.shutdown()
+	s.beginDrainSessions()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.sessWG.Wait()
 		close(done)
 	}()
 	select {
@@ -165,6 +213,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.pool.Close()
 		return nil
 	case <-ctx.Done():
+		s.cancelSessions()
 		return ctx.Err()
 	}
 }
@@ -578,6 +627,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PoolIdle:        s.pool.Stats().Idle,
 		QueueDepth:      s.q.depth(),
 		InflightBatches: s.inflight.Load(),
+		Sessions:        s.sessionCount(),
 	}
 	code := http.StatusOK
 	if s.down.Load() {
@@ -595,6 +645,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	batches, coalesced := s.q.stats()
 	s.metrics.WritePrometheus(w, s.pool.Stats(), s.q.depth(), batches, coalesced)
 	fmt.Fprintf(w, "ppaserved_inflight_batches %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "# HELP ppaserved_sessions Live dynamic-graph sessions.\n")
+	fmt.Fprintf(w, "# TYPE ppaserved_sessions gauge\n")
+	fmt.Fprintf(w, "ppaserved_sessions %d\n", s.sessionCount())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) int {

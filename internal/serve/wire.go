@@ -183,6 +183,8 @@ type HealthStatus struct {
 	QueueDepth int `json:"queue_depth"`
 	// InflightBatches is the number of batches being solved right now.
 	InflightBatches int64 `json:"inflight_batches"`
+	// Sessions is the number of live dynamic-graph sessions.
+	Sessions int `json:"sessions"`
 	// Draining mirrors the 503 status code for JSON-only consumers.
 	Draining bool `json:"draining"`
 }
