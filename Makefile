@@ -27,9 +27,11 @@ bench:
 # Machine-readable benchmark snapshot for the current PR: E1-E6 cycle
 # tables plus the wall-clock rows, including the incremental re-solve
 # curve (k weight edits through Session.Update + warm Resolve vs the same
-# edits replayed as full Reload + cold Solve, k in {1, 4, 16, 64}).
+# edits replayed as full Reload + cold Solve, k in {1, 4, 16, 64}) and
+# the warm incremental all-pairs curve (Update + ResolveSweep over all 64
+# destinations vs Reload + cold SolveSweep, same k values).
 bench-json:
-	$(GO) run ./cmd/benchtab -json > BENCH_PR9.json
+	$(GO) run ./cmd/benchtab -json > BENCH_PR10.json
 
 # Fleet scaling benchmark behind the consistent-hash router: for each
 # fleet size boot that many in-process ppaserved backends behind an
@@ -89,6 +91,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDiffExec -fuzztime=30s ./internal/ppclang/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/graph/
 	$(GO) test -fuzz=FuzzUpdateResolve -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzResolveSweep -fuzztime=30s ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	benchtab           # all experiments
-//	benchtab -only E3  # one experiment
-//	benchtab -json     # E1-E6 cycle tables + wall-clock benchmarks as JSON
+//	benchtab                        # all experiments
+//	benchtab -only E3               # one experiment (regexp over ids)
+//	benchtab -only ResolveSweep/k=1 # just the matching wall-clock rows
+//	benchtab -json                  # E1-E6 cycle tables + wall-clock benchmarks as JSON
+//
+// -only is a regexp matched against both experiment ids (E1..E9) and
+// wall-clock benchmark row names; non-matching benchmarks are never run,
+// so a narrow pattern is a cheap smoke test (CI runs one under -race).
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"testing"
 
 	"ppamcp/internal/bench"
@@ -44,10 +50,15 @@ type report struct {
 	WallClock []wallClock   `json:"wallClock"`
 }
 
-func runWallClock() []wallClock {
+// runWallClock times the host-performance rows; a non-nil only regexp
+// skips (never runs) every row whose name it does not match.
+func runWallClock(only *regexp.Regexp) []wallClock {
 	g := graph.GenRandomConnected(64, 0.3, 9, 5)
 	var out []wallClock
 	add := func(name string, fn func(b *testing.B)) {
+		if only != nil && !only.MatchString(name) {
+			return
+		}
 		r := testing.Benchmark(fn)
 		out = append(out, wallClock{
 			Name:        name,
@@ -217,6 +228,85 @@ func runWallClock() []wallClock {
 			}
 		})
 	}
+	// Warm incremental all-pairs curve: k weight edits followed by a full
+	// n-destination re-solve. The warm row keeps one live session whose
+	// retained per-destination solutions seed each row's DP (and whose
+	// skip-converged certificate emits untouched rows without running it);
+	// the cold row replays the same edits as a weight reload plus a
+	// from-scratch SolveSweep. The warm/cold gap at small k is the whole
+	// point of Session.ResolveSweep.
+	for _, k := range []int{1, 4, 16, 64} {
+		k := k
+		gd := graph.GenRandomConnected(64, 0.3, 9, 5)
+		allDests := make([]int, gd.N)
+		for d := range allDests {
+			allDests[d] = d
+		}
+		var edges [][2]int
+		for i := 0; i < gd.N; i++ {
+			for j := 0; j < gd.N; j++ {
+				if i != j && gd.HasEdge(i, j) {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		nextBatch := func(g *graph.Graph, tick int, ups []graph.WeightUpdate) []graph.WeightUpdate {
+			ups = ups[:0]
+			for e := 0; e < k; e++ {
+				uv := edges[(tick*k+e)*7%len(edges)]
+				w := g.At(uv[0], uv[1])
+				ups = append(ups, graph.WeightUpdate{U: uv[0], V: uv[1], W: (w % 9) + 1})
+			}
+			return ups
+		}
+		discard := func(*core.Result) error { return nil }
+		add(fmt.Sprintf("ResolveSweep/n=64/k=%d/warm", k), func(b *testing.B) {
+			s, err := core.NewSession(gd.Clone(), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// Prime every destination's retained solution.
+			if err := s.ResolveSweep(context.Background(), allDests, discard); err != nil {
+				b.Fatal(err)
+			}
+			ups := make([]graph.WeightUpdate, 0, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ups = nextBatch(s.Graph(), i, ups)
+				if err := s.Update(ups); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.ResolveSweep(context.Background(), allDests, discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(fmt.Sprintf("ResolveSweep/n=64/k=%d/cold", k), func(b *testing.B) {
+			gc := gd.Clone()
+			s, err := core.NewSession(gc, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ups := make([]graph.WeightUpdate, 0, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ups = nextBatch(gc, i, ups)
+				if err := gc.Apply(ups); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Reload(gc); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.SolveSweep(context.Background(), allDests, discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	// PPC execution curve: the paper's listing run end to end through the
 	// language stack. bytecode vs reference is the flat-opcode compiler's
 	// win over the tree-walking oracle (identical metrics either way).
@@ -238,11 +328,21 @@ func runWallClock() []wallClock {
 }
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: E1..E9")
+	only := flag.String("only", "", "regexp over experiment ids (E1..E9) and wall-clock row names; matching rows run, everything else is skipped")
 	format := flag.String("format", "text", "output format: text|markdown")
 	jsonOut := flag.Bool("json", false, "emit E1-E6 tables and wall-clock benchmarks as JSON")
 	flag.Parse()
 
+	var re *regexp.Regexp
+	if *only != "" {
+		var err error
+		if re, err = regexp.Compile(*only); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: bad -only regexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	runners := map[string]func() bench.Table{
 		"E1": bench.RunE1,
 		"E2": bench.RunE2,
@@ -254,13 +354,16 @@ func main() {
 		"E8": bench.RunE8,
 		"E9": bench.RunE9,
 	}
+	match := func(id string) bool { return re == nil || re.MatchString(id) }
 
 	if *jsonOut {
 		rep := report{}
 		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6"} {
-			rep.Tables = append(rep.Tables, runners[id]())
+			if match(id) {
+				rep.Tables = append(rep.Tables, runners[id]())
+			}
 		}
-		rep.WallClock = runWallClock()
+		rep.WallClock = runWallClock(re)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -276,16 +379,26 @@ func main() {
 		}
 		return t.Format()
 	}
-	if *only != "" {
-		r, ok := runners[*only]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (want E1..E9)\n", *only)
-			os.Exit(1)
+	if re == nil {
+		for _, t := range bench.RunAll() {
+			fmt.Println(render(t))
 		}
-		fmt.Println(render(r()))
 		return
 	}
-	for _, t := range bench.RunAll() {
-		fmt.Println(render(t))
+	ran := 0
+	for _, id := range ids {
+		if match(id) {
+			fmt.Println(render(runners[id]()))
+			ran++
+		}
+	}
+	for _, wc := range runWallClock(re) {
+		fmt.Printf("%-44s %12d ns/op %8.3f ms/op %8d allocs/op\n",
+			wc.Name, wc.NsPerOp, wc.MsPerOp, wc.AllocsPerOp)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: -only %q matched no experiment or wall-clock row\n", *only)
+		os.Exit(1)
 	}
 }

@@ -26,7 +26,12 @@
 // (verifying every re-solved generation against Bellman-Ford on a local
 // mirror), then replays the same number of mutations as cold inline
 // solves — reporting updates/sec vs cold solves/sec and staleness
-// percentiles.
+// percentiles. Combining -updates with -allpairs creates the sessions
+// with "dests": "all": every generation streams the full n-destination
+// table (verified row by row against Bellman-Ford), the staleness
+// percentiles become table staleness (delta POST to holding the whole
+// re-solved table), and the cold baseline replays each mutation as a
+// from-scratch /v1/allpairs table.
 //
 // Examples:
 //
@@ -202,8 +207,8 @@ func run(args []string, out io.Writer) error {
 	if *allPairs && *fleet != "" {
 		return fmt.Errorf("-allpairs drives backends directly; it does not combine with -fleet")
 	}
-	if *updates > 0 && (*allPairs || *fleet != "" || *zipfS != 0) {
-		return fmt.Errorf("-updates does not combine with -allpairs, -fleet or -zipf")
+	if *updates > 0 && (*fleet != "" || *zipfS != 0) {
+		return fmt.Errorf("-updates does not combine with -fleet or -zipf")
 	}
 	if *updates > 0 && *updateSize < 1 {
 		return fmt.Errorf("-update-size must be positive")
@@ -276,7 +281,7 @@ func run(args []string, out io.Writer) error {
 		sum, err = runUpdates(loadSpec{
 			targets: targetList, w: w, graphs: gs,
 			clients: *clients, perClient: *updates, destsPer: *destsPer,
-			verify: *verify, out: out,
+			verify: *verify, allPairs: *allPairs, out: out,
 		}, *updates, *updateSize)
 	} else {
 		sum, err = runLoad(loadSpec{

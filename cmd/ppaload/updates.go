@@ -37,12 +37,15 @@ type updSession struct {
 	dests  []int
 }
 
-func updCreate(c *http.Client, target string, g *graph.Graph, dests []int) (*updSession, error) {
+// updCreate opens one session. With allDests the request carries
+// "dests": "all" and the tracked destination set is taken from the
+// created body (0..n-1), so every generation is a full table.
+func updCreate(c *http.Client, target string, g *graph.Graph, dests []int, allDests bool) (*updSession, error) {
 	gj, err := json.Marshal(g)
 	if err != nil {
 		return nil, err
 	}
-	body, _ := json.Marshal(serve.SessionCreateRequest{Graph: gj, Dests: dests})
+	body, _ := json.Marshal(serve.SessionCreateRequest{Graph: gj, Dests: dests, AllDests: allDests})
 	resp, err := c.Post(target+"/v1/session", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -55,6 +58,9 @@ func updCreate(c *http.Client, target string, g *graph.Graph, dests []int) (*upd
 	var sc serve.SessionCreated
 	if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
 		return nil, err
+	}
+	if allDests {
+		dests = sc.Dests
 	}
 
 	sreq, err := http.NewRequest(http.MethodGet, target+"/v1/session/"+sc.SessionID+"/stream", nil)
@@ -217,19 +223,25 @@ func mutateBatch(mirror *graph.Graph, edges [][2]int, i, size int) []serve.WireU
 // dynamic-graph fields. Each of s.clients clients owns one session on its
 // own graph; batches update batches flow through each, then the same
 // number of mutations are replayed as cold inline /v1/solve requests for
-// the baseline.
+// the baseline. With s.allPairs the sessions track every destination
+// ("dests": "all"), each generation is a full Bellman-Ford-verified
+// table, StalenessMS becomes table staleness, and the cold baseline is a
+// from-scratch /v1/allpairs table per mutation.
 func runUpdates(s loadSpec, batches, batchSize int) (Summary, error) {
+	n := s.graphs[0].N
+	if s.allPairs {
+		s.destsPer = n
+	}
 	sum := Summary{
-		Target: strings.Join(s.targets, ","), Gen: s.w, N: s.graphs[0].N,
+		Target: strings.Join(s.targets, ","), Gen: s.w, N: n,
 		Clients: s.clients, PerClient: batches, DestsPerRequest: s.destsPer,
 		Graphs: len(s.graphs), Mix: "updates",
-		UpdatesMode: true, UpdateBatch: batchSize,
+		UpdatesMode: true, UpdateBatch: batchSize, AllPairs: s.allPairs,
 	}
 	var mu sync.Mutex
 	var staleness, coldLat []float64
 	httpClient := &http.Client{Timeout: 5 * time.Minute}
 
-	n := s.graphs[0].N
 	dests := make([]int, s.destsPer)
 	for i := range dests {
 		dests[i] = (i * n) / s.destsPer
@@ -244,7 +256,7 @@ func runUpdates(s loadSpec, batches, batchSize int) (Summary, error) {
 		go func(c int) {
 			defer wg.Done()
 			g := s.graphs[c%len(s.graphs)]
-			us, err := updCreate(httpClient, s.targets[c%len(s.targets)], g, dests)
+			us, err := updCreate(httpClient, s.targets[c%len(s.targets)], g, dests, s.allPairs)
 			if err != nil {
 				errCh <- err
 				return
@@ -286,6 +298,7 @@ func runUpdates(s loadSpec, batches, batchSize int) (Summary, error) {
 				sum.OK++
 				sum.Shed429 += shed
 				sum.Solves += int64(tr.Rows)
+				sum.RowsStreamed += int64(tr.Rows)
 				sum.WarmIterations += int64(tr.Iterations)
 				staleness = append(staleness, float64(stale.Microseconds())/1000)
 				if s.verify {
@@ -345,6 +358,36 @@ func runUpdates(s loadSpec, batches, batchSize int) (Summary, error) {
 					return
 				}
 				gj, _ := json.Marshal(mirror)
+				if s.allPairs {
+					// Full-table baseline: every mutation pays a reload and a
+					// from-scratch n-destination sweep on /v1/allpairs.
+					body, _ := json.Marshal(serve.AllPairsRequest{Graph: gj})
+					ar, err := apPost(httpClient, s.targets[c%len(s.targets)], body)
+					if err != nil {
+						cerrCh <- err
+						return
+					}
+					if ar.code == http.StatusTooManyRequests {
+						time.Sleep(50 * time.Millisecond)
+						continue
+					}
+					if ar.code != http.StatusOK || !ar.done {
+						cerrCh <- fmt.Errorf("cold allpairs: status %d (%s)", ar.code, ar.errLine)
+						return
+					}
+					if s.verify {
+						ref := func(dest int) (*graph.Result, error) { return graph.BellmanFord(mirror, dest) }
+						if err := verifyTable(mirror, ar.rows, ref); err != nil {
+							cerrCh <- err
+							return
+						}
+					}
+					mu.Lock()
+					coldOK++
+					coldLat = append(coldLat, float64(ar.total.Microseconds())/1000)
+					mu.Unlock()
+					continue
+				}
 				body, _ := json.Marshal(serve.SolveRequest{Graph: gj, Dests: dests})
 				t0 := time.Now()
 				pr, err := post(httpClient, s.targets[c%len(s.targets)], body)
@@ -397,13 +440,21 @@ func runUpdates(s loadSpec, batches, batchSize int) (Summary, error) {
 }
 
 func printUpdatesSummary(out io.Writer, sum *Summary, verify bool) {
-	fmt.Fprintf(out, "dynamic sessions: %d clients x %d update batches (k=%d) x %d dests on n=%d\n",
-		sum.Clients, sum.PerClient, sum.UpdateBatch, sum.DestsPerRequest, sum.N)
+	shape := fmt.Sprintf("%d dests", sum.DestsPerRequest)
+	if sum.AllPairs {
+		shape = "full tables"
+	}
+	fmt.Fprintf(out, "dynamic sessions: %d clients x %d update batches (k=%d) x %s on n=%d\n",
+		sum.Clients, sum.PerClient, sum.UpdateBatch, shape, sum.N)
 	fmt.Fprintf(out, "updates: %.1f update+re-solve/s  vs cold: %.1f reload+solve/s  (%.1fx)\n",
 		sum.UpdatesPerSec, sum.ColdPerSec, ratioOr0(sum.UpdatesPerSec, sum.ColdPerSec))
 	if sum.StalenessMS != nil {
-		fmt.Fprintf(out, "staleness ms (delta POST -> re-solved rows): p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
-			sum.StalenessMS.P50, sum.StalenessMS.P90, sum.StalenessMS.P99, sum.StalenessMS.Max)
+		what := "re-solved rows"
+		if sum.AllPairs {
+			what = "full re-solved table"
+		}
+		fmt.Fprintf(out, "staleness ms (delta POST -> %s): p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+			what, sum.StalenessMS.P50, sum.StalenessMS.P90, sum.StalenessMS.P99, sum.StalenessMS.Max)
 	}
 	fmt.Fprintf(out, "cold-solve latency ms: p50=%.1f p99=%.1f  warm iterations total %d over %d re-solves\n",
 		sum.LatencyMS.P50, sum.LatencyMS.P99, sum.WarmIterations, sum.Solves)

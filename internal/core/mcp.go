@@ -176,6 +176,11 @@ type Session struct {
 	rs       *resolveState
 	upIdx    []int
 	upVals   []ppa.Word
+
+	// destSeen is the reusable duplicate-destination bitmap of
+	// checkDests (sweep.go) — sweep validation must not allocate on the
+	// steady-state path.
+	destSeen []uint64
 }
 
 // NewSession builds a session with a fresh machine (Options as in Solve).

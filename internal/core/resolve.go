@@ -99,7 +99,19 @@ func (s *Session) Resolve(ctx context.Context, dest int) (*Result, error) {
 	if dest < 0 || dest >= n {
 		return nil, fmt.Errorf("core: destination %d out of range [0,%d)", dest, n)
 	}
+	return s.resolveOne(ctx, dest, false)
+}
+
+// resolveOne is the shared per-destination dispatch of Resolve and
+// ResolveSweep: warm re-solve when a usable snapshot exists, cold solve
+// (retained for next time) otherwise. allowSkip enables ResolveSweep's
+// skip-converged fast-out (resolvesweep.go); Resolve keeps it off so its
+// per-call contract — the DP runs and Iterations >= 1 — is unchanged.
+func (s *Session) resolveOne(ctx context.Context, dest int, allowSkip bool) (*Result, error) {
 	if w := s.warmUsable(dest); w != nil {
+		if allowSkip && !s.warmAffected(dest, w) {
+			return s.emitRetained(dest, w), nil
+		}
 		return s.resolveWarm(ctx, dest, w)
 	}
 	var r *Result
@@ -204,7 +216,9 @@ func (s *Session) resolveWarm(ctx context.Context, dest int, w *warmDest) (*Resu
 
 // applyIncreases raises to MAXINT every seed entry whose recorded path may
 // traverse an edge that increased since the snapshot: for each logged
-// increase (u, v) newer than the snapshot with next[u] == v, the whole
+// increase (u, v) newer than the snapshot (decrease entries in the change
+// log are skipped — they cannot break an upper bound) with next[u] == v,
+// the whole
 // subtree of u in the retained shortest-path tree (every vertex whose
 // recorded path passes through u). Conservative — a survivor's recorded
 // path avoids all increased edges, so its cost is unchanged and the seed
@@ -212,7 +226,7 @@ func (s *Session) resolveWarm(ctx context.Context, dest int, w *warmDest) (*Resu
 func (s *Session) applyIncreases(w *warmDest, rs *resolveState, inf ppa.Word) {
 	applicable := false
 	for _, e := range s.incLog {
-		if e.ver > w.ver {
+		if e.ver > w.ver && e.inc {
 			applicable = true
 			break
 		}
@@ -233,7 +247,7 @@ func (s *Session) applyIncreases(w *warmDest, rs *resolveState, inf ppa.Word) {
 	}
 	stack := rs.stack[:0]
 	for _, e := range s.incLog {
-		if e.ver <= w.ver {
+		if e.ver <= w.ver || !e.inc {
 			continue
 		}
 		u := int(e.u)

@@ -100,20 +100,67 @@ func (s *Session) sweep() *sweepState {
 	return w
 }
 
+// DestError is the typed validation error SolveSweep and ResolveSweep
+// report for a bad destination list: an entry out of range, or one that
+// repeats an earlier entry (a sweep solves each destination exactly once;
+// silently coalescing duplicates would desynchronize the caller's
+// dests[i] <-> yield pairing, so they are rejected instead).
+type DestError struct {
+	Dest  int  // offending destination value
+	Index int  // its position in the dests slice
+	N     int  // the fabric side (valid destinations are [0, N))
+	Dup   bool // true when the destination repeats an earlier entry
+}
+
+func (e *DestError) Error() string {
+	if e.Dup {
+		return fmt.Sprintf("core: duplicate destination %d at dests[%d]", e.Dest, e.Index)
+	}
+	return fmt.Sprintf("core: destination %d at dests[%d] out of range [0,%d)", e.Dest, e.Index, e.N)
+}
+
+// checkDests validates a sweep's destination list upfront — range and
+// distinctness — so a bad list fails atomically, before any solve runs or
+// any row is yielded. The duplicate bitmap is session-owned and reused.
+func (s *Session) checkDests(dests []int) error {
+	n := s.m.N()
+	if s.destSeen == nil {
+		s.destSeen = make([]uint64, (n+63)>>6)
+	}
+	seen := s.destSeen
+	for i := range seen {
+		seen[i] = 0
+	}
+	for i, d := range dests {
+		if d < 0 || d >= n {
+			return &DestError{Dest: d, Index: i, N: n}
+		}
+		if seen[d>>6]&(1<<(uint(d)&63)) != 0 {
+			return &DestError{Dest: d, Index: i, N: n, Dup: true}
+		}
+		seen[d>>6] |= 1 << (uint(d) & 63)
+	}
+	return nil
+}
+
 // SolveSweep runs the DP for each destination in dests, in order, on the
 // session's warm fabric, calling yield with each destination's Result as
-// it completes — the batched all-pairs driver. Results, Iterations and
-// Metrics of every yielded Result are identical to what a sequential
-// Session.Solve loop would produce. The sweep stops at the first error: a
-// failed solve (the error is returned; earlier yields remain valid) or a
-// non-nil error from yield (returned unwrapped, so callers can use a
-// sentinel to stop early). The context is checked between DP iterations,
-// as in SolveContext.
+// it completes — the batched all-pairs driver. Destinations must be
+// distinct and in range (*DestError otherwise, before anything runs).
+// Results, Iterations and Metrics of every yielded Result are identical
+// to what a sequential Session.Solve loop would produce. The sweep stops
+// at the first error: a failed solve (the error is returned; earlier
+// yields remain valid) or a non-nil error from yield (returned unwrapped,
+// so callers can use a sentinel to stop early). The context is checked
+// between DP iterations, as in SolveContext.
 //
 // Each yielded Result is freshly allocated and remains valid after the
 // sweep. A Session is still not safe for concurrent use; SolveAllPairs
 // shards destinations across per-worker sessions.
 func (s *Session) SolveSweep(ctx context.Context, dests []int, yield func(*Result) error) error {
+	if err := s.checkDests(dests); err != nil {
+		return err
+	}
 	for _, d := range dests {
 		var r *Result
 		var err error

@@ -13,22 +13,27 @@ import (
 // the bookkeeping Resolve needs to decide how much of a previous solution
 // survives.
 //
-// The bookkeeping is a version counter plus an append-only log of weight
-// *increases*. Decreases never invalidate a retained solution — old
-// distances remain upper bounds, and Bellman-Ford-style relaxation
-// converges from any upper bound — so only increases are logged. A warm
+// The bookkeeping is a version counter plus an append-only log of every
+// effective machine-word weight change. Only the increases can invalidate
+// a retained solution — old distances remain upper bounds across
+// decreases, and Bellman-Ford-style relaxation converges from any upper
+// bound — but the decreases are logged too (flagged inc=false) so
+// ResolveSweep's skip-converged check can prove a destination untouched
+// by the whole delta without running its DP (resolvesweep.go). A warm
 // snapshot taken at version v is revalidated against the log suffix
 // (entries newer than v); Reload truncates the log wholesale by raising
 // logFloor, which marks every snapshot stale in O(1) without touching
 // the retained storage (it is reused by the next warm solve of that
 // destination).
 
-// incEntry records one applied machine-word weight increase: the only
-// update kind that can invalidate a retained solution (edge removal is an
-// increase to MAXINT; inserting an edge is a decrease from it).
+// incEntry records one applied machine-word weight change. inc marks an
+// increase — the only kind that can invalidate a retained solution (edge
+// removal is an increase to MAXINT; inserting an edge is a decrease from
+// it); decreases ride along for the skip-converged check.
 type incEntry struct {
 	ver  uint64
 	u, v int32
+	inc  bool
 }
 
 // warmDest is the retained solution for one destination: machine-word
@@ -41,15 +46,15 @@ type warmDest struct {
 	next []int32
 }
 
-// maxIncLog bounds the increase log. A session whose warm snapshots are
+// maxIncLog bounds the change log. A session whose warm snapshots are
 // never refreshed would otherwise grow the log without bound on an
-// increase-heavy stream; past the cap the log is truncated and every
+// update-heavy stream; past the cap the log is truncated and every
 // snapshot marked stale (the next Resolve per destination is a cold
 // solve), trading one re-solve for O(1) memory.
 func (s *Session) maxIncLog() int { return 1024 + 4*s.m.N() }
 
 // invalidateWarm marks every retained solution stale and empties the
-// increase log — the O(1) full invalidation Reload uses (snapshot storage
+// change log — the O(1) full invalidation Reload uses (snapshot storage
 // is kept for reuse; staleness is decided by comparing versions).
 func (s *Session) invalidateWarm() {
 	s.version++
@@ -124,9 +129,7 @@ func (s *Session) Update(updates []graph.WeightUpdate) error {
 			s.version++
 			bumped = true
 		}
-		if nw > ow {
-			s.incLog = append(s.incLog, incEntry{ver: s.version, u: int32(u.U), v: int32(u.V)})
-		}
+		s.incLog = append(s.incLog, incEntry{ver: s.version, u: int32(u.U), v: int32(u.V), inc: nw > ow})
 		s.upIdx = append(s.upIdx, i)
 		s.upVals = append(s.upVals, nw)
 		if s.wbuf != nil {
@@ -177,7 +180,7 @@ func (s *Session) retain(dest int, r *Result) {
 	s.pruneLog()
 }
 
-// pruneLog drops increase-log entries no live snapshot can still need:
+// pruneLog drops change-log entries no live snapshot can still need:
 // the log is append-ordered by version, so everything at or below the
 // minimum snapshot version is a dead prefix.
 func (s *Session) pruneLog() {

@@ -353,3 +353,51 @@ func TestAllPairsGenWorkload(t *testing.T) {
 	g := graph.GenRandomConnected(10, 0.3, 9, 5)
 	checkTable(t, g, st)
 }
+
+// TestAllPairsDestsSubset exercises the optional dests list: the stream
+// carries exactly the requested rows in request order, the trailer counts
+// the subset, and malformed subsets are refused before any work runs.
+func TestAllPairsDestsSubset(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxVertices: 64, MaxDests: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	// n = 24 exceeds MaxDests, so the full table would be refused; the
+	// subset form is exactly how a client takes rows from such a graph.
+	g := graph.GenRandomConnected(24, 0.25, 19, 11)
+	dests := []int{17, 0, 23}
+	st := postAllPairs(t, ts.Client(), ts.URL, AllPairsRequest{Graph: rawGraph(t, g), Dests: dests})
+	if st.code != http.StatusOK {
+		t.Fatalf("status = %d (%v)", st.code, st.er)
+	}
+	if st.errLine != nil {
+		t.Fatalf("stream failed: %v", st.errLine.Error)
+	}
+	if st.trailer == nil || !st.trailer.Done || st.trailer.Rows != len(dests) {
+		t.Fatalf("trailer = %+v, want done with %d rows", st.trailer, len(dests))
+	}
+	checkResponse(t, g, &SolveResponse{N: st.header.N, Results: st.rows}, dests)
+
+	bad := []struct {
+		name  string
+		dests []int
+	}{
+		{"out of range high", []int{0, 24}},
+		{"out of range negative", []int{-1}},
+		{"duplicate", []int{3, 9, 3}},
+		{"over dest cap", []int{0, 1, 2, 3, 4}},
+	}
+	for _, c := range bad {
+		st := postAllPairs(t, ts.Client(), ts.URL, AllPairsRequest{Graph: rawGraph(t, g), Dests: c.dests})
+		if st.code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%v), want 400", c.name, st.code, st.er)
+		}
+	}
+}

@@ -71,8 +71,10 @@ type Config struct {
 	// SessionIdleTimeout evicts a session with no update or stream
 	// activity for this long (default 2m).
 	SessionIdleTimeout time.Duration
-	// MaxSessionDests bounds a session's destination set (default 16) —
-	// every accepted update re-solves the whole set.
+	// MaxSessionDests bounds a session's explicit destination list
+	// (default 16) — every accepted update re-solves the whole set. A
+	// session created with "dests": "all" bypasses this list cap and is
+	// bounded by MaxDests instead, like /v1/allpairs.
 	MaxSessionDests int
 	// SessionQueueDepth bounds a session's pending update batches
 	// (default 32); a full queue answers 429.
@@ -311,12 +313,13 @@ func (s *Server) runBatch(b *batch) {
 }
 
 // runAllPairs serves one streaming all-pairs job: a single warm session
-// sweeps every destination 0..n-1 (one weight DMA, selector planes
-// retargeted incrementally) and each row is pushed to the handler the
-// moment it lands. Streaming batches are exclusive, so b holds exactly
-// one job. The panic and deadline contracts match runBatch: a panic
-// fails this job and drops the session; the job's context is observed
-// between destinations and between DP iterations.
+// sweeps the destination set (every destination 0..n-1, or the job's
+// requested subset) with one weight DMA and incrementally retargeted
+// selector planes, and each row is pushed to the handler the moment it
+// lands. Streaming batches are exclusive, so b holds exactly one job.
+// The panic and deadline contracts match runBatch: a panic fails this
+// job and drops the session; the job's context is observed between
+// destinations and between DP iterations.
 func (s *Server) runAllPairs(b *batch) {
 	j := b.jobs[0]
 	defer close(j.rows)
@@ -325,9 +328,12 @@ func (s *Server) runAllPairs(b *batch) {
 		j.finish(jobDone{err: err, status: http.StatusBadRequest})
 		return
 	}
-	dests := make([]int, b.g.N)
-	for d := range dests {
-		dests[d] = d
+	dests := j.dests
+	if len(dests) == 0 {
+		dests = make([]int, b.g.N)
+		for d := range dests {
+			dests[d] = d
+		}
 	}
 	var cost ppa.Metrics
 	iterations := 0
@@ -512,8 +518,26 @@ func (s *Server) allPairs(w http.ResponseWriter, r *http.Request) int {
 	if err := g.Validate(); err != nil {
 		return writeError(w, http.StatusBadRequest, "%v", err)
 	}
-	if g.N > s.cfg.MaxDests {
-		return writeError(w, http.StatusBadRequest, "all-pairs over %d dests exceeds server limit %d", g.N, s.cfg.MaxDests)
+	// An omitted dests list sweeps every destination; an explicit one
+	// streams just that subset, in request order.
+	if len(req.Dests) == 0 {
+		if g.N > s.cfg.MaxDests {
+			return writeError(w, http.StatusBadRequest, "all-pairs over %d dests exceeds server limit %d", g.N, s.cfg.MaxDests)
+		}
+	} else {
+		if len(req.Dests) > s.cfg.MaxDests {
+			return writeError(w, http.StatusBadRequest, "%d dests exceeds server limit %d", len(req.Dests), s.cfg.MaxDests)
+		}
+		seen := make(map[int]bool, len(req.Dests))
+		for i, d := range req.Dests {
+			if d < 0 || d >= g.N {
+				return writeError(w, http.StatusBadRequest, "dest %d out of range [0,%d)", d, g.N)
+			}
+			if seen[d] {
+				return writeError(w, http.StatusBadRequest, "duplicate dest %d at dests[%d]", d, i)
+			}
+			seen[d] = true
+		}
 	}
 	h, err := PickBits(g, req.Bits)
 	if err != nil {
@@ -530,9 +554,13 @@ func (s *Server) allPairs(w http.ResponseWriter, r *http.Request) int {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	// rows is buffered to n so the worker can finish the sweep and move on
-	// even if this handler stops reading.
-	j := &job{ctx: ctx, rows: make(chan DestResult, g.N), done: make(chan jobDone, 1)}
+	// rows is buffered to the row count so the worker can finish the sweep
+	// and move on even if this handler stops reading.
+	nrows := g.N
+	if len(req.Dests) > 0 {
+		nrows = len(req.Dests)
+	}
+	j := &job{ctx: ctx, dests: req.Dests, rows: make(chan DestResult, nrows), done: make(chan jobDone, 1)}
 	switch err := s.q.enqueue(j, g, h, s.cfg.MaxBatch); {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))

@@ -33,12 +33,61 @@ import (
 
 // SessionCreateRequest is the body of POST /v1/session. Graph/Gen/Bits
 // follow SolveRequest; Dests is the destination set re-solved after every
-// update batch (each solved once eagerly at creation, sequence 0).
+// update batch (each solved once eagerly at creation, sequence 0). On the
+// wire "dests" is either an explicit list or the string "all" — every
+// destination 0..n-1, the incremental all-pairs session (AllDests on the
+// Go side). An explicit list is bounded by MaxSessionDests; "all" is
+// bounded by MaxDests, the same cap as /v1/allpairs, since it rides the
+// same one-fabric sweep.
 type SessionCreateRequest struct {
+	Graph    json.RawMessage `json:"graph,omitempty"`
+	Gen      json.RawMessage `json:"gen,omitempty"`
+	Dests    []int           `json:"-"`
+	AllDests bool            `json:"-"`
+	Bits     uint            `json:"bits,omitempty"`
+}
+
+// sessionCreateWire is the raw JSON shape of SessionCreateRequest: dests
+// needs a custom decode to accept both a list and the "all" keyword.
+type sessionCreateWire struct {
 	Graph json.RawMessage `json:"graph,omitempty"`
 	Gen   json.RawMessage `json:"gen,omitempty"`
-	Dests []int           `json:"dests"`
+	Dests json.RawMessage `json:"dests"`
 	Bits  uint            `json:"bits,omitempty"`
+}
+
+func (r *SessionCreateRequest) UnmarshalJSON(b []byte) error {
+	var w sessionCreateWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = SessionCreateRequest{Graph: w.Graph, Gen: w.Gen, Bits: w.Bits}
+	if len(w.Dests) == 0 || string(w.Dests) == "null" {
+		return nil
+	}
+	var kw string
+	if err := json.Unmarshal(w.Dests, &kw); err == nil {
+		if kw != "all" {
+			return fmt.Errorf(`dests: unknown keyword %q (want "all" or a destination list)`, kw)
+		}
+		r.AllDests = true
+		return nil
+	}
+	return json.Unmarshal(w.Dests, &r.Dests)
+}
+
+func (r SessionCreateRequest) MarshalJSON() ([]byte, error) {
+	w := sessionCreateWire{Graph: r.Graph, Gen: r.Gen, Bits: r.Bits}
+	if r.AllDests {
+		w.Dests = json.RawMessage(`"all"`)
+	} else {
+		b, err := json.Marshal(r.Dests)
+		if err != nil {
+			return nil, err
+		}
+		w.Dests = b
+	}
+	return json.Marshal(w)
 }
 
 // SessionCreated is the body of a successful POST /v1/session.
@@ -99,7 +148,9 @@ type SessionTrailer struct {
 	Rows int    `json:"rows"`
 	// Cost is the machine cost of this generation's re-solves; Iterations
 	// the summed DP round count (warm re-solves converge in a handful of
-	// rounds; cold ones in ~diameter+1).
+	// rounds; cold ones in ~diameter+1; destinations the batch provably
+	// did not touch are emitted from the retained solution and contribute
+	// zero to both).
 	Cost       ppa.Metrics `json:"cost"`
 	Iterations int         `json:"iterations"`
 }
@@ -225,15 +276,33 @@ func (s *Server) sessionCreate(w http.ResponseWriter, r *http.Request) int {
 	if err := g.Validate(); err != nil {
 		return writeError(w, http.StatusBadRequest, "%v", err)
 	}
-	if len(req.Dests) == 0 {
-		return writeError(w, http.StatusBadRequest, "dests must name at least one destination")
-	}
-	if len(req.Dests) > s.cfg.MaxSessionDests {
-		return writeError(w, http.StatusBadRequest, "%d dests exceeds session limit %d", len(req.Dests), s.cfg.MaxSessionDests)
-	}
-	for _, d := range req.Dests {
-		if d < 0 || d >= g.N {
-			return writeError(w, http.StatusBadRequest, "dest %d out of range [0,%d)", d, g.N)
+	dests := req.Dests
+	if req.AllDests {
+		// The incremental all-pairs session: every destination, one warm
+		// fabric, gated by the same row cap as /v1/allpairs.
+		if g.N > s.cfg.MaxDests {
+			return writeError(w, http.StatusBadRequest, "all dests over %d vertices exceeds server limit %d", g.N, s.cfg.MaxDests)
+		}
+		dests = make([]int, g.N)
+		for d := range dests {
+			dests[d] = d
+		}
+	} else {
+		if len(dests) == 0 {
+			return writeError(w, http.StatusBadRequest, `dests must name at least one destination (or "all")`)
+		}
+		if len(dests) > s.cfg.MaxSessionDests {
+			return writeError(w, http.StatusBadRequest, "%d dests exceeds session limit %d", len(dests), s.cfg.MaxSessionDests)
+		}
+		seen := make(map[int]bool, len(dests))
+		for i, d := range dests {
+			if d < 0 || d >= g.N {
+				return writeError(w, http.StatusBadRequest, "dest %d out of range [0,%d)", d, g.N)
+			}
+			if seen[d] {
+				return writeError(w, http.StatusBadRequest, "duplicate dest %d at dests[%d]", d, i)
+			}
+			seen[d] = true
 		}
 	}
 	h, err := PickBits(g, req.Bits)
@@ -259,11 +328,11 @@ func (s *Server) sessionCreate(w http.ResponseWriter, r *http.Request) int {
 		id:    newSessionID(),
 		n:     g.N,
 		h:     h,
-		dests: append([]int(nil), req.Dests...),
+		dests: append([]int(nil), dests...),
 		jobs:  make(chan sessJob, s.cfg.SessionQueueDepth),
 		// Sized so a full jobs queue plus the initial solve fit without a
 		// reader; past that the runner blocks and admission sheds load.
-		events:     make(chan sessEvent, (s.cfg.SessionQueueDepth+2)*(len(req.Dests)+1)+2),
+		events:     make(chan sessEvent, (s.cfg.SessionQueueDepth+2)*(len(dests)+1)+2),
 		ctx:        ctx,
 		cancel:     cancel,
 		done:       make(chan struct{}),
@@ -313,6 +382,12 @@ func (s *Server) sessionRunner(ls *liveSession, sess *core.Session) {
 		}
 	}()
 
+	// resolveGen streams one re-solve generation: a single warm
+	// ResolveSweep over the whole destination set (retained solutions as
+	// seeds, untouched destinations skipped outright) instead of
+	// per-destination Resolve calls. The test hook keeps its contract —
+	// it fires before each destination's solve — by running for the next
+	// destination inside the previous row's yield.
 	resolveGen := func(seq uint64) (jerr error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -323,20 +398,25 @@ func (s *Server) sessionRunner(ls *liveSession, sess *core.Session) {
 		}()
 		var cost ppa.Metrics
 		iterations := 0
-		for _, d := range ls.dests {
-			if s.hookBeforeSolve != nil {
-				s.hookBeforeSolve(d)
-			}
-			r, err := sess.Resolve(ls.ctx, d)
-			if err != nil {
-				return err
-			}
+		row := 0
+		if s.hookBeforeSolve != nil {
+			s.hookBeforeSolve(ls.dests[0])
+		}
+		err := sess.ResolveSweep(ls.ctx, ls.dests, func(r *core.Result) error {
 			s.metrics.AddSolves(1, r.Metrics)
 			cost = cost.Add(r.Metrics)
 			iterations += r.Iterations
 			if !ls.send(sessEvent{kind: evRow, row: SessionRow{Seq: seq, DestResult: toDestResult(r)}}) {
 				return context.Canceled
 			}
+			row++
+			if s.hookBeforeSolve != nil && row < len(ls.dests) {
+				s.hookBeforeSolve(ls.dests[row])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		if !ls.send(sessEvent{kind: evTrailer, trailer: SessionTrailer{
 			Seq: seq, Rows: len(ls.dests), Cost: cost, Iterations: iterations,

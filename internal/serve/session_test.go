@@ -523,3 +523,125 @@ func TestSessionShutdownDrain(t *testing.T) {
 		t.Fatalf("create after shutdown: status %d, want 503", code)
 	}
 }
+
+// TestSessionAllDests: a session created with "dests": "all" tracks every
+// destination — the created body names 0..n-1, generation 0 carries the
+// full table, and a warm generation after a batch is re-verified row by
+// row. A no-op generation (an update that changes nothing reachable)
+// still streams n rows but the trailer shows the skip-converged fast
+// path: zero iterations.
+func TestSessionAllDests(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	g := graph.GenRandomConnected(12, 0.3, 15, 21)
+	mirror := g.Clone()
+	sc, code, er := createSession(t, ts, SessionCreateRequest{Graph: rawGraph(t, g), AllDests: true})
+	if code != http.StatusOK {
+		t.Fatalf("create: status %d (%v)", code, er)
+	}
+	if len(sc.Dests) != g.N {
+		t.Fatalf("created dests = %v, want 0..%d", sc.Dests, g.N-1)
+	}
+	for d, v := range sc.Dests {
+		if v != d {
+			t.Fatalf("created dests[%d] = %d", d, v)
+		}
+	}
+
+	ch := openSessionStream(t, ts, sc.SessionID)
+	if l, _ := nextLine(t, ch); l.header == nil {
+		t.Fatalf("first line = %+v, want header", l)
+	}
+	collectGeneration(t, ch, mirror, 0, sc.Dests)
+
+	// A real edit: every row re-verified against the mirror.
+	ups := []WireUpdate{{U: 0, V: 5, W: 1}, {U: 7, V: 2, W: -1}}
+	ua, code, er := postUpdate(t, ts, sc.SessionID, ups)
+	if code != http.StatusOK {
+		t.Fatalf("update: status %d (%v)", code, er)
+	}
+	gu := make([]graph.WeightUpdate, len(ups))
+	for i, u := range ups {
+		w := u.W
+		if w == -1 {
+			w = graph.NoEdge
+		}
+		gu[i] = graph.WeightUpdate{U: u.U, V: u.V, W: w}
+	}
+	if err := mirror.Apply(gu); err != nil {
+		t.Fatal(err)
+	}
+	collectGeneration(t, ch, mirror, ua.Seq, sc.Dests)
+
+	// Re-post the same weights: nothing changes, so every destination is
+	// untouched by the delta and the whole generation is emitted from
+	// retained rows without running the DP.
+	ua, code, er = postUpdate(t, ts, sc.SessionID, ups)
+	if code != http.StatusOK {
+		t.Fatalf("no-op update: status %d (%v)", code, er)
+	}
+	tr := collectGeneration(t, ch, mirror, ua.Seq, sc.Dests)
+	if tr.Iterations != 0 || tr.Cost.PEOps != 0 {
+		t.Fatalf("no-op generation trailer = %+v, want zero iterations and cost", tr)
+	}
+
+	if code := deleteSession(t, ts, sc.SessionID); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+}
+
+// TestSessionAllDestsAdmission: "all" is bounded by MaxDests, unknown
+// dests keywords are rejected at decode time, and duplicate explicit
+// dests are refused.
+func TestSessionAllDestsAdmission(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxVertices: 64, MaxDests: 8, MaxSessionDests: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	big := graph.GenChain(12, 3) // within MaxVertices, "all" beyond MaxDests
+	if _, code, _ := createSession(t, ts, SessionCreateRequest{Graph: rawGraph(t, big), AllDests: true}); code != http.StatusBadRequest {
+		t.Fatalf(`create "all" over MaxDests: status %d, want 400`, code)
+	}
+
+	small := graph.GenChain(6, 3)
+	if _, code, _ := createSession(t, ts, SessionCreateRequest{Graph: rawGraph(t, small), Dests: []int{2, 0, 2}}); code != http.StatusBadRequest {
+		t.Fatalf("create duplicate dests: status %d, want 400", code)
+	}
+
+	// "all" names more destinations than MaxSessionDests allows for an
+	// explicit list — the keyword is bounded by MaxDests instead.
+	sc, code, er := createSession(t, ts, SessionCreateRequest{Graph: rawGraph(t, small), AllDests: true})
+	if code != http.StatusOK {
+		t.Fatalf(`create "all": status %d (%v)`, code, er)
+	}
+	if len(sc.Dests) != small.N {
+		t.Fatalf("created dests = %v, want all %d", sc.Dests, small.N)
+	}
+	if code := deleteSession(t, ts, sc.SessionID); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+
+	body := fmt.Sprintf(`{"graph": %s, "dests": "everything"}`, rawGraph(t, small))
+	resp, err := ts.Client().Post(ts.URL+"/v1/session", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown dests keyword: status %d, want 400", resp.StatusCode)
+	}
+}

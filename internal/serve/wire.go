@@ -125,12 +125,16 @@ type SolveResponse struct {
 }
 
 // AllPairsRequest is the body of POST /v1/allpairs: one graph (inline or
-// generated, as in SolveRequest), no destination list — the server sweeps
-// every destination 0..n-1 on one warm session and streams the rows back
-// as NDJSON. Width and deadline semantics match /v1/solve.
+// generated, as in SolveRequest). With no destination list the server
+// sweeps every destination 0..n-1 on one warm session and streams the
+// rows back as NDJSON; an optional dests list restricts the sweep to that
+// subset (distinct, in range, streamed in the given order) so clients can
+// take a partial table without paying for all n rows. Width and deadline
+// semantics match /v1/solve.
 type AllPairsRequest struct {
 	Graph     json.RawMessage `json:"graph,omitempty"`
 	Gen       json.RawMessage `json:"gen,omitempty"`
+	Dests     []int           `json:"dests,omitempty"`
 	Bits      uint            `json:"bits,omitempty"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
@@ -143,9 +147,10 @@ func (r *AllPairsRequest) BuildGraph(maxN int) (*graph.Graph, error) {
 }
 
 // AllPairsHeader is the first NDJSON line of a /v1/allpairs stream. The
-// n destination rows follow (each a DestResult, in ascending dest order),
-// then an AllPairsTrailer. A stream that ends without a done:true trailer
-// is incomplete; its last line is an ErrorResponse naming the failure.
+// destination rows follow (each a DestResult — all n in ascending dest
+// order, or the requested subset in request order), then an
+// AllPairsTrailer. A stream that ends without a done:true trailer is
+// incomplete; its last line is an ErrorResponse naming the failure.
 type AllPairsHeader struct {
 	N    int  `json:"n"`
 	Bits uint `json:"bits"`
@@ -154,7 +159,8 @@ type AllPairsHeader struct {
 // AllPairsTrailer is the final NDJSON line of a complete stream.
 type AllPairsTrailer struct {
 	Done bool `json:"done"`
-	// Rows is the number of destination rows streamed (= n on success).
+	// Rows is the number of destination rows streamed (on success: n, or
+	// the size of the requested dests subset).
 	Rows int `json:"rows"`
 	// Cost is the summed machine cost over the whole sweep; Iterations
 	// the summed DP round count.
